@@ -1,0 +1,262 @@
+package linksynth
+
+// The benchmark harness: one testing.B benchmark per paper table/figure
+// (regenerating the same rows via internal/experiments), plus
+// micro-benchmarks for the substrate packages. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/benchtab prints the actual table contents; these benchmarks time the
+// regeneration and report instance metrics via b.ReportMetric.
+
+import (
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hypergraph"
+	"repro/internal/ilp"
+	"repro/internal/metrics"
+	"repro/internal/simplex"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Unit: 60, Areas: 4, NCC: 30,
+		Scales: []int{1, 2}, LargeScales: []int{1, 2},
+		Seed: 1,
+	}
+}
+
+func benchExperiment(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Generate regenerates Table 1 (data scales).
+func BenchmarkTable1Generate(b *testing.B) { benchExperiment(b, experiments.Table1) }
+
+// BenchmarkFig8a regenerates Figure 8a (errors vs scale, good CCs).
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, experiments.Fig8a) }
+
+// BenchmarkFig8b regenerates Figure 8b (errors vs scale, bad CCs).
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, experiments.Fig8b) }
+
+// BenchmarkFig9 regenerates Figure 9 (per-CC error distribution).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, experiments.Fig9) }
+
+// BenchmarkFig10 regenerates Figure 10 (good/bad DC x CC combinations).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, experiments.Fig10) }
+
+// BenchmarkFig11a regenerates Figure 11a (runtime baseline vs hybrid).
+func BenchmarkFig11a(b *testing.B) { benchExperiment(b, experiments.Fig11a) }
+
+// BenchmarkFig11b regenerates Figure 11b (hybrid runtime at larger scales).
+func BenchmarkFig11b(b *testing.B) { benchExperiment(b, experiments.Fig11b) }
+
+// BenchmarkFig12 regenerates Figure 12 (runtime vs number of R2 columns).
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, experiments.Fig12) }
+
+// BenchmarkFig13 regenerates Figure 13 (hybrid runtime breakdown).
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, experiments.Fig13) }
+
+// BenchmarkCCSweep regenerates the CC-count sweep (datasets 13-22).
+func BenchmarkCCSweep(b *testing.B) { benchExperiment(b, experiments.CCSweep) }
+
+// BenchmarkNoiseSweep regenerates the noisy-target (DP motivation) sweep.
+func BenchmarkNoiseSweep(b *testing.B) { benchExperiment(b, experiments.NoiseSweep) }
+
+// BenchmarkAblations regenerates the design-choice ablation table.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, experiments.Ablations) }
+
+// ---- Per-algorithm benchmarks (one solver run each) ----
+
+func benchInstance(goodCC bool) (Input, []CC, []DC) {
+	d := census.Generate(census.Config{Households: 150, Areas: 6, Seed: 3})
+	var ccs []CC
+	if goodCC {
+		ccs = d.GoodCCs(60)
+	} else {
+		ccs = d.BadCCs(60)
+	}
+	dcs := census.AllDCs()
+	return Input{R1: d.Persons, R2: d.Housing, K1: "pid", K2: "hid", FK: "hid",
+		CCs: ccs, DCs: dcs}, ccs, dcs
+}
+
+func benchSolve(b *testing.B, goodCC bool, opt Options) {
+	b.Helper()
+	in, ccs, dcs := benchInstance(goodCC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *Result
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(in, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	errs := metrics.CCErrors(last.VJoin, ccs)
+	b.ReportMetric(metrics.Median(errs), "ccerr-median")
+	b.ReportMetric(metrics.Mean(errs), "ccerr-mean")
+	b.ReportMetric(DCErrorFraction(last.R1Hat, "hid", dcs), "dcerr")
+}
+
+// BenchmarkHybridGoodCCs times the paper's hybrid on S_good_CC.
+func BenchmarkHybridGoodCCs(b *testing.B) { benchSolve(b, true, Options{Seed: 1}) }
+
+// BenchmarkHybridBadCCs times the hybrid on S_bad_CC (ILP engaged).
+func BenchmarkHybridBadCCs(b *testing.B) { benchSolve(b, false, Options{Seed: 1}) }
+
+// BenchmarkBaseline times the plain baseline.
+func BenchmarkBaseline(b *testing.B) { benchSolve(b, false, BaselineOptions(1)) }
+
+// BenchmarkBaselineMarginals times the baseline with marginal augmentation.
+func BenchmarkBaselineMarginals(b *testing.B) { benchSolve(b, false, BaselineMarginalsOptions(1)) }
+
+// ---- Ablation benchmarks (DESIGN.md §5) ----
+
+// BenchmarkAblationNoMarginals: Algorithm 1 without the all-way-marginal
+// augmentation.
+func BenchmarkAblationNoMarginals(b *testing.B) {
+	benchSolve(b, false, Options{Seed: 1, NoMarginals: true})
+}
+
+// BenchmarkAblationILPOnly: force every CC through the ILP (no hybrid
+// split).
+func BenchmarkAblationILPOnly(b *testing.B) {
+	benchSolve(b, false, Options{Seed: 1, Mode: core.ModeILPOnly})
+}
+
+// BenchmarkAblationNoPartition: one global conflict graph instead of the
+// §5.2 partitioning.
+func BenchmarkAblationNoPartition(b *testing.B) {
+	benchSolve(b, false, Options{Seed: 1, NoPartition: true})
+}
+
+// BenchmarkAblationInputOrderColoring: Algorithm 3 without the
+// largest-first order.
+func BenchmarkAblationInputOrderColoring(b *testing.B) {
+	benchSolve(b, false, Options{Seed: 1, Order: core.OrderInput})
+}
+
+// ---- Substrate micro-benchmarks ----
+
+// BenchmarkTable4Edges times conflict-hypergraph construction for the
+// twelve Table 4 DCs on one census partition worth of tuples.
+func BenchmarkTable4Edges(b *testing.B) {
+	in, _, _ := benchInstance(true)
+	opt := Options{Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(in, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Stats.ConflictEdges), "edges")
+	}
+}
+
+// BenchmarkTable5Classify times the pairwise CC classification (the
+// "Pairwise Comparison" stage of Figure 13).
+func BenchmarkTable5Classify(b *testing.B) {
+	d := census.Generate(census.Config{Households: 100, Areas: 8, Seed: 2})
+	ccs := d.GoodCCs(200)
+	isR2 := func(c string) bool { return c == "Tenure" || c == "Area" }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		constraint.ClassifyAll(ccs, isR2)
+	}
+}
+
+// BenchmarkSimplexLP times the LP substrate on a CC-shaped system.
+func BenchmarkSimplexLP(b *testing.B) {
+	nv := 200
+	lp := &simplex.LP{NumVars: nv, C: make([]float64, nv)}
+	for j := 0; j < nv; j++ {
+		lp.Rows = append(lp.Rows, simplex.Row{
+			Coefs: []simplex.Nz{{Var: j, Coef: 1}}, Sense: simplex.LE, B: 10})
+	}
+	for i := 0; i < 40; i++ {
+		row := simplex.Row{Sense: simplex.GE, B: 25}
+		for j := i; j < nv; j += 7 {
+			row.Coefs = append(row.Coefs, simplex.Nz{Var: j, Coef: 1})
+		}
+		lp.Rows = append(lp.Rows, row)
+		lp.C[i] = 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simplex.Solve(lp, 0)
+		if err != nil || res.Status != simplex.Optimal {
+			b.Fatalf("%v %v", err, res.Status)
+		}
+	}
+}
+
+// BenchmarkILPBranchAndBound times the integer layer on a fractional
+// system.
+func BenchmarkILPBranchAndBound(b *testing.B) {
+	p := &ilp.Problem{NumVars: 30}
+	for j := 0; j < 30; j++ {
+		p.Cons = append(p.Cons, ilp.Constraint{
+			Terms: []ilp.Term{{Var: j, Coef: 1}}, Sense: ilp.LE, RHS: 7})
+	}
+	for i := 0; i < 10; i++ {
+		c := ilp.Constraint{Sense: ilp.EQ, RHS: float64(20 + i), Soft: true}
+		for j := i; j < 30; j += 3 {
+			c.Terms = append(c.Terms, ilp.Term{Var: j, Coef: 2})
+		}
+		p.Cons = append(p.Cons, c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ilp.Solve(p, ilp.Options{MaxNodes: 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkListColoring times Algorithm 3 on a dense random graph.
+func BenchmarkListColoring(b *testing.B) {
+	n := 500
+	g := hypergraph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < i+20 && j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	palette := make([]int, 25)
+	for i := range palette {
+		palette[i] = i
+	}
+	allowed := func(int) []int { return palette }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := hypergraph.NewColoring(n)
+		g.ColoringLF(c, allowed)
+	}
+}
+
+// BenchmarkCensusGenerate times the data substrate itself.
+func BenchmarkCensusGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		census.Generate(census.Config{Households: 500, Areas: 8, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,91 @@
+// Command benchtab regenerates the paper's evaluation tables and figures
+// (§6, Figures 8–13 plus Table 1, the CC-count sweep, and our ablations) on
+// the synthetic census substrate and prints them as text tables.
+//
+// Usage:
+//
+//	benchtab                  # run everything at the default quick scale
+//	benchtab -exp fig8a,fig13 # selected experiments
+//	benchtab -unit 982 -ccs 200 -scales 1,2,5,10   # closer to paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids (see -list)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	unit := flag.Int("unit", 0, "households at scale 1x (default quick-scale)")
+	areas := flag.Int("areas", 0, "distinct areas")
+	ccs := flag.Int("ccs", 0, "CC set size (paper: 1001)")
+	scales := flag.String("scales", "", "comma-separated scale multipliers (e.g. 1,2,5,10)")
+	largeScales := flag.String("large-scales", "", "scales for fig11b")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Println(r.ID)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	if *unit > 0 {
+		cfg.Unit = *unit
+	}
+	if *areas > 0 {
+		cfg.Areas = *areas
+	}
+	if *ccs > 0 {
+		cfg.NCC = *ccs
+	}
+	if *scales != "" {
+		cfg.Scales = parseInts(*scales)
+	}
+	if *largeScales != "" {
+		cfg.LargeScales = parseInts(*largeScales)
+	}
+
+	want := map[string]bool{}
+	if *exp != "all" {
+		for _, id := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, r := range experiments.Runners() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tab, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.String())
+		fmt.Printf("(%s took %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "benchtab: bad scale %q\n", part)
+			os.Exit(1)
+		}
+		out = append(out, n)
+	}
+	return out
+}

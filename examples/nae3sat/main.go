@@ -1,0 +1,110 @@
+// The nae3sat example demonstrates the NP-hardness reduction of
+// Proposition 2.8: a Not-All-Equal 3-SAT formula is encoded as a
+// C-Extension instance whose R1 holds one tuple per (variable, polarity,
+// clause) occurrence, whose R2 offers the two truth values as foreign keys,
+// and whose two DCs force (1) consistent variable assignments and (2) at
+// least one literal per clause on each side. A proper FK completion *is* an
+// NAE-satisfying assignment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	linksynth "repro"
+)
+
+// clause is a 3-literal clause; negative ints are negated variables (1-based).
+type clause [3]int
+
+func main() {
+	// (x1 ∨ x2 ∨ x3) ∧ (¬x1 ∨ x2 ∨ ¬x4) ∧ (x3 ∨ ¬x2 ∨ x4):
+	// NAE-satisfiable, e.g. x1=T, x2=F, x3=F, x4=T.
+	formula := []clause{{1, 2, 3}, {-1, 2, -4}, {3, -2, 4}}
+
+	r1 := linksynth.NewRelation("Occurrences", linksynth.NewSchema(
+		linksynth.IntCol("id"), linksynth.StrCol("Var"), linksynth.IntCol("Alpha"),
+		linksynth.StrCol("Cls"), linksynth.IntCol("Chosen")))
+	id := int64(1)
+	for ci, cl := range formula {
+		for _, lit := range cl {
+			v, alpha := lit, int64(1)
+			if lit < 0 {
+				v, alpha = -lit, 0
+			}
+			r1.MustAppend(linksynth.Int(id), linksynth.String(fmt.Sprintf("x%d", v)),
+				linksynth.Int(alpha), linksynth.String(fmt.Sprintf("C%d", ci+1)), linksynth.Null())
+			id++
+		}
+	}
+	// R2: Chosen ∈ {0, 1} with a dummy payload column E.
+	r2 := linksynth.NewRelation("Truth", linksynth.NewSchema(
+		linksynth.IntCol("Chosen"), linksynth.StrCol("E")))
+	r2.MustAppend(linksynth.Int(0), linksynth.String("a"))
+	r2.MustAppend(linksynth.Int(1), linksynth.String("b"))
+
+	_, dcs, err := linksynth.ParseConstraints(strings.NewReader(`
+# (1) A variable cannot be "chosen" with both polarities.
+dc consistency: deny t1.Var = t2.Var & t1.Alpha != t2.Alpha
+# (2) No clause may have all three occurrences on the same side.
+dc nae: deny t1.Cls = t2.Cls & t2.Cls = t3.Cls
+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := linksynth.Input{R1: r1, R2: r2, K1: "id", K2: "Chosen", FK: "Chosen", DCs: dcs}
+	res, err := linksynth.Solve(in, linksynth.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("occurrence table with completed Chosen column:")
+	fmt.Println(res.R1Hat)
+	if res.Stats.AddedR2Tuples > 0 {
+		fmt.Printf("solver had to invent %d truth values -> formula is NOT NAE-satisfiable\n",
+			res.Stats.AddedR2Tuples)
+		return
+	}
+
+	// Decode the assignment: Chosen=1 means "assign the literal's polarity".
+	assign := map[string]bool{}
+	for i := 0; i < res.R1Hat.Len(); i++ {
+		v := res.R1Hat.Value(i, "Var").Str()
+		alpha := res.R1Hat.Value(i, "Alpha").Int() == 1
+		chosen := res.R1Hat.Value(i, "Chosen").Int() == 1
+		assign[v] = (alpha == chosen)
+	}
+	fmt.Println("decoded NAE assignment:")
+	for v, val := range assign {
+		fmt.Printf("  %s = %v\n", v, val)
+	}
+	// Verify: every clause has at least one true and one false literal.
+	for ci, cl := range formula {
+		trues := 0
+		for _, lit := range cl {
+			v := fmt.Sprintf("x%d", abs(lit))
+			val := assign[v]
+			if lit < 0 {
+				val = !val
+			}
+			if val {
+				trues++
+			}
+		}
+		status := "NAE-satisfied"
+		if trues == 0 || trues == 3 {
+			status = "VIOLATED"
+		}
+		fmt.Printf("  clause C%d: %d/3 literals true -> %s\n", ci+1, trues, status)
+	}
+	fmt.Printf("DC violations: %.3f\n", linksynth.DCErrorFraction(res.R1Hat, "Chosen", dcs))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

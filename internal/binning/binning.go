@@ -1,0 +1,142 @@
+// Package binning implements intervalization (§4.1 of the paper, after
+// Arasu et al.): the domain of each numeric column is split at the boundary
+// points mentioned by the cardinality constraints, so that all values inside
+// one interval are indistinguishable to every CC. Tuples of R1 are then
+// grouped into bins over their (A1..Ap) values with numeric columns replaced
+// by interval indices; each bin becomes one block of ILP variables.
+package binning
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/table"
+)
+
+// Intervals is the ordered disjoint partition of one integer column's
+// domain. Cuts[i] is the inclusive lower endpoint of interval i; interval i
+// covers [Cuts[i], Cuts[i+1]-1], and the last interval is unbounded above.
+type Intervals struct {
+	Cuts []int64
+}
+
+// Find returns the interval index containing v.
+func (iv Intervals) Find(v int64) int {
+	// First cut is always MinInt64, so every v belongs somewhere.
+	lo, hi := 0, len(iv.Cuts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if iv.Cuts[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Len returns the number of intervals.
+func (iv Intervals) Len() int { return len(iv.Cuts) }
+
+// Intervalize computes, for every integer column referenced by any of the
+// predicates, the partition of its domain induced by the predicates'
+// boundary points. Columns not referenced get no entry.
+func Intervalize(preds []table.Predicate) map[string]Intervals {
+	cutset := make(map[string]map[int64]bool)
+	add := func(col string, v int64) {
+		if cutset[col] == nil {
+			cutset[col] = map[int64]bool{math.MinInt64: true}
+		}
+		cutset[col][v] = true
+	}
+	for _, p := range preds {
+		ranges, ok := constraint.Normalize(p)
+		if !ok {
+			// Fall back to atom endpoints for non-range predicates.
+			for _, a := range p.Atoms {
+				if a.Val.Kind() != table.KindInt {
+					continue
+				}
+				v := a.Val.Int()
+				switch a.Op {
+				case table.OpEq, table.OpGe:
+					add(a.Col, v)
+					add(a.Col, v+1)
+				case table.OpNe:
+					add(a.Col, v)
+					add(a.Col, v+1)
+				case table.OpLt:
+					add(a.Col, v)
+				case table.OpLe:
+					add(a.Col, v+1)
+				case table.OpGt:
+					add(a.Col, v+1)
+				}
+			}
+			continue
+		}
+		for col, r := range ranges {
+			if !r.IsInt || r.Empty {
+				continue
+			}
+			if r.Lo != math.MinInt64 {
+				add(col, r.Lo)
+			}
+			if r.Hi != math.MaxInt64 {
+				add(col, r.Hi+1)
+			}
+		}
+	}
+	out := make(map[string]Intervals, len(cutset))
+	for col, cuts := range cutset {
+		sorted := make([]int64, 0, len(cuts))
+		for v := range cuts {
+			sorted = append(sorted, v)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		out[col] = Intervals{Cuts: sorted}
+	}
+	return out
+}
+
+// Binner maps R1 rows to bins: a bin is the combination of the row's values
+// over the binned columns, with intervalized integer columns replaced by
+// their interval index.
+type Binner struct {
+	cols      []string
+	colIdx    []int
+	intervals map[string]Intervals
+}
+
+// NewBinner builds a binner over the given R1 attribute columns of schema
+// s, using the interval partitions from Intervalize (columns without a
+// partition keep their exact values).
+func NewBinner(s *table.Schema, cols []string, intervals map[string]Intervals) *Binner {
+	b := &Binner{cols: cols, intervals: intervals}
+	for _, c := range cols {
+		b.colIdx = append(b.colIdx, s.MustIndex(c))
+	}
+	return b
+}
+
+// Key returns the opaque bin key of a row.
+func (b *Binner) Key(row []table.Value) string {
+	vals := make([]table.Value, len(b.cols))
+	for i, j := range b.colIdx {
+		v := row[j]
+		if iv, ok := b.intervals[b.cols[i]]; ok && v.Kind() == table.KindInt {
+			v = table.Int(int64(iv.Find(v.Int())))
+		}
+		vals[i] = v
+	}
+	return table.EncodeKey(vals...)
+}
+
+// Matches reports whether an entire bin satisfies the predicate restricted
+// to the binned columns, judged by a representative row. Because the
+// intervalization cuts include every predicate boundary, all rows of a bin
+// agree on every predicate atom, so a single representative suffices.
+func (b *Binner) Matches(s *table.Schema, rep []table.Value, p table.Predicate) bool {
+	return p.Eval(s, rep)
+}

@@ -1,0 +1,137 @@
+package binning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/table"
+)
+
+func mustPred(t *testing.T, src string) table.Predicate {
+	t.Helper()
+	cc, err := constraint.ParseCC("cc: count(" + src + ") = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc.Pred
+}
+
+// TestExample41 reproduces the intervalization of Example 4.1: CC3 uses
+// Age <= 24, splitting Age into [min,24] and [25,max].
+func TestExample41(t *testing.T) {
+	preds := []table.Predicate{
+		mustPred(t, "Rel = 'Owner', Area = 'Chicago'"),
+		mustPred(t, "Rel = 'Owner', Area = 'NYC'"),
+		mustPred(t, "Age <= 24, Area = 'Chicago'"),
+		mustPred(t, "Multi = 1, Area = 'Chicago'"),
+	}
+	ivs := Intervalize(preds)
+	age, ok := ivs["Age"]
+	if !ok {
+		t.Fatal("no Age intervals")
+	}
+	if age.Len() != 2 {
+		t.Fatalf("age intervals = %d (%v), want 2", age.Len(), age.Cuts)
+	}
+	if age.Find(24) != 0 || age.Find(25) != 1 || age.Find(0) != 0 || age.Find(114) != 1 {
+		t.Errorf("interval mapping wrong: %v", age.Cuts)
+	}
+	// Multi is an integer equality column: it gets cuts too.
+	if _, ok := ivs["Multi"]; !ok {
+		t.Error("Multi not intervalized")
+	}
+	// Rel/Area are strings: no intervals.
+	if _, ok := ivs["Rel"]; ok {
+		t.Error("string column intervalized")
+	}
+}
+
+func TestIntervalizeRangeBounds(t *testing.T) {
+	ivs := Intervalize([]table.Predicate{mustPred(t, "Age in [10,14]"), mustPred(t, "Age in [13,64]")})
+	age := ivs["Age"]
+	// Cut points: min, 10, 13, 15, 65.
+	want := []int64{math.MinInt64, 10, 13, 15, 65}
+	if len(age.Cuts) != len(want) {
+		t.Fatalf("cuts = %v", age.Cuts)
+	}
+	for i, w := range want {
+		if age.Cuts[i] != w {
+			t.Errorf("cut[%d] = %d, want %d", i, age.Cuts[i], w)
+		}
+	}
+	// Values in [13,14] share a bin; 15 starts a new one.
+	if age.Find(13) != age.Find(14) {
+		t.Error("13 and 14 should share a bin")
+	}
+	if age.Find(14) == age.Find(15) {
+		t.Error("14 and 15 should not share a bin")
+	}
+}
+
+// Property: two values fall in the same interval iff no predicate
+// distinguishes them.
+func TestIntervalizeIndistinguishability(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		var preds []table.Predicate
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			lo := rng.Int63n(50)
+			hi := lo + rng.Int63n(30)
+			preds = append(preds, table.And(table.Between("X", lo, hi)...))
+		}
+		ivs := Intervalize(preds)
+		x := ivs["X"]
+		s := table.NewSchema(table.IntCol("X"))
+		for v := int64(0); v < 90; v++ {
+			for w := v + 1; w < 90; w++ {
+				same := x.Find(v) == x.Find(w)
+				distinguished := false
+				for _, p := range preds {
+					if p.Eval(s, []table.Value{table.Int(v)}) != p.Eval(s, []table.Value{table.Int(w)}) {
+						distinguished = true
+					}
+				}
+				if same && distinguished {
+					t.Fatalf("trial %d: %d and %d share a bin but a predicate distinguishes them (cuts %v)", trial, v, w, x.Cuts)
+				}
+			}
+		}
+	}
+}
+
+func TestBinnerKeys(t *testing.T) {
+	s := table.NewSchema(table.IntCol("pid"), table.IntCol("Age"), table.StrCol("Rel"))
+	ivs := Intervalize([]table.Predicate{mustPred(t, "Age <= 24")})
+	b := NewBinner(s, []string{"Age", "Rel"}, ivs)
+	r1 := []table.Value{table.Int(1), table.Int(10), table.String("Child")}
+	r2 := []table.Value{table.Int(2), table.Int(20), table.String("Child")}
+	r3 := []table.Value{table.Int(3), table.Int(30), table.String("Child")}
+	r4 := []table.Value{table.Int(4), table.Int(10), table.String("Owner")}
+	if b.Key(r1) != b.Key(r2) {
+		t.Error("ages 10 and 20 should share a bin (both <= 24)")
+	}
+	if b.Key(r1) == b.Key(r3) {
+		t.Error("ages 10 and 30 should differ")
+	}
+	if b.Key(r1) == b.Key(r4) {
+		t.Error("different Rel should differ")
+	}
+}
+
+func TestBinnerWithoutIntervals(t *testing.T) {
+	s := table.NewSchema(table.IntCol("Age"))
+	b := NewBinner(s, []string{"Age"}, nil)
+	if b.Key([]table.Value{table.Int(5)}) == b.Key([]table.Value{table.Int(6)}) {
+		t.Error("without intervals, exact values must distinguish bins")
+	}
+}
+
+func TestFindOnEmptyDomainEdges(t *testing.T) {
+	iv := Intervals{Cuts: []int64{math.MinInt64}}
+	if iv.Find(math.MinInt64) != 0 || iv.Find(0) != 0 || iv.Find(math.MaxInt64) != 0 {
+		t.Error("single-interval Find wrong")
+	}
+}

@@ -1,0 +1,87 @@
+package binning
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+// Predicates that cannot be normalized into ranges (e.g. using !=) take
+// the atom-endpoint fallback in Intervalize; the indistinguishability
+// guarantee must still hold for them.
+func TestIntervalizeFallbackNe(t *testing.T) {
+	p := table.And(table.Atom{Col: "Age", Op: table.OpNe, Val: table.Int(20)})
+	ivs := Intervalize([]table.Predicate{p})
+	age, ok := ivs["Age"]
+	if !ok {
+		t.Fatal("no Age intervals")
+	}
+	// 19 and 20 must not share a bin; 20 forms its own singleton.
+	if age.Find(19) == age.Find(20) {
+		t.Error("19 and 20 share a bin under Age != 20")
+	}
+	if age.Find(20) == age.Find(21) {
+		t.Error("20 and 21 share a bin under Age != 20")
+	}
+	if age.Find(21) != age.Find(100) {
+		t.Error("21 and 100 should share a bin")
+	}
+}
+
+func TestIntervalizeFallbackMixedOps(t *testing.T) {
+	// One normalizable and one non-normalizable predicate on the same col.
+	p1 := table.And(table.Between("Age", 10, 20)...)
+	p2 := table.And(table.Atom{Col: "Age", Op: table.OpNe, Val: table.Int(15)})
+	ivs := Intervalize([]table.Predicate{p1, p2})
+	age := ivs["Age"]
+	s := table.NewSchema(table.IntCol("Age"))
+	for v := int64(0); v < 30; v++ {
+		for w := v + 1; w < 30; w++ {
+			if age.Find(v) != age.Find(w) {
+				continue
+			}
+			for _, p := range []table.Predicate{p1, p2} {
+				if p.Eval(s, []table.Value{table.Int(v)}) != p.Eval(s, []table.Value{table.Int(w)}) {
+					t.Fatalf("%d and %d share a bin but differ on %s", v, w, p)
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalizeFallbackAllOps(t *testing.T) {
+	// Exercise every operator branch of the fallback path by combining an
+	// unrepresentable atom with each representable one.
+	ops := []table.Op{table.OpEq, table.OpLt, table.OpLe, table.OpGt, table.OpGe, table.OpNe}
+	for _, op := range ops {
+		p := table.And(
+			table.Atom{Col: "X", Op: op, Val: table.Int(10)},
+			table.Atom{Col: "X", Op: table.OpNe, Val: table.Int(5)}, // forces fallback
+		)
+		ivs := Intervalize([]table.Predicate{p})
+		x := ivs["X"]
+		s := table.NewSchema(table.IntCol("X"))
+		for v := int64(0); v < 20; v++ {
+			for w := v + 1; w < 20; w++ {
+				if x.Find(v) == x.Find(w) &&
+					p.Eval(s, []table.Value{table.Int(v)}) != p.Eval(s, []table.Value{table.Int(w)}) {
+					t.Fatalf("op %v: %d and %d share a bin but predicate distinguishes them", op, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalizeStringAtomsIgnoredInFallback(t *testing.T) {
+	p := table.And(
+		table.Atom{Col: "Rel", Op: table.OpNe, Val: table.String("Owner")},
+		table.Atom{Col: "Age", Op: table.OpNe, Val: table.Int(5)},
+	)
+	ivs := Intervalize([]table.Predicate{p})
+	if _, ok := ivs["Rel"]; ok {
+		t.Error("string column intervalized")
+	}
+	if _, ok := ivs["Age"]; !ok {
+		t.Error("int column missing")
+	}
+}

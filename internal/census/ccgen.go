@@ -1,0 +1,167 @@
+package census
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/table"
+)
+
+// template is one R1-side selection shape from Table 5: an age interval, a
+// relationship, and an optional MultiLing requirement (-1 means
+// unconstrained).
+type template struct {
+	lo, hi int64
+	rel    string
+	multi  int64
+}
+
+func (t template) pred() []table.Atom {
+	atoms := table.Between("Age", t.lo, t.hi)
+	atoms = append(atoms, table.Eq("Rel", table.String(t.rel)))
+	if t.multi >= 0 {
+		atoms = append(atoms, table.Eq("MultiLing", table.Int(t.multi)))
+	}
+	return atoms
+}
+
+// goodTemplates are pairwise R1-disjoint (distinct Rel, disjoint Age bands
+// within a Rel, or distinct MultiLing). Crossing them with any R2-side
+// combination therefore yields an intersection-free CC set under the
+// paper's Definitions 4.2–4.4: same-template pairs are identical-R1 /
+// disjoint-R2, cross-template pairs are R1-disjoint, and Tenure-Area CCs
+// are contained in their Area-only counterparts.
+var goodTemplates = []template{
+	{18, 114, RelOwner, 0},
+	{18, 114, RelOwner, 1},
+	{16, 49, RelSpouse, -1},
+	{50, 114, RelSpouse, -1},
+	{16, 114, RelPartner, -1},
+	{0, 10, RelBioChild, -1},
+	{11, 18, RelBioChild, -1},
+	{19, 30, RelBioChild, -1},
+	{31, 78, RelBioChild, -1},
+	{0, 20, RelStepChild, -1},
+	{21, 78, RelStepChild, -1},
+	{0, 18, RelAdoptChild, -1},
+	{19, 78, RelAdoptChild, -1},
+	{0, 78, RelFosterChild, -1},
+	{0, 114, RelSibling, -1},
+	{32, 69, RelParent, -1},
+	{70, 114, RelParent, -1},
+	{32, 114, RelParentInLaw, -1},
+	{0, 17, RelGrandchild, 0},
+	{0, 17, RelGrandchild, 1},
+	{18, 60, RelGrandchild, -1},
+	{0, 89, RelChildInLaw, -1},
+	{15, 85, RelRoommate, 0},
+	{15, 85, RelRoommate, 1},
+}
+
+// badTemplates mirror the second table of Table 5: overlapping age
+// intervals for the same relationship (e.g. the Spouse rows [21,114],
+// [21,64], [18,39], [18,85], [40,85]), which intersect pairwise and force
+// the hybrid's ILP path.
+var badTemplates = []template{
+	{18, 114, RelOwner, 0},
+	{18, 114, RelSpouse, 1},
+	{21, 114, RelSpouse, 1},
+	{21, 64, RelSpouse, 1},
+	{18, 39, RelSpouse, 1},
+	{18, 85, RelSpouse, 1},
+	{40, 85, RelSpouse, 1},
+	{0, 10, RelBioChild, -1},
+	{6, 10, RelBioChild, -1},
+	{2, 5, RelBioChild, -1},
+	{11, 18, RelBioChild, -1},
+	{11, 13, RelBioChild, -1},
+	{14, 18, RelBioChild, -1},
+	{19, 30, RelBioChild, -1},
+	{22, 30, RelBioChild, -1},
+	{40, 85, RelParent, 0},
+	{40, 85, RelParent, 1},
+	{65, 114, RelParent, 1},
+	{15, 85, RelRoommate, 0},
+	{15, 85, RelRoommate, 1},
+	{18, 30, RelGrandchild, 0},
+	{18, 30, RelGrandchild, 1},
+	{0, 39, RelGrandchild, 1},
+	{22, 39, RelGrandchild, 1},
+	{0, 30, RelStepChild, -1},
+	{0, 21, RelStepChild, -1},
+	{21, 30, RelStepChild, 1},
+	{19, 39, RelAdoptChild, -1},
+	{25, 39, RelAdoptChild, -1},
+	{31, 39, RelAdoptChild, 1},
+}
+
+// GoodCCs generates up to n cardinality constraints with no intersecting
+// pairs (the paper's S_good_CC shape): each template crossed with Area-only
+// and Tenure-Area selections, targets taken from the ground-truth join.
+func (d *Data) GoodCCs(n int) []constraint.CC {
+	return d.generateCCs(goodTemplates, n, "good")
+}
+
+// BadCCs generates up to n cardinality constraints containing intersecting
+// pairs (S_bad_CC): overlapping age templates crossed with the same
+// selections.
+func (d *Data) BadCCs(n int) []constraint.CC {
+	return d.generateCCs(badTemplates, n, "bad")
+}
+
+// generateCCs walks the (area × template) grid: for every area, first the
+// Area-only CC per template, then Tenure-refined CCs for the first two
+// tenures (leaving at least one tenure uncovered so Algorithm 2's parent
+// remainders always have an assignable combination), then — when the
+// housing relation has the binary appliance columns of the Figure 12
+// configurations — a refinement chain Tenure+Water, Tenure+Water+Bath, ...
+// so that wider R2 schemas produce CCs over more R2 columns, as in the
+// paper's §6.1 setup. All refinements are proper containments, keeping the
+// good family intersection-free. Targets are the true counts, so the
+// instance stays satisfiable. Generation stops at n.
+func (d *Data) generateCCs(templates []template, n int, tag string) []constraint.CC {
+	areas := d.Housing.DistinctValues("Area")
+	tens := d.Housing.DistinctValues("Tenure")
+	refine := len(tens) - 1 // tenures refined under each area-only CC
+	if refine > 2 {
+		refine = 2
+	}
+	var chainCols []string
+	for _, c := range []string{"Water", "Bath", "Fridge", "Stove"} {
+		if d.Housing.Schema().Has(c) {
+			chainCols = append(chainCols, c)
+		}
+	}
+	var out []constraint.CC
+	count := func(atoms []table.Atom) int64 {
+		return int64(d.TrueJoin.Count(table.And(atoms...)))
+	}
+	emit := func(name string, atoms []table.Atom) {
+		out = append(out, constraint.CC{Name: name, Pred: table.And(atoms...), Target: count(atoms)})
+	}
+	for _, area := range areas {
+		for ti, tpl := range templates {
+			if len(out) >= n {
+				return out
+			}
+			base := append(tpl.pred(), table.Eq("Area", area))
+			emit(fmt.Sprintf("%s_t%d_%s", tag, ti, area.Str()), base)
+			for k := 0; k < refine && len(out) < n; k++ {
+				atoms := append(tpl.pred(), table.Eq("Area", area), table.Eq("Tenure", tens[k]))
+				emit(fmt.Sprintf("%s_t%d_%s_%s", tag, ti, area.Str(), tens[k].Str()), atoms)
+				// Deepen the first tenure's CC through the appliance chain.
+				if k == 0 {
+					chain := atoms
+					for ci, col := range chainCols {
+						if len(out) >= n {
+							break
+						}
+						chain = append(chain[:len(chain):len(chain)], table.Eq(col, table.Int(1)))
+						emit(fmt.Sprintf("%s_t%d_%s_%s_c%d", tag, ti, area.Str(), tens[k].Str(), ci), chain)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

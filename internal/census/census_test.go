@@ -1,0 +1,226 @@
+package census
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/metrics"
+	"repro/internal/table"
+)
+
+func gen(t *testing.T, hh int) *Data {
+	t.Helper()
+	return Generate(Config{Households: hh, Areas: 8, Seed: 42})
+}
+
+func TestGenerateShape(t *testing.T) {
+	d := gen(t, 200)
+	if d.Housing.Len() != 200 {
+		t.Fatalf("housing = %d", d.Housing.Len())
+	}
+	// Paper ratio: ~2.56 persons per household; accept a broad band.
+	ratio := float64(d.Persons.Len()) / float64(d.Housing.Len())
+	if ratio < 1.8 || ratio > 3.5 {
+		t.Errorf("persons/households = %v", ratio)
+	}
+	if len(d.Truth) != d.Persons.Len() {
+		t.Fatalf("truth size %d vs %d persons", len(d.Truth), d.Persons.Len())
+	}
+	if d.TrueJoin.Len() != d.Persons.Len() {
+		t.Fatalf("true join = %d", d.TrueJoin.Len())
+	}
+	// FK column is erased.
+	for i := 0; i < d.Persons.Len(); i++ {
+		if !d.Persons.Value(i, "hid").IsNull() {
+			t.Fatal("hid leaked into Persons")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Households: 50, Areas: 4, Seed: 7})
+	b := Generate(Config{Households: 50, Areas: 4, Seed: 7})
+	if a.Persons.Len() != b.Persons.Len() {
+		t.Fatal("nondeterministic size")
+	}
+	for i := 0; i < a.Persons.Len(); i++ {
+		for j := 0; j < a.Persons.Schema().Len(); j++ {
+			if a.Persons.At(i, j) != b.Persons.At(i, j) {
+				t.Fatalf("cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+	c := Generate(Config{Households: 50, Areas: 4, Seed: 8})
+	same := true
+	for i := 0; i < min(a.Persons.Len(), c.Persons.Len()); i++ {
+		if a.Persons.At(i, 2) != c.Persons.At(i, 2) {
+			same = false
+			break
+		}
+	}
+	if same && a.Persons.Len() == c.Persons.Len() {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+// TestGroundTruthSatisfiesAllDCs is the key generator invariant: like the
+// real census data, the synthetic ground truth must violate none of the
+// twelve Table 4 constraints.
+func TestGroundTruthSatisfiesAllDCs(t *testing.T) {
+	d := gen(t, 400)
+	withTruth := d.Persons.Clone()
+	for i := 0; i < withTruth.Len(); i++ {
+		withTruth.Set(i, "hid", d.Truth[i])
+	}
+	if frac := metrics.DCErrorFraction(withTruth, "hid", AllDCs()); frac != 0 {
+		t.Fatalf("ground truth DC error = %v", frac)
+	}
+}
+
+func TestEachHouseholdOneOwner(t *testing.T) {
+	d := gen(t, 300)
+	owners := make(map[table.Value]int)
+	for i := 0; i < d.Persons.Len(); i++ {
+		if d.Persons.Value(i, "Rel").Str() == RelOwner {
+			owners[d.Truth[i]]++
+		}
+	}
+	if len(owners) != d.Housing.Len() {
+		t.Errorf("households with owners = %d of %d", len(owners), d.Housing.Len())
+	}
+	for h, n := range owners {
+		if n != 1 {
+			t.Fatalf("household %v has %d owners", h, n)
+		}
+	}
+}
+
+func TestDCCounts(t *testing.T) {
+	good := GoodDCs()
+	all := AllDCs()
+	if len(all) <= len(good) {
+		t.Fatalf("all (%d) should extend good (%d)", len(all), len(good))
+	}
+	// Items 1-8 expand to 28 conjunctive DCs; items 9-12 add 8 more.
+	if len(good) != 28 {
+		t.Errorf("good DCs = %d, want 28", len(good))
+	}
+	if len(all) != 36 {
+		t.Errorf("all DCs = %d, want 36", len(all))
+	}
+	for _, dc := range all {
+		if err := dc.Validate(); err != nil {
+			t.Errorf("%s: %v", dc.Name, err)
+		}
+	}
+}
+
+func isR2(c string) bool {
+	switch c {
+	case "Tenure", "Area", "County", "St", "Div", "Reg", "Water", "Bath", "Fridge", "Stove":
+		return true
+	}
+	return false
+}
+
+// TestGoodCCsIntersectionFree verifies the defining property of S_good_CC.
+func TestGoodCCsIntersectionFree(t *testing.T) {
+	d := gen(t, 150)
+	ccs := d.GoodCCs(120)
+	if len(ccs) != 120 {
+		t.Fatalf("generated %d CCs", len(ccs))
+	}
+	rel := constraint.ClassifyAll(ccs, isR2)
+	for i := range rel {
+		for j := range rel {
+			if rel[i][j] == constraint.RelIntersecting {
+				t.Fatalf("good CCs %d (%s) and %d (%s) intersect", i, ccs[i], j, ccs[j])
+			}
+		}
+	}
+}
+
+// TestBadCCsHaveIntersections verifies S_bad_CC actually stresses the ILP.
+func TestBadCCsHaveIntersections(t *testing.T) {
+	d := gen(t, 150)
+	ccs := d.BadCCs(120)
+	rel := constraint.ClassifyAll(ccs, isR2)
+	found := false
+	for i := range rel {
+		for j := range rel {
+			if rel[i][j] == constraint.RelIntersecting {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("bad CC set has no intersecting pair")
+	}
+}
+
+// TestCCTargetsAreTrueCounts: targets must equal ground-truth counts, so a
+// perfect solver could reach zero error.
+func TestCCTargetsAreTrueCounts(t *testing.T) {
+	d := gen(t, 100)
+	for _, ccs := range [][]constraint.CC{d.GoodCCs(50), d.BadCCs(50)} {
+		for _, cc := range ccs {
+			if got := int64(d.TrueJoin.Count(cc.Pred)); got != cc.Target {
+				t.Fatalf("%s: target %d, true count %d", cc.Name, cc.Target, got)
+			}
+		}
+	}
+}
+
+func TestGoodCCsContainmentStructure(t *testing.T) {
+	d := gen(t, 100)
+	ccs := d.GoodCCs(60)
+	rel := constraint.ClassifyAll(ccs, isR2)
+	containments := 0
+	for i := range rel {
+		for j := range rel {
+			if rel[i][j] == constraint.RelAContainsB {
+				containments++
+			}
+		}
+	}
+	if containments == 0 {
+		t.Error("good CC set has no containment pairs (expected Area ⊇ Tenure-Area)")
+	}
+}
+
+func TestExtraColumns(t *testing.T) {
+	for _, n := range []int{0, 2, 4, 6, 8} {
+		d := Generate(Config{Households: 30, Areas: 8, ExtraCols: n, Seed: 1})
+		want := 3 + n
+		if got := d.Housing.Schema().Len(); got != want {
+			t.Errorf("ExtraCols=%d: housing cols = %d, want %d", n, got, want)
+		}
+	}
+	// Div and Reg are determined by St.
+	d := Generate(Config{Households: 200, Areas: 16, ExtraCols: 4, Seed: 1})
+	stToDiv := make(map[string]string)
+	for i := 0; i < d.Housing.Len(); i++ {
+		st := d.Housing.Value(i, "St").Str()
+		div := d.Housing.Value(i, "Div").Str()
+		if prev, ok := stToDiv[st]; ok && prev != div {
+			t.Fatalf("St %s maps to both %s and %s", st, prev, div)
+		}
+		stToDiv[st] = div
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := Generate(Config{Seed: 1})
+	if d.Housing.Len() == 0 || d.Persons.Len() == 0 {
+		t.Fatal("defaults produced empty data")
+	}
+}
+
+func TestCCGenerationCapsAtGrid(t *testing.T) {
+	d := Generate(Config{Households: 30, Areas: 2, Tenures: 2, Seed: 1})
+	ccs := d.GoodCCs(100000)
+	// Grid: 2 areas x 24 templates x (1 area-only + 1 refined) = 96.
+	if len(ccs) == 0 || len(ccs) > 2*len(goodTemplates)*2 {
+		t.Errorf("generated %d CCs", len(ccs))
+	}
+}

@@ -1,0 +1,127 @@
+package census
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+)
+
+// Table 4 of the paper lists 12 denial constraints. Our DC model (like the
+// paper's Def. 2.2) is conjunctive, so each "age outside [lo, hi]" item
+// expands into one conjunctive DC per violated side and per relationship
+// name; the 12 paper items expand into the DCs below. GoodDCs returns the
+// expansion of items 1–8 (no cliques in conflict graphs), AllDCs of all 12.
+
+// ageGapDC builds: deny t1.Rel='Owner' [& t1.MultiLing=m] & t2.Rel=rel &
+// t2.Age OP t1.Age + off.
+func ageGapDC(name, rel string, multi int64, op string, off int64) constraint.DC {
+	src := "dc " + name + ": deny t1.Rel = 'Owner'"
+	if multi >= 0 {
+		src += fmt.Sprintf(" & t1.MultiLing = %d", multi)
+	}
+	if off >= 0 {
+		src += fmt.Sprintf(" & t2.Rel = '%s' & t2.Age %s t1.Age + %d", rel, op, off)
+	} else {
+		src += fmt.Sprintf(" & t2.Rel = '%s' & t2.Age %s t1.Age - %d", rel, op, -off)
+	}
+	dc, err := constraint.ParseDC(src)
+	if err != nil {
+		panic("census: bad DC template: " + err.Error())
+	}
+	return dc
+}
+
+func pairDC(name, relA, relB string) constraint.DC {
+	src := fmt.Sprintf("dc %s: deny t1.Rel = '%s' & t2.Rel = '%s'", name, relA, relB)
+	dc, err := constraint.ParseDC(src)
+	if err != nil {
+		panic("census: bad DC template: " + err.Error())
+	}
+	return dc
+}
+
+func condPairDC(name, cond, relB string) constraint.DC {
+	src := fmt.Sprintf("dc %s: deny t1.Rel = 'Owner' & %s & t2.Rel = '%s'", name, cond, relB)
+	dc, err := constraint.ParseDC(src)
+	if err != nil {
+		panic("census: bad DC template: " + err.Error())
+	}
+	return dc
+}
+
+// GoodDCs is the conjunctive expansion of Table 4 items 1–8: age-gap
+// constraints between the homeowner and other members. These create
+// bipartite (owner vs member) edges only — no cliques.
+func GoodDCs() []constraint.DC {
+	var out []constraint.DC
+	// Items 1-2: biological/adoptive/step children vs owner multilinguality.
+	for _, rel := range []string{RelBioChild, RelAdoptChild, RelStepChild} {
+		out = append(out,
+			ageGapDC("dc1_low_"+rel, rel, 0, "<", -69),
+			ageGapDC("dc1_up_"+rel, rel, 0, ">", -12),
+			ageGapDC("dc2_low_"+rel, rel, 1, "<", -50),
+			ageGapDC("dc2_up_"+rel, rel, 1, ">", -12),
+		)
+	}
+	// Item 3: spouse or unmarried partner within ±50.
+	for _, rel := range []string{RelSpouse, RelPartner} {
+		out = append(out,
+			ageGapDC("dc3_low_"+rel, rel, -1, "<", -50),
+			ageGapDC("dc3_up_"+rel, rel, -1, ">", 50),
+		)
+	}
+	// Item 4: sibling within ±35.
+	out = append(out,
+		ageGapDC("dc4_low", RelSibling, -1, "<", -35),
+		ageGapDC("dc4_up", RelSibling, -1, ">", 35),
+	)
+	// Item 5: parent / parent-in-law within [A+12, A+115].
+	for _, rel := range []string{RelParent, RelParentInLaw} {
+		out = append(out,
+			ageGapDC("dc5_low_"+rel, rel, -1, "<", 12),
+			ageGapDC("dc5_up_"+rel, rel, -1, ">", 115),
+		)
+	}
+	// Item 6: grandchild within [A-115, A-30].
+	out = append(out,
+		ageGapDC("dc6_low", RelGrandchild, -1, "<", -115),
+		ageGapDC("dc6_up", RelGrandchild, -1, ">", -30),
+	)
+	// Item 7: son/daughter-in-law within [A-69, A-1].
+	out = append(out,
+		ageGapDC("dc7_low", RelChildInLaw, -1, "<", -69),
+		ageGapDC("dc7_up", RelChildInLaw, -1, ">", -1),
+	)
+	// Item 8: foster child within [A-69, A-12].
+	out = append(out,
+		ageGapDC("dc8_low", RelFosterChild, -1, "<", -69),
+		ageGapDC("dc8_up", RelFosterChild, -1, ">", -12),
+	)
+	return out
+}
+
+// AllDCs is the conjunctive expansion of all 12 Table 4 items: GoodDCs plus
+// items 9–12, which create cliques (owner/owner, spouse/partner pairs) and
+// the conditional member-count constraints.
+func AllDCs() []constraint.DC {
+	out := GoodDCs()
+	// Item 9: no two householders share a house.
+	out = append(out, pairDC("dc9", RelOwner, RelOwner))
+	// Item 10: owner under 30 -> no grandchildren, no children-in-law.
+	out = append(out,
+		condPairDC("dc10_gc", "t1.Age < 30", RelGrandchild),
+		condPairDC("dc10_cil", "t1.Age < 30", RelChildInLaw),
+	)
+	// Item 11: owner over 94 -> no parents or parents-in-law.
+	out = append(out,
+		condPairDC("dc11_p", "t1.Age > 94", RelParent),
+		condPairDC("dc11_pil", "t1.Age > 94", RelParentInLaw),
+	)
+	// Item 12: no two spouses or unmarried partners share a house.
+	out = append(out,
+		pairDC("dc12_ss", RelSpouse, RelSpouse),
+		pairDC("dc12_pp", RelPartner, RelPartner),
+		pairDC("dc12_sp", RelSpouse, RelPartner),
+	)
+	return out
+}

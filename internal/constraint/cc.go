@@ -1,0 +1,226 @@
+// Package constraint defines the two constraint classes of the paper —
+// linear cardinality constraints (CCs, Def. 2.4) over the foreign-key join
+// view and foreign-key denial constraints (DCs, Def. 2.2) over R1 — together
+// with the pairwise CC relationship classification (disjoint / contained /
+// intersecting, Defs. 4.2–4.4) that drives the hybrid phase-I solver, and a
+// small text DSL for reading constraint files.
+package constraint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/table"
+)
+
+// CC is a linear cardinality constraint |σ_φ(R1 ⋈ R2)| = Target. φ is a
+// conjunctive selection predicate (Pred) over the non-key attributes of the
+// join view, optionally extended with further disjuncts (OrElse) — the
+// disjunction extension the paper sketches after Definition 2.4. A row
+// contributes to the count when it satisfies *any* disjunct (union, not
+// sum). Disjunctive CCs are always routed to the ILP path by the hybrid.
+type CC struct {
+	Name   string
+	Pred   table.Predicate
+	OrElse []table.Predicate
+	Target int64
+}
+
+func (cc CC) String() string {
+	s := cc.Pred.String()
+	for _, d := range cc.OrElse {
+		s += " | " + d.String()
+	}
+	return fmt.Sprintf("|σ[%s]| = %d", s, cc.Target)
+}
+
+// Disjuncts returns all disjuncts: Pred followed by OrElse.
+func (cc CC) Disjuncts() []table.Predicate {
+	return append([]table.Predicate{cc.Pred}, cc.OrElse...)
+}
+
+// IsDisjunctive reports whether the CC has more than one disjunct.
+func (cc CC) IsDisjunctive() bool { return len(cc.OrElse) > 0 }
+
+// MatchRow reports whether a row satisfies any disjunct.
+func (cc CC) MatchRow(s *table.Schema, row []table.Value) bool {
+	if cc.Pred.Eval(s, row) {
+		return true
+	}
+	for _, d := range cc.OrElse {
+		if d.Eval(s, row) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountIn returns the number of rows of r satisfying the CC's selection.
+func (cc CC) CountIn(r *table.Relation) int64 {
+	n := int64(0)
+	s := r.Schema()
+	for i := 0; i < r.Len(); i++ {
+		if cc.MatchRow(s, r.Row(i)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Part splits the primary conjunct by column membership: atoms over columns
+// for which isR2 is true form the R2 part, the rest the R1 part. For
+// disjunctive CCs use PartAll.
+func (cc CC) Part(isR2 func(col string) bool) (r1, r2 table.Predicate) {
+	r1 = cc.Pred.Restrict(func(c string) bool { return !isR2(c) })
+	r2 = cc.Pred.Restrict(isR2)
+	return r1, r2
+}
+
+// PartAll splits every disjunct into its R1 and R2 parts, index-aligned
+// with Disjuncts().
+func (cc CC) PartAll(isR2 func(col string) bool) (r1s, r2s []table.Predicate) {
+	for _, d := range cc.Disjuncts() {
+		r1s = append(r1s, d.Restrict(func(c string) bool { return !isR2(c) }))
+		r2s = append(r2s, d.Restrict(isR2))
+	}
+	return r1s, r2s
+}
+
+// ColRange is the normalized constraint a conjunctive predicate places on a
+// single column: a closed integer interval for int columns, or a single
+// required string for string columns. Empty marks an unsatisfiable
+// conjunction (e.g. Age < 3 & Age > 5).
+type ColRange struct {
+	IsInt  bool
+	Lo, Hi int64  // int columns; closed interval
+	Str    string // string columns; required value
+	Empty  bool
+}
+
+// FullIntRange is the unconstrained integer range.
+func FullIntRange() ColRange {
+	return ColRange{IsInt: true, Lo: math.MinInt64, Hi: math.MaxInt64}
+}
+
+// Subset reports whether every value admitted by a is admitted by b.
+// Ranges of mismatched kinds are never subsets.
+func (a ColRange) Subset(b ColRange) bool {
+	if a.Empty {
+		return true
+	}
+	if b.Empty || a.IsInt != b.IsInt {
+		return false
+	}
+	if a.IsInt {
+		return a.Lo >= b.Lo && a.Hi <= b.Hi
+	}
+	return a.Str == b.Str
+}
+
+// Disjoint reports whether no value is admitted by both ranges.
+func (a ColRange) Disjoint(b ColRange) bool {
+	if a.Empty || b.Empty {
+		return true
+	}
+	if a.IsInt != b.IsInt {
+		return true
+	}
+	if a.IsInt {
+		return a.Hi < b.Lo || b.Hi < a.Lo
+	}
+	return a.Str != b.Str
+}
+
+// EqualRange reports whether both ranges admit exactly the same values.
+func (a ColRange) EqualRange(b ColRange) bool {
+	return a.Subset(b) && b.Subset(a)
+}
+
+// Normalize converts a conjunctive predicate into per-column ranges. It
+// returns ok=false when the predicate uses an operator that cannot be
+// represented as a range (!=, or an order comparison on a string column);
+// callers treat such constraints conservatively.
+func Normalize(p table.Predicate) (map[string]ColRange, bool) {
+	out := make(map[string]ColRange)
+	for _, a := range p.Atoms {
+		switch a.Val.Kind() {
+		case table.KindInt:
+			r, seen := out[a.Col]
+			if !seen {
+				r = FullIntRange()
+			} else if !r.IsInt {
+				r.Empty = true
+				out[a.Col] = r
+				continue
+			}
+			v := a.Val.Int()
+			switch a.Op {
+			case table.OpEq:
+				r.Lo = max64(r.Lo, v)
+				r.Hi = min64(r.Hi, v)
+			case table.OpLt:
+				if v == math.MinInt64 {
+					r.Empty = true
+				} else {
+					r.Hi = min64(r.Hi, v-1)
+				}
+			case table.OpLe:
+				r.Hi = min64(r.Hi, v)
+			case table.OpGt:
+				if v == math.MaxInt64 {
+					r.Empty = true
+				} else {
+					r.Lo = max64(r.Lo, v+1)
+				}
+			case table.OpGe:
+				r.Lo = max64(r.Lo, v)
+			default:
+				return nil, false // != not range-representable
+			}
+			if r.Lo > r.Hi {
+				r.Empty = true
+			}
+			out[a.Col] = r
+		case table.KindString:
+			if a.Op != table.OpEq {
+				return nil, false
+			}
+			r, seen := out[a.Col]
+			if !seen {
+				out[a.Col] = ColRange{Str: a.Val.Str()}
+				continue
+			}
+			if r.IsInt || r.Str != a.Val.Str() {
+				r.Empty = true
+				out[a.Col] = r
+			}
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// IsEmptyPred reports whether the normalized predicate admits no tuple.
+func IsEmptyPred(ranges map[string]ColRange) bool {
+	for _, r := range ranges {
+		if r.Empty {
+			return true
+		}
+	}
+	return false
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestNormalizeIntRanges(t *testing.T) {
+	p := table.And(
+		table.Atom{Col: "Age", Op: table.OpGe, Val: table.Int(10)},
+		table.Atom{Col: "Age", Op: table.OpLt, Val: table.Int(50)},
+	)
+	r, ok := Normalize(p)
+	if !ok {
+		t.Fatal("normalize failed")
+	}
+	a := r["Age"]
+	if !a.IsInt || a.Lo != 10 || a.Hi != 49 || a.Empty {
+		t.Errorf("Age range = %+v", a)
+	}
+}
+
+func TestNormalizeEquality(t *testing.T) {
+	p := table.And(table.Eq("Age", table.Int(30)))
+	r, _ := Normalize(p)
+	a := r["Age"]
+	if a.Lo != 30 || a.Hi != 30 {
+		t.Errorf("eq range = %+v", a)
+	}
+}
+
+func TestNormalizeEmptyConjunction(t *testing.T) {
+	p := table.And(
+		table.Atom{Col: "Age", Op: table.OpLt, Val: table.Int(3)},
+		table.Atom{Col: "Age", Op: table.OpGt, Val: table.Int(5)},
+	)
+	r, ok := Normalize(p)
+	if !ok {
+		t.Fatal("normalize failed")
+	}
+	if !r["Age"].Empty || !IsEmptyPred(r) {
+		t.Errorf("want empty, got %+v", r["Age"])
+	}
+}
+
+func TestNormalizeStrings(t *testing.T) {
+	p := table.And(table.Eq("Area", table.String("Chicago")))
+	r, ok := Normalize(p)
+	if !ok || r["Area"].Str != "Chicago" {
+		t.Errorf("string range = %+v, ok=%v", r["Area"], ok)
+	}
+	// Conflicting string equalities -> empty.
+	p2 := table.And(table.Eq("Area", table.String("Chicago")), table.Eq("Area", table.String("NYC")))
+	r2, ok := Normalize(p2)
+	if !ok || !r2["Area"].Empty {
+		t.Errorf("conflicting strings: %+v", r2["Area"])
+	}
+	// Order comparison on a string is not range-representable.
+	p3 := table.And(table.Atom{Col: "Area", Op: table.OpLt, Val: table.String("M")})
+	if _, ok := Normalize(p3); ok {
+		t.Error("string < accepted")
+	}
+	// != is not range-representable.
+	p4 := table.And(table.Atom{Col: "Age", Op: table.OpNe, Val: table.Int(5)})
+	if _, ok := Normalize(p4); ok {
+		t.Error("!= accepted")
+	}
+}
+
+func TestColRangeOps(t *testing.T) {
+	ir := func(lo, hi int64) ColRange { return ColRange{IsInt: true, Lo: lo, Hi: hi} }
+	sr := func(s string) ColRange { return ColRange{Str: s} }
+	cases := []struct {
+		a, b                    ColRange
+		subset, disjoint, equal bool
+	}{
+		{ir(5, 10), ir(0, 20), true, false, false},
+		{ir(0, 20), ir(5, 10), false, false, false},
+		{ir(0, 4), ir(5, 10), false, true, false},
+		{ir(3, 7), ir(3, 7), true, false, true},
+		{ir(3, 7), ir(7, 9), false, false, false}, // touching, overlap at 7
+		{sr("a"), sr("a"), true, false, true},
+		{sr("a"), sr("b"), false, true, false},
+		{sr("a"), ir(0, 5), false, true, false}, // kind mismatch
+	}
+	for i, c := range cases {
+		if got := c.a.Subset(c.b); got != c.subset {
+			t.Errorf("case %d: Subset = %v", i, got)
+		}
+		if got := c.a.Disjoint(c.b); got != c.disjoint {
+			t.Errorf("case %d: Disjoint = %v", i, got)
+		}
+		if got := c.a.EqualRange(c.b); got != c.equal {
+			t.Errorf("case %d: Equal = %v", i, got)
+		}
+	}
+	// Empty range is subset of everything and disjoint from everything.
+	e := ColRange{IsInt: true, Lo: 1, Hi: 0, Empty: true}
+	if !e.Subset(ir(5, 5)) || !e.Disjoint(ir(5, 5)) {
+		t.Error("empty range ops wrong")
+	}
+}
+
+// Property: Subset and Disjoint agree with membership semantics on a
+// sampled universe.
+func TestColRangePropertyVsMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mem := func(r ColRange, v int64) bool {
+		return !r.Empty && r.IsInt && v >= r.Lo && v <= r.Hi
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := ColRange{IsInt: true, Lo: rng.Int63n(20), Hi: rng.Int63n(20)}
+		if a.Lo > a.Hi {
+			a.Empty = true
+		}
+		b := ColRange{IsInt: true, Lo: rng.Int63n(20), Hi: rng.Int63n(20)}
+		if b.Lo > b.Hi {
+			b.Empty = true
+		}
+		subset, disjoint := true, true
+		for v := int64(0); v < 20; v++ {
+			inA, inB := mem(a, v), mem(b, v)
+			if inA && !inB {
+				subset = false
+			}
+			if inA && inB {
+				disjoint = false
+			}
+		}
+		if got := a.Subset(b); got != subset {
+			t.Fatalf("trial %d: a=%+v b=%+v Subset=%v want %v", trial, a, b, got, subset)
+		}
+		if got := a.Disjoint(b); got != disjoint {
+			t.Fatalf("trial %d: a=%+v b=%+v Disjoint=%v want %v", trial, a, b, got, disjoint)
+		}
+	}
+}
+
+func TestCCPart(t *testing.T) {
+	cc := mustCC(t, "cc: count(Age in [0,24], Rel = 'Owner', Area = 'Chicago') = 3")
+	isR2 := func(c string) bool { return c == "Area" || c == "Tenure" }
+	r1, r2 := cc.Part(isR2)
+	if len(r1.Atoms) != 3 { // two Age atoms + Rel
+		t.Errorf("r1 part = %s", r1)
+	}
+	if len(r2.Atoms) != 1 || r2.Atoms[0].Col != "Area" {
+		t.Errorf("r2 part = %s", r2)
+	}
+}

@@ -1,0 +1,163 @@
+package constraint
+
+// Relationship is the outcome of comparing two CCs under Definitions
+// 4.2–4.4 of the paper.
+type Relationship uint8
+
+const (
+	// RelDisjoint: the R1 parts are disjoint, or the R1 parts are identical
+	// and the R2 parts are disjoint (Def. 4.2). Disjoint CCs never compete
+	// for V_Join tuples.
+	RelDisjoint Relationship = iota
+	// RelAContainsB: b ⊆ a (Def. 4.3): b's predicate uses a superset of a's
+	// attributes and is at least as restrictive on each common attribute.
+	RelAContainsB
+	// RelBContainsA: a ⊆ b.
+	RelBContainsA
+	// RelEqual: mutual containment (identical predicates up to
+	// normalization).
+	RelEqual
+	// RelIntersecting: neither disjoint nor related by containment
+	// (Def. 4.4). Intersecting CCs are routed to the ILP in the hybrid.
+	RelIntersecting
+)
+
+func (r Relationship) String() string {
+	switch r {
+	case RelDisjoint:
+		return "disjoint"
+	case RelAContainsB:
+		return "a⊇b"
+	case RelBContainsA:
+		return "a⊆b"
+	case RelEqual:
+		return "equal"
+	case RelIntersecting:
+		return "intersecting"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify compares two CCs. isR2 identifies columns that belong to R2 (the
+// dimension relation); everything else is treated as an R1 attribute.
+// Predicates that cannot be normalized into per-column ranges are labeled
+// intersecting, the conservative choice (they go to the ILP path).
+func Classify(a, b CC, isR2 func(col string) bool) Relationship {
+	// Disjunctive CCs are not range-representable per column; route them to
+	// the ILP by classifying conservatively.
+	if a.IsDisjunctive() || b.IsDisjunctive() {
+		return RelIntersecting
+	}
+	ra, okA := Normalize(a.Pred)
+	rb, okB := Normalize(b.Pred)
+	if !okA || !okB {
+		return RelIntersecting
+	}
+	// A CC whose predicate admits no tuple competes with nothing.
+	if IsEmptyPred(ra) || IsEmptyPred(rb) {
+		return RelDisjoint
+	}
+
+	r1Disjoint := partsDisjoint(ra, rb, func(c string) bool { return !isR2(c) })
+	r1Identical := partsIdentical(ra, rb, func(c string) bool { return !isR2(c) })
+	r2Disjoint := partsDisjoint(ra, rb, isR2)
+	if r1Disjoint || (r1Identical && r2Disjoint) {
+		return RelDisjoint
+	}
+
+	bInA := contains(ra, rb) // b ⊆ a: attrs(a) ⊆ attrs(b), ranges of b ⊆ ranges of a
+	aInB := contains(rb, ra)
+	switch {
+	case bInA && aInB:
+		return RelEqual
+	case bInA:
+		return RelAContainsB
+	case aInB:
+		return RelBContainsA
+	default:
+		return RelIntersecting
+	}
+}
+
+// partsDisjoint reports whether some column in the given part (selected by
+// keep) is constrained by both predicates to disjoint ranges.
+func partsDisjoint(ra, rb map[string]ColRange, keep func(string) bool) bool {
+	for c, x := range ra {
+		if !keep(c) {
+			continue
+		}
+		if y, ok := rb[c]; ok && x.Disjoint(y) {
+			return true
+		}
+	}
+	return false
+}
+
+// partsIdentical reports whether both predicates constrain exactly the same
+// columns of the part to exactly the same ranges.
+func partsIdentical(ra, rb map[string]ColRange, keep func(string) bool) bool {
+	na, nb := 0, 0
+	for c, x := range ra {
+		if !keep(c) {
+			continue
+		}
+		na++
+		y, ok := rb[c]
+		if !ok || !x.EqualRange(y) {
+			return false
+		}
+	}
+	for c := range rb {
+		if keep(c) {
+			nb++
+		}
+	}
+	return na == nb
+}
+
+// contains reports whether the predicate normalized as "inner" is contained
+// in the one normalized as "outer" per Def. 4.3: every column constrained
+// by outer is also constrained by inner (inner uses a superset of
+// attributes), and on those columns inner's range is a subset of outer's.
+func contains(outer, inner map[string]ColRange) bool {
+	for c, ro := range outer {
+		ri, ok := inner[c]
+		if !ok || !ri.Subset(ro) {
+			return false
+		}
+	}
+	return true
+}
+
+// ClassifyAll computes the full pairwise relationship matrix for a CC set.
+// The result is symmetric up to orientation: m[i][j] == RelAContainsB iff
+// m[j][i] == RelBContainsA. This is the "pairwise comparison" stage whose
+// runtime Figure 13 reports.
+func ClassifyAll(ccs []CC, isR2 func(col string) bool) [][]Relationship {
+	n := len(ccs)
+	m := make([][]Relationship, n)
+	for i := range m {
+		m[i] = make([]Relationship, n)
+		m[i][i] = RelEqual
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r := Classify(ccs[i], ccs[j], isR2)
+			m[i][j] = r
+			m[j][i] = flip(r)
+		}
+	}
+	return m
+}
+
+func flip(r Relationship) Relationship {
+	switch r {
+	case RelAContainsB:
+		return RelBContainsA
+	case RelBContainsA:
+		return RelAContainsB
+	default:
+		return r
+	}
+}

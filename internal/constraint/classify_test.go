@@ -1,0 +1,140 @@
+package constraint
+
+import (
+	"testing"
+)
+
+func mustCC(t *testing.T, src string) CC {
+	t.Helper()
+	cc, err := ParseCC(src)
+	if err != nil {
+		t.Fatalf("ParseCC(%q): %v", src, err)
+	}
+	return cc
+}
+
+func isR2Census(c string) bool { return c == "Area" || c == "Tenure" }
+
+// TestClassifyFigure6 checks the relationships stated in Figure 6 of the
+// paper: CC1 ∩ CC2 = ∅ and CC4 ⊆ CC3.
+func TestClassifyFigure6(t *testing.T) {
+	cc1 := mustCC(t, "cc: count(Age in [10,14], Area = 'Chicago') = 20")
+	cc2 := mustCC(t, "cc: count(Age in [50,60], Multi = 0, Area = 'NYC') = 25")
+	cc3 := mustCC(t, "cc: count(Age in [13,64], Area = 'Chicago') = 100")
+	cc4 := mustCC(t, "cc: count(Age in [18,24], Multi = 0, Area = 'Chicago') = 16")
+
+	if got := Classify(cc1, cc2, isR2Census); got != RelDisjoint {
+		t.Errorf("CC1 vs CC2 = %v, want disjoint", got)
+	}
+	if got := Classify(cc3, cc4, isR2Census); got != RelAContainsB {
+		t.Errorf("CC3 vs CC4 = %v, want a⊇b", got)
+	}
+	if got := Classify(cc4, cc3, isR2Census); got != RelBContainsA {
+		t.Errorf("CC4 vs CC3 = %v, want a⊆b", got)
+	}
+	// CC1 and CC3 overlap on Age ([10,14] vs [13,64]) with the same Area:
+	// neither disjoint nor contained -> intersecting.
+	if got := Classify(cc1, cc3, isR2Census); got != RelIntersecting {
+		t.Errorf("CC1 vs CC3 = %v, want intersecting", got)
+	}
+}
+
+// TestClassifyExample45 reproduces Example 4.5: overlapping R1 (Age) parts
+// with different R2 (Area) parts are *intersecting*, not disjoint — this is
+// the competition case that motivates the hybrid approach.
+func TestClassifyExample45(t *testing.T) {
+	cc1 := mustCC(t, "cc: count(Age in [10,49], Area = 'Chicago') = 30")
+	cc2 := mustCC(t, "cc: count(Age in [30,70], Area = 'NYC') = 30")
+	if got := Classify(cc1, cc2, isR2Census); got != RelIntersecting {
+		t.Errorf("Example 4.5 = %v, want intersecting", got)
+	}
+}
+
+// TestClassifyIdenticalR1DisjointR2 checks the second disjointness case of
+// Def. 4.2: identical R1 parts with disjoint R2 parts.
+func TestClassifyIdenticalR1DisjointR2(t *testing.T) {
+	a := mustCC(t, "cc: count(Age in [0,24], Rel = 'Owner', Area = 'Chicago') = 3")
+	b := mustCC(t, "cc: count(Age in [0,24], Rel = 'Owner', Area = 'NYC') = 5")
+	if got := Classify(a, b, isR2Census); got != RelDisjoint {
+		t.Errorf("identical R1, disjoint R2 = %v, want disjoint", got)
+	}
+	// Same R1, same Area but one also constrains Tenure: contained.
+	c := mustCC(t, "cc: count(Age in [0,24], Rel = 'Owner', Area = 'Chicago', Tenure = 'Owned') = 2")
+	if got := Classify(a, c, isR2Census); got != RelAContainsB {
+		t.Errorf("tenure refinement = %v, want a⊇b", got)
+	}
+}
+
+func TestClassifyEqual(t *testing.T) {
+	a := mustCC(t, "cc: count(Rel = 'Owner') = 5")
+	b := mustCC(t, "cc: count(Rel = 'Owner') = 7")
+	if got := Classify(a, b, isR2Census); got != RelEqual {
+		t.Errorf("identical predicates = %v, want equal", got)
+	}
+}
+
+func TestClassifyDisjointByR1String(t *testing.T) {
+	a := mustCC(t, "cc: count(Rel = 'Owner', Area = 'Chicago') = 5")
+	b := mustCC(t, "cc: count(Rel = 'Spouse', Area = 'Chicago') = 5")
+	if got := Classify(a, b, isR2Census); got != RelDisjoint {
+		t.Errorf("rel-disjoint = %v, want disjoint", got)
+	}
+}
+
+// Different R1 attribute sets that overlap (neither subset) intersect.
+func TestClassifyDifferentAttrSetsIntersect(t *testing.T) {
+	a := mustCC(t, "cc: count(Age in [0,24], Area = 'Chicago') = 5")
+	b := mustCC(t, "cc: count(Multi = 1, Area = 'Chicago') = 5")
+	if got := Classify(a, b, isR2Census); got != RelIntersecting {
+		t.Errorf("overlapping attr sets = %v, want intersecting", got)
+	}
+}
+
+func TestClassifyEmptyCCIsDisjoint(t *testing.T) {
+	a := mustCC(t, "cc: count(Age in [10,5]) = 0") // empty interval
+	b := mustCC(t, "cc: count(Age in [0,24]) = 5")
+	if got := Classify(a, b, isR2Census); got != RelDisjoint {
+		t.Errorf("empty CC = %v, want disjoint", got)
+	}
+}
+
+// A CC whose predicate can't be normalized (uses !=) is conservatively
+// intersecting.
+func TestClassifyUnnormalizableIsIntersecting(t *testing.T) {
+	a := mustCC(t, "cc: count(Age != 5) = 5")
+	b := mustCC(t, "cc: count(Age in [0,24]) = 5")
+	if got := Classify(a, b, isR2Census); got != RelIntersecting {
+		t.Errorf("unnormalizable = %v, want intersecting", got)
+	}
+}
+
+func TestClassifyAllMatrixSymmetry(t *testing.T) {
+	ccs := []CC{
+		mustCC(t, "cc: count(Age in [10,14], Area = 'Chicago') = 20"),
+		mustCC(t, "cc: count(Age in [50,60], Multi = 0, Area = 'NYC') = 25"),
+		mustCC(t, "cc: count(Age in [13,64], Area = 'Chicago') = 100"),
+		mustCC(t, "cc: count(Age in [18,24], Multi = 0, Area = 'Chicago') = 16"),
+	}
+	m := ClassifyAll(ccs, isR2Census)
+	for i := range m {
+		if m[i][i] != RelEqual {
+			t.Errorf("diag[%d] = %v", i, m[i][i])
+		}
+		for j := range m {
+			if m[i][j] != flip(m[j][i]) {
+				t.Errorf("asymmetry at (%d,%d): %v vs %v", i, j, m[i][j], m[j][i])
+			}
+		}
+	}
+}
+
+func TestRelationshipString(t *testing.T) {
+	for r, want := range map[Relationship]string{
+		RelDisjoint: "disjoint", RelAContainsB: "a⊇b", RelBContainsA: "a⊆b",
+		RelEqual: "equal", RelIntersecting: "intersecting",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q", r, got)
+		}
+	}
+}

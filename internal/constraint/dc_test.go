@@ -1,0 +1,136 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func personsSchema() *table.Schema {
+	return table.NewSchema(table.IntCol("pid"), table.IntCol("Age"), table.StrCol("Rel"), table.IntCol("Multi"), table.IntCol("hid"))
+}
+
+func mustDC(t *testing.T, src string) DC {
+	t.Helper()
+	dc, err := ParseDC(src)
+	if err != nil {
+		t.Fatalf("ParseDC(%q): %v", src, err)
+	}
+	return dc
+}
+
+// dcOwnerOwner is DC_{O,O} from Figure 2a.
+func dcOwnerOwner(t *testing.T) DC {
+	return mustDC(t, "dc oo: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'")
+}
+
+// dcSpouseLow is DC_{O,S,low}: spouse more than 50 years younger than owner.
+func dcSpouseLow(t *testing.T) DC {
+	return mustDC(t, "dc osl: deny t1.Rel = 'Owner' & t2.Rel = 'Spouse' & t2.Age < t1.Age - 50")
+}
+
+func row(age int64, rel string, multi int64) []table.Value {
+	return []table.Value{table.Int(0), table.Int(age), table.String(rel), table.Int(multi), table.Null()}
+}
+
+func TestDCHoldsOwnerOwner(t *testing.T) {
+	dc := dcOwnerOwner(t)
+	s := personsSchema()
+	if !dc.Holds(s, row(75, "Owner", 0), row(25, "Owner", 1)) {
+		t.Error("two owners should conflict")
+	}
+	if dc.Holds(s, row(75, "Owner", 0), row(25, "Spouse", 1)) {
+		t.Error("owner+spouse should not match the owner/owner DC")
+	}
+	if dc.Holds(s, row(75, "Owner", 0)) {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestDCHoldsBinaryOffset(t *testing.T) {
+	dc := dcSpouseLow(t)
+	s := personsSchema()
+	// Owner 80, spouse 20: 20 < 80-50=30 -> conflict.
+	if !dc.Holds(s, row(80, "Owner", 0), row(20, "Spouse", 0)) {
+		t.Error("80/20 owner/spouse should conflict")
+	}
+	// Owner 80, spouse 35: 35 < 30 false -> fine.
+	if dc.Holds(s, row(80, "Owner", 0), row(35, "Spouse", 0)) {
+		t.Error("80/35 should not conflict")
+	}
+	// Order matters: the assignment (spouse, owner) does not satisfy φ.
+	if dc.Holds(s, row(20, "Spouse", 0), row(80, "Owner", 0)) {
+		t.Error("reversed assignment should not hold")
+	}
+}
+
+func TestDCHoldsNullNeverConflicts(t *testing.T) {
+	dc := dcSpouseLow(t)
+	s := personsSchema()
+	nullAge := []table.Value{table.Int(0), table.Null(), table.String("Spouse"), table.Int(0), table.Null()}
+	if dc.Holds(s, row(80, "Owner", 0), nullAge) {
+		t.Error("null age should never conflict")
+	}
+}
+
+func TestDCUnaryMatch(t *testing.T) {
+	dc := dcSpouseLow(t)
+	s := personsSchema()
+	if !dc.UnaryMatch(0, s, row(80, "Owner", 0)) {
+		t.Error("owner should match var t1")
+	}
+	if dc.UnaryMatch(0, s, row(80, "Spouse", 0)) {
+		t.Error("spouse should not match var t1")
+	}
+	if !dc.UnaryMatch(1, s, row(20, "Spouse", 0)) {
+		t.Error("spouse should match var t2")
+	}
+}
+
+func TestDCVarsSymmetric(t *testing.T) {
+	if !dcOwnerOwner(t).VarsSymmetric(0, 1) {
+		t.Error("owner/owner DC should be symmetric")
+	}
+	if dcSpouseLow(t).VarsSymmetric(0, 1) {
+		t.Error("owner/spouse DC should be asymmetric")
+	}
+	sym := mustDC(t, "dc: deny t1.Age = t2.Age")
+	if !sym.VarsSymmetric(0, 1) {
+		t.Error("t1.Age = t2.Age should be symmetric")
+	}
+}
+
+func TestDCValidate(t *testing.T) {
+	bad := DC{Name: "x", K: 1}
+	if bad.Validate() == nil {
+		t.Error("K=1 accepted")
+	}
+	bad = DC{Name: "x", K: 2, Unary: []UnaryAtom{{Var: 5, Col: "a", Op: table.OpEq, Val: table.Int(1)}}}
+	if bad.Validate() == nil {
+		t.Error("out-of-range var accepted")
+	}
+}
+
+func TestDCStringRendersImplicitFK(t *testing.T) {
+	s := dcOwnerOwner(t).String()
+	if !strings.Contains(s, "t1.FK = t2.FK") {
+		t.Errorf("DC string missing FK conjunct: %s", s)
+	}
+}
+
+func TestParseDCTernary(t *testing.T) {
+	// The 3-variable DC from the NP-hardness reduction (Prop. 2.8).
+	dc := mustDC(t, "dc: deny t1.Cls = t2.Cls & t2.Cls = t3.Cls")
+	if dc.K != 3 {
+		t.Fatalf("K = %d, want 3", dc.K)
+	}
+	s := table.NewSchema(table.StrCol("Cls"))
+	r := func(c string) []table.Value { return []table.Value{table.String(c)} }
+	if !dc.Holds(s, r("C1"), r("C1"), r("C1")) {
+		t.Error("same clause triple should conflict")
+	}
+	if dc.Holds(s, r("C1"), r("C1"), r("C2")) {
+		t.Error("mixed clause triple should not conflict")
+	}
+}

@@ -1,0 +1,88 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCC: the CC parser must never panic, and anything it accepts
+// must render back into something it accepts again with identical
+// structure (parse∘render idempotence).
+func FuzzParseCC(f *testing.F) {
+	seeds := []string{
+		"cc a: count(Rel = 'Owner') = 4",
+		"count(Age in [0,24], Area = 'Chicago') = 3",
+		"cc: count(A <= 5, B >= -2) = 0",
+		"cc: count(X = 'a' | Y = 1) = 9",
+		"cc: count() = 0",
+		"cc: count(Age in [-5,-1]) = 2",
+		"cc broken count(",
+		"cc: count(Rel = 'unclosed) = 1",
+		"cc: count(Rel = 'Owner') = 99999999999",
+		"]][[=',&",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cc, err := ParseCC(src)
+		if err != nil {
+			return
+		}
+		rendered := RenderCC(cc)
+		back, err := ParseCC(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if back.Target != cc.Target || len(back.Pred.Atoms) != len(cc.Pred.Atoms) ||
+			len(back.OrElse) != len(cc.OrElse) {
+			t.Fatalf("round trip changed structure: %q -> %q", src, rendered)
+		}
+	})
+}
+
+// FuzzParseDC mirrors FuzzParseCC for denial constraints.
+func FuzzParseDC(f *testing.F) {
+	seeds := []string{
+		"dc oo: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'",
+		"dc: deny t2.Age < t1.Age - 50",
+		"dc: deny t1.A = t2.A & t2.B != t3.B",
+		"dc: deny t1.X = 0",
+		"deny t1.Rel = 'Owner' & t2.Rel = 'Owner'",
+		"dc: deny",
+		"dc: deny t0.A = 1",
+		"dc: deny t1.A < t2.A + ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		dc, err := ParseDC(src)
+		if err != nil {
+			return
+		}
+		if err := dc.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid DC %q: %v", src, err)
+		}
+		rendered := RenderDC(dc)
+		back, err := ParseDC(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", src, rendered, err)
+		}
+		if back.K != dc.K || len(back.Unary) != len(dc.Unary) || len(back.Binary) != len(dc.Binary) {
+			t.Fatalf("round trip changed structure: %q -> %q", src, rendered)
+		}
+	})
+}
+
+// FuzzParseConstraints: whole-file parsing must never panic and must
+// report line-numbered errors for garbage.
+func FuzzParseConstraints(f *testing.F) {
+	f.Add("cc a: count(X = 1) = 2\ndc: deny t1.X = 1 & t2.X = 1\n")
+	f.Add("# comment\n\ncc: count() = 0\n")
+	f.Add("garbage\n")
+	f.Add("cc\x00: count(X = 1) = 2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _, _ = ParseConstraints(strings.NewReader(src))
+	})
+}

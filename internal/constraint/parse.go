@@ -1,0 +1,425 @@
+package constraint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/table"
+)
+
+// The constraint DSL, one constraint per line:
+//
+//	# comment
+//	cc owners_chicago: count(Rel = 'Owner', Area = 'Chicago') = 4
+//	cc: count(Age in [0,24], Area = 'Chicago') = 3
+//	dc one_owner: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'
+//	dc: deny t1.Rel = 'Owner' & t2.Rel = 'Spouse' & t2.Age < t1.Age - 50
+//
+// DC lines list the explicit atoms of Def. 2.2; the FK-equality conjunct
+// over all tuple variables is implicit. Tuple variables are written t1..tk
+// and k is inferred from the highest variable mentioned.
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokStr
+	tokSym // one of ( ) [ ] , . : & = != < <= > >= + -
+)
+
+type token struct {
+	kind tokKind
+	s    string
+	i    int64
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '\'':
+			j := strings.IndexByte(src[i+1:], '\'')
+			if j < 0 {
+				return nil, fmt.Errorf("constraint: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokStr, s: src[i+1 : i+1+j]})
+			i += j + 2
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			n, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("constraint: bad number %q", src[i:j])
+			}
+			toks = append(toks, token{kind: tokInt, i: n})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, s: src[i:j]})
+			i = j
+		case c == '!' || c == '<' || c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokSym, s: src[i : i+2]})
+				i += 2
+			} else if c == '!' {
+				return nil, fmt.Errorf("constraint: stray '!' at %d", i)
+			} else {
+				toks = append(toks, token{kind: tokSym, s: string(c)})
+				i++
+			}
+		case strings.IndexByte("()[],.:&=+-|", c) >= 0:
+			toks = append(toks, token{kind: tokSym, s: string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("constraint: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF})
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expectSym(s string) error {
+	t := p.next()
+	if t.kind != tokSym || t.s != s {
+		return fmt.Errorf("constraint: expected %q, got %q", s, t.s)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent(s string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.s != s {
+		return fmt.Errorf("constraint: expected keyword %q, got %q", s, t.s)
+	}
+	return nil
+}
+
+func parseOp(t token) (table.Op, bool) {
+	if t.kind != tokSym {
+		return 0, false
+	}
+	switch t.s {
+	case "=":
+		return table.OpEq, true
+	case "!=":
+		return table.OpNe, true
+	case "<":
+		return table.OpLt, true
+	case "<=":
+		return table.OpLe, true
+	case ">":
+		return table.OpGt, true
+	case ">=":
+		return table.OpGe, true
+	}
+	return 0, false
+}
+
+// parseSignedInt parses an integer with optional leading minus.
+func (p *parser) parseSignedInt() (int64, error) {
+	neg := false
+	if t := p.peek(); t.kind == tokSym && t.s == "-" {
+		p.next()
+		neg = true
+	}
+	t := p.next()
+	if t.kind != tokInt {
+		return 0, fmt.Errorf("constraint: expected integer, got %q", t.s)
+	}
+	if neg {
+		return -t.i, nil
+	}
+	return t.i, nil
+}
+
+// ParseCC parses a single CC line (with or without the leading "cc [name]:").
+func ParseCC(src string) (CC, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return CC{}, err
+	}
+	p := &parser{toks: toks}
+	var name string
+	if t := p.peek(); t.kind == tokIdent && t.s == "cc" {
+		p.next()
+		if t := p.peek(); t.kind == tokIdent {
+			name = t.s
+			p.next()
+		}
+		if err := p.expectSym(":"); err != nil {
+			return CC{}, err
+		}
+	}
+	if err := p.expectIdent("count"); err != nil {
+		return CC{}, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return CC{}, err
+	}
+	// Disjuncts are separated by '|'; atoms within a disjunct by ','.
+	disjuncts := [][]table.Atom{nil}
+	for {
+		if t := p.peek(); t.kind == tokSym && t.s == ")" {
+			p.next()
+			break
+		}
+		cur := len(disjuncts) - 1
+		col := p.next()
+		if col.kind != tokIdent {
+			return CC{}, fmt.Errorf("constraint: expected column name, got %q", col.s)
+		}
+		if t := p.peek(); t.kind == tokIdent && t.s == "in" {
+			p.next()
+			if err := p.expectSym("["); err != nil {
+				return CC{}, err
+			}
+			lo, err := p.parseSignedInt()
+			if err != nil {
+				return CC{}, err
+			}
+			if err := p.expectSym(","); err != nil {
+				return CC{}, err
+			}
+			hi, err := p.parseSignedInt()
+			if err != nil {
+				return CC{}, err
+			}
+			if err := p.expectSym("]"); err != nil {
+				return CC{}, err
+			}
+			disjuncts[cur] = append(disjuncts[cur], table.Between(col.s, lo, hi)...)
+		} else {
+			op, ok := parseOp(p.next())
+			if !ok {
+				return CC{}, fmt.Errorf("constraint: expected operator after %q", col.s)
+			}
+			v, err := p.parseValue()
+			if err != nil {
+				return CC{}, err
+			}
+			disjuncts[cur] = append(disjuncts[cur], table.Atom{Col: col.s, Op: op, Val: v})
+		}
+		if t := p.peek(); t.kind == tokSym && t.s == "," {
+			p.next()
+		} else if t.kind == tokSym && t.s == "|" {
+			p.next()
+			disjuncts = append(disjuncts, nil)
+		}
+	}
+	atoms := disjuncts[0]
+	var orElse []table.Predicate
+	for _, d := range disjuncts[1:] {
+		if len(d) == 0 {
+			return CC{}, fmt.Errorf("constraint: empty disjunct")
+		}
+		orElse = append(orElse, table.And(d...))
+	}
+	if err := p.expectSym("="); err != nil {
+		return CC{}, err
+	}
+	target, err := p.parseSignedInt()
+	if err != nil {
+		return CC{}, err
+	}
+	if target < 0 {
+		return CC{}, fmt.Errorf("constraint: negative CC target %d", target)
+	}
+	if !p.atEOF() {
+		return CC{}, fmt.Errorf("constraint: trailing tokens after CC")
+	}
+	return CC{Name: name, Pred: table.And(atoms...), OrElse: orElse, Target: target}, nil
+}
+
+func (p *parser) parseValue() (table.Value, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokStr:
+		p.next()
+		return table.String(t.s), nil
+	case t.kind == tokInt || (t.kind == tokSym && t.s == "-"):
+		n, err := p.parseSignedInt()
+		if err != nil {
+			return table.Null(), err
+		}
+		return table.Int(n), nil
+	default:
+		return table.Null(), fmt.Errorf("constraint: expected value, got %q", t.s)
+	}
+}
+
+// varRef is a parsed "tN.Col" reference.
+type varRef struct {
+	v   int
+	col string
+}
+
+// parseVarRef parses tN.Col; returns ok=false without consuming if the next
+// tokens are not a variable reference.
+func (p *parser) parseVarRef() (varRef, bool, error) {
+	t := p.peek()
+	if t.kind != tokIdent || len(t.s) < 2 || t.s[0] != 't' {
+		return varRef{}, false, nil
+	}
+	n, err := strconv.Atoi(t.s[1:])
+	if err != nil || n < 1 {
+		return varRef{}, false, nil
+	}
+	p.next()
+	if err := p.expectSym("."); err != nil {
+		return varRef{}, false, err
+	}
+	col := p.next()
+	if col.kind != tokIdent {
+		return varRef{}, false, fmt.Errorf("constraint: expected column after t%d., got %q", n, col.s)
+	}
+	return varRef{v: n - 1, col: col.s}, true, nil
+}
+
+// ParseDC parses a single DC line (with or without the leading "dc [name]:").
+func ParseDC(src string) (DC, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return DC{}, err
+	}
+	p := &parser{toks: toks}
+	var name string
+	if t := p.peek(); t.kind == tokIdent && t.s == "dc" {
+		p.next()
+		if t := p.peek(); t.kind == tokIdent {
+			name = t.s
+			p.next()
+		}
+		if err := p.expectSym(":"); err != nil {
+			return DC{}, err
+		}
+	}
+	if err := p.expectIdent("deny"); err != nil {
+		return DC{}, err
+	}
+	dc := DC{Name: name}
+	maxVar := 1 // at least t1, t2 expected; tracked as 0-based max
+	for {
+		l, ok, err := p.parseVarRef()
+		if err != nil {
+			return DC{}, err
+		}
+		if !ok {
+			return DC{}, fmt.Errorf("constraint: expected tN.Col atom")
+		}
+		if l.v > maxVar {
+			maxVar = l.v
+		}
+		op, okOp := parseOp(p.next())
+		if !okOp {
+			return DC{}, fmt.Errorf("constraint: expected operator in DC atom")
+		}
+		r, isRef, err := p.parseVarRef()
+		if err != nil {
+			return DC{}, err
+		}
+		if isRef {
+			if r.v > maxVar {
+				maxVar = r.v
+			}
+			var off int64
+			if t := p.peek(); t.kind == tokSym && (t.s == "+" || t.s == "-") {
+				p.next()
+				n := p.next()
+				if n.kind != tokInt {
+					return DC{}, fmt.Errorf("constraint: expected offset integer")
+				}
+				off = n.i
+				if t.s == "-" {
+					off = -off
+				}
+			}
+			dc.Binary = append(dc.Binary, BinaryAtom{LVar: l.v, LCol: l.col, Op: op, RVar: r.v, RCol: r.col, Offset: off})
+		} else {
+			v, err := p.parseValue()
+			if err != nil {
+				return DC{}, err
+			}
+			dc.Unary = append(dc.Unary, UnaryAtom{Var: l.v, Col: l.col, Op: op, Val: v})
+		}
+		if t := p.peek(); t.kind == tokSym && t.s == "&" {
+			p.next()
+			continue
+		}
+		break
+	}
+	if !p.atEOF() {
+		return DC{}, fmt.Errorf("constraint: trailing tokens after DC")
+	}
+	dc.K = maxVar + 1
+	if err := dc.Validate(); err != nil {
+		return DC{}, err
+	}
+	return dc, nil
+}
+
+// ParseConstraints reads a constraint file: one constraint per line, blank
+// lines and '#' comments ignored. Lines must start with "cc" or "dc".
+func ParseConstraints(r io.Reader) ([]CC, []DC, error) {
+	var ccs []CC
+	var dcs []DC
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "cc"):
+			cc, err := ParseCC(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			ccs = append(ccs, cc)
+		case strings.HasPrefix(line, "dc"):
+			dc, err := ParseDC(line)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			dcs = append(dcs, dc)
+		default:
+			return nil, nil, fmt.Errorf("line %d: expected cc or dc, got %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return ccs, dcs, nil
+}

@@ -1,0 +1,188 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestParseCCBasic(t *testing.T) {
+	cc, err := ParseCC("cc owners: count(Rel = 'Owner', Area = 'Chicago') = 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Name != "owners" || cc.Target != 4 || len(cc.Pred.Atoms) != 2 {
+		t.Errorf("cc = %+v", cc)
+	}
+	if cc.Pred.Atoms[0] != table.Eq("Rel", table.String("Owner")) {
+		t.Errorf("atom 0 = %v", cc.Pred.Atoms[0])
+	}
+}
+
+func TestParseCCAnonymousAndInterval(t *testing.T) {
+	cc, err := ParseCC("count(Age in [0,24], Area = 'Chicago') = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Name != "" || len(cc.Pred.Atoms) != 3 {
+		t.Errorf("cc = %+v", cc)
+	}
+	r, _ := Normalize(cc.Pred)
+	if r["Age"].Lo != 0 || r["Age"].Hi != 24 {
+		t.Errorf("interval = %+v", r["Age"])
+	}
+}
+
+func TestParseCCOperators(t *testing.T) {
+	cc, err := ParseCC("cc: count(Age <= 24, Multi = 1) = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Pred.Atoms[0].Op != table.OpLe || cc.Pred.Atoms[1].Val != table.Int(1) {
+		t.Errorf("cc = %+v", cc)
+	}
+}
+
+func TestParseCCNegativeBounds(t *testing.T) {
+	cc, err := ParseCC("cc: count(Delta in [-5,5]) = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := Normalize(cc.Pred)
+	if r["Delta"].Lo != -5 || r["Delta"].Hi != 5 {
+		t.Errorf("range = %+v", r["Delta"])
+	}
+}
+
+func TestParseCCErrors(t *testing.T) {
+	bad := []string{
+		"cc: count(Rel = 'Owner') = -4",      // negative target
+		"cc: count(Rel = 'Owner')",           // missing target
+		"cc: count(Rel 'Owner') = 4",         // missing operator
+		"cc: count(Age in [1) = 4",           // malformed interval
+		"cc: count(Rel = 'Owner') = 4 junk",  // trailing tokens
+		"cc: tally(Rel = 'Owner') = 4",       // wrong keyword
+		"cc: count(Rel = 'unterminated) = 1", // unterminated string
+	}
+	for _, src := range bad {
+		if _, err := ParseCC(src); err == nil {
+			t.Errorf("ParseCC(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseDCBasic(t *testing.T) {
+	dc, err := ParseDC("dc oo: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Name != "oo" || dc.K != 2 || len(dc.Unary) != 2 || len(dc.Binary) != 0 {
+		t.Errorf("dc = %+v", dc)
+	}
+}
+
+func TestParseDCBinaryOffsets(t *testing.T) {
+	dc, err := ParseDC("dc: deny t1.Rel = 'Owner' & t2.Rel = 'Spouse' & t2.Age < t1.Age - 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dc.Binary) != 1 {
+		t.Fatalf("binary atoms = %d", len(dc.Binary))
+	}
+	b := dc.Binary[0]
+	if b.LVar != 1 || b.RVar != 0 || b.Offset != -50 || b.Op != table.OpLt {
+		t.Errorf("binary = %+v", b)
+	}
+	dc2, err := ParseDC("dc: deny t2.Age > t1.Age + 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc2.Binary[0].Offset != 50 {
+		t.Errorf("offset = %d", dc2.Binary[0].Offset)
+	}
+}
+
+func TestParseDCIntUnary(t *testing.T) {
+	dc, err := ParseDC("dc: deny t1.Age < 30 & t2.Rel = 'Grandchild'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Unary[0].Val != table.Int(30) || dc.Unary[0].Op != table.OpLt {
+		t.Errorf("unary = %+v", dc.Unary[0])
+	}
+}
+
+func TestParseDCNeOperator(t *testing.T) {
+	dc, err := ParseDC("dc: deny t1.Var = t2.Var & t1.Alpha != t2.Alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Binary[1].Op != table.OpNe {
+		t.Errorf("op = %v", dc.Binary[1].Op)
+	}
+}
+
+func TestParseDCErrors(t *testing.T) {
+	bad := []string{
+		"dc: deny",                        // no atoms
+		"dc: deny t1.Rel 'Owner'",         // no operator
+		"dc: deny t0.Rel = 'x'",           // t0 is not a valid variable
+		"dc: deny t1.Rel = 'x' extra",     // trailing tokens
+		"dc: deny t1.Age < t2.Age + junk", // bad offset
+	}
+	for _, src := range bad {
+		if _, err := ParseDC(src); err == nil {
+			t.Errorf("ParseDC(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseConstraintsFile(t *testing.T) {
+	src := `
+# The running example of the paper (Figure 2).
+cc cc1: count(Rel = 'Owner', Area = 'Chicago') = 4
+cc cc2: count(Rel = 'Owner', Area = 'NYC') = 2
+cc cc3: count(Age <= 24, Area = 'Chicago') = 3
+cc cc4: count(Multi = 1, Area = 'Chicago') = 4
+
+dc oo: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'
+dc osl: deny t1.Rel = 'Owner' & t2.Rel = 'Spouse' & t2.Age < t1.Age - 50
+dc osu: deny t1.Rel = 'Owner' & t2.Rel = 'Spouse' & t2.Age > t1.Age + 50
+dc ocl: deny t1.Rel = 'Owner' & t1.Multi = 1 & t2.Rel = 'Child' & t2.Age < t1.Age - 50
+dc ocu: deny t1.Rel = 'Owner' & t1.Multi = 1 & t2.Rel = 'Child' & t2.Age > t1.Age - 12
+`
+	ccs, dcs, err := ParseConstraints(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ccs) != 4 || len(dcs) != 5 {
+		t.Fatalf("got %d CCs, %d DCs", len(ccs), len(dcs))
+	}
+	if ccs[0].Target != 4 || dcs[4].Name != "ocu" {
+		t.Errorf("parsed: %+v / %+v", ccs[0], dcs[4])
+	}
+}
+
+func TestParseConstraintsErrors(t *testing.T) {
+	if _, _, err := ParseConstraints(strings.NewReader("bogus line\n")); err == nil {
+		t.Error("bogus line accepted")
+	}
+	if _, _, err := ParseConstraints(strings.NewReader("cc: count(X = ) = 1\n")); err == nil {
+		t.Error("bad cc accepted")
+	}
+}
+
+// Round-trip: a parsed CC re-rendered through predicate String stays stable
+// enough to describe (sanity of String methods, not a strict grammar).
+func TestStringRendering(t *testing.T) {
+	cc := mustCC(t, "cc: count(Rel = 'Owner', Age <= 24) = 3")
+	if got := cc.String(); got != "|σ[Rel = 'Owner' & Age <= 24]| = 3" {
+		t.Errorf("cc.String() = %q", got)
+	}
+	dc := mustDC(t, "dc: deny t1.Rel = 'Owner' & t2.Age < t1.Age - 50")
+	s := dc.String()
+	if !strings.Contains(s, "t2.Age < t1.Age - 50") {
+		t.Errorf("dc.String() = %q", s)
+	}
+}

@@ -1,0 +1,104 @@
+package constraint
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// TestClassifySemanticsOnSampledUniverse validates the classification
+// against the actual tuple semantics on an enumerable universe:
+//
+//   - containment a ⊇ b implies every join tuple satisfying b satisfies a;
+//   - disjointness via disjoint R1 parts implies no R1 tuple satisfies
+//     both R1 parts;
+//   - disjointness via identical-R1/disjoint-R2 implies no R2 combination
+//     satisfies both R2 parts.
+func TestClassifySemanticsOnSampledUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	schema := table.NewSchema(
+		table.IntCol("Age"), table.StrCol("Rel"), // R1 attributes
+		table.StrCol("Area"), table.IntCol("Ten")) // R2 attributes
+	isR2 := func(c string) bool { return c == "Area" || c == "Ten" }
+
+	randomCC := func() CC {
+		var atoms []table.Atom
+		if rng.Intn(2) == 0 {
+			lo := int64(rng.Intn(10))
+			atoms = append(atoms, table.Between("Age", lo, lo+int64(rng.Intn(6)))...)
+		}
+		if rng.Intn(2) == 0 {
+			atoms = append(atoms, table.Eq("Rel", table.String(fmt.Sprintf("r%d", rng.Intn(2)))))
+		}
+		if rng.Intn(2) == 0 {
+			atoms = append(atoms, table.Eq("Area", table.String(fmt.Sprintf("a%d", rng.Intn(2)))))
+		}
+		if rng.Intn(2) == 0 {
+			atoms = append(atoms, table.Eq("Ten", table.Int(int64(rng.Intn(2)))))
+		}
+		return CC{Pred: table.And(atoms...), Target: 1}
+	}
+
+	// Enumerate the whole join universe.
+	var universe [][]table.Value
+	for age := int64(0); age < 16; age++ {
+		for _, rel := range []string{"r0", "r1"} {
+			for _, area := range []string{"a0", "a1"} {
+				for ten := int64(0); ten < 2; ten++ {
+					universe = append(universe, []table.Value{
+						table.Int(age), table.String(rel), table.String(area), table.Int(ten)})
+				}
+			}
+		}
+	}
+	sat := func(p table.Predicate, row []table.Value) bool { return p.Eval(schema, row) }
+
+	for trial := 0; trial < 3000; trial++ {
+		a, b := randomCC(), randomCC()
+		relAB := Classify(a, b, isR2)
+		switch relAB {
+		case RelAContainsB, RelEqual:
+			for _, row := range universe {
+				if sat(b.Pred, row) && !sat(a.Pred, row) {
+					t.Fatalf("trial %d: %v classified a⊇b but tuple %v satisfies only b (a=%s b=%s)",
+						trial, relAB, row, a.Pred, b.Pred)
+				}
+			}
+			if relAB == RelEqual {
+				for _, row := range universe {
+					if sat(a.Pred, row) != sat(b.Pred, row) {
+						t.Fatalf("trial %d: equal CCs disagree on %v", trial, row)
+					}
+				}
+			}
+		case RelBContainsA:
+			for _, row := range universe {
+				if sat(a.Pred, row) && !sat(b.Pred, row) {
+					t.Fatalf("trial %d: a⊆b violated on %v (a=%s b=%s)", trial, row, a.Pred, b.Pred)
+				}
+			}
+		case RelDisjoint:
+			// Def. 4.2 semantics: no *join* tuple contributes to both.
+			for _, row := range universe {
+				if sat(a.Pred, row) && sat(b.Pred, row) {
+					t.Fatalf("trial %d: disjoint CCs share tuple %v (a=%s b=%s)", trial, row, a.Pred, b.Pred)
+				}
+			}
+		}
+	}
+}
+
+// TestDisjointnessIsNotJustEmptyIntersection documents the deliberate
+// narrowness of Def. 4.2: overlapping R1 parts with disjoint R2 parts are
+// *intersecting* (they compete for R1 tuples, Example 4.5), even though no
+// join tuple can satisfy both.
+func TestDisjointnessIsNotJustEmptyIntersection(t *testing.T) {
+	a := mustCC(t, "cc: count(Age in [10,49], Area = 'a0') = 1")
+	b := mustCC(t, "cc: count(Age in [30,70], Area = 'a1') = 1")
+	isR2 := func(c string) bool { return c == "Area" }
+	if got := Classify(a, b, isR2); got != RelIntersecting {
+		t.Fatalf("got %v, want intersecting", got)
+	}
+}

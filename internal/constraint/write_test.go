@@ -1,0 +1,83 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestRenderCCRoundTrip(t *testing.T) {
+	srcs := []string{
+		"cc owners: count(Rel = 'Owner', Area = 'Chicago') = 4",
+		"cc: count(Age >= 10, Age <= 14) = 20",
+		"cc x: count(Multi = 1) = 0",
+	}
+	for _, src := range srcs {
+		cc := mustCC(t, src)
+		back, err := ParseCC(RenderCC(cc))
+		if err != nil {
+			t.Fatalf("%q -> %q: %v", src, RenderCC(cc), err)
+		}
+		if back.Name != cc.Name || back.Target != cc.Target || len(back.Pred.Atoms) != len(cc.Pred.Atoms) {
+			t.Errorf("round trip changed CC: %q vs %q", RenderCC(cc), RenderCC(back))
+		}
+		for i := range cc.Pred.Atoms {
+			if cc.Pred.Atoms[i] != back.Pred.Atoms[i] {
+				t.Errorf("atom %d: %v vs %v", i, cc.Pred.Atoms[i], back.Pred.Atoms[i])
+			}
+		}
+	}
+}
+
+func TestRenderDCRoundTrip(t *testing.T) {
+	srcs := []string{
+		"dc oo: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'",
+		"dc osl: deny t1.Rel = 'Owner' & t2.Rel = 'Spouse' & t2.Age < t1.Age - 50",
+		"dc: deny t1.Age < 30 & t2.Rel = 'Grandchild'",
+		"dc: deny t1.Cls = t2.Cls & t2.Cls = t3.Cls",
+		"dc: deny t1.Var = t2.Var & t1.Alpha != t2.Alpha",
+	}
+	for _, src := range srcs {
+		dc := mustDC(t, src)
+		back, err := ParseDC(RenderDC(dc))
+		if err != nil {
+			t.Fatalf("%q -> %q: %v", src, RenderDC(dc), err)
+		}
+		if back.K != dc.K || len(back.Unary) != len(dc.Unary) || len(back.Binary) != len(dc.Binary) {
+			t.Errorf("round trip changed DC: %q vs %q", RenderDC(dc), RenderDC(back))
+		}
+	}
+}
+
+func TestWriteConstraintsRoundTrip(t *testing.T) {
+	ccs := []CC{
+		mustCC(t, "cc a: count(Rel = 'Owner') = 5"),
+		mustCC(t, "cc b: count(Age in [0,24]) = 3"),
+	}
+	dcs := []DC{
+		mustDC(t, "dc d1: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'"),
+	}
+	var b strings.Builder
+	if err := WriteConstraints(&b, ccs, dcs); err != nil {
+		t.Fatal(err)
+	}
+	gotCC, gotDC, err := ParseConstraints(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("%v\nfile:\n%s", err, b.String())
+	}
+	if len(gotCC) != 2 || len(gotDC) != 1 {
+		t.Fatalf("parsed %d CCs %d DCs", len(gotCC), len(gotDC))
+	}
+	if gotCC[0].Name != "a" || gotCC[1].Target != 3 || gotDC[0].Name != "d1" {
+		t.Error("content mangled")
+	}
+}
+
+func TestRenderIntUnaryValue(t *testing.T) {
+	dc := DC{Name: "n", K: 2, Unary: []UnaryAtom{{Var: 0, Col: "Age", Op: table.OpLt, Val: table.Int(30)}}}
+	s := RenderDC(dc)
+	if !strings.Contains(s, "t1.Age < 30") || strings.Contains(s, "'30'") {
+		t.Errorf("render = %q", s)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/metrics"
+)
+
+func censusInput(t *testing.T, hh, nCC int, good bool, goodDC bool) Input {
+	t.Helper()
+	d := census.Generate(census.Config{Households: hh, Areas: 6, Seed: 11})
+	var in Input
+	in.R1, in.R2 = d.Persons, d.Housing
+	in.K1, in.K2, in.FK = "pid", "hid", "hid"
+	if good {
+		in.CCs = d.GoodCCs(nCC)
+	} else {
+		in.CCs = d.BadCCs(nCC)
+	}
+	if goodDC {
+		in.DCs = census.GoodDCs()
+	} else {
+		in.DCs = census.AllDCs()
+	}
+	return in
+}
+
+// TestHybridOnCensusGoodCCs reproduces the paper's headline result for
+// S_good_CC (Figure 8a): zero DC error and zero CC error.
+func TestHybridOnCensusGoodCCs(t *testing.T) {
+	in := censusInput(t, 150, 60, true, false)
+	res, err := Solve(in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, in, res)
+	errs := metrics.CCErrors(res.VJoin, in.CCs)
+	nonzero := 0
+	for i, e := range errs {
+		if e != 0 {
+			nonzero++
+			t.Logf("CC %s: err %v (count %d, target %d)", in.CCs[i].Name, e, res.VJoin.Count(in.CCs[i].Pred), in.CCs[i].Target)
+		}
+	}
+	if nonzero != 0 {
+		t.Errorf("%d/%d good CCs violated (want 0)", nonzero, len(errs))
+	}
+	if res.Stats.CCsToILP != 0 {
+		t.Errorf("good CCs routed to ILP: %d", res.Stats.CCsToILP)
+	}
+}
+
+// TestHybridOnCensusBadCCs reproduces Figure 8b's hybrid row: zero DC
+// error, zero *median* CC error, small mean error.
+func TestHybridOnCensusBadCCs(t *testing.T) {
+	in := censusInput(t, 150, 60, false, false)
+	res, err := Solve(in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, in, res)
+	errs := metrics.CCErrors(res.VJoin, in.CCs)
+	if med := metrics.Median(errs); med > 0.05 {
+		t.Errorf("median CC error = %v, want ~0", med)
+	}
+	if mean := metrics.Mean(errs); mean > 0.25 {
+		t.Errorf("mean CC error = %v, too high", mean)
+	}
+	if res.Stats.CCsToILP == 0 {
+		t.Error("bad CCs should exercise the ILP")
+	}
+}
+
+// TestBaselineComparisonShape checks the qualitative ordering of Figure 8:
+// the plain baseline has substantial CC error and nonzero DC error; the
+// baseline with marginals fixes CCs but still violates DCs; the hybrid
+// satisfies both.
+func TestBaselineComparisonShape(t *testing.T) {
+	in := censusInput(t, 120, 40, true, false)
+
+	base, err := Solve(in, BaselineOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := Solve(censusInput(t, 120, 40, true, false), BaselineMarginalsOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := Solve(censusInput(t, 120, 40, true, false), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dcs := in.DCs
+	baseDC := metrics.DCErrorFraction(base.R1Hat, "hid", dcs)
+	margDC := metrics.DCErrorFraction(marg.R1Hat, "hid", dcs)
+	hybDC := metrics.DCErrorFraction(hyb.R1Hat, "hid", dcs)
+	if hybDC != 0 {
+		t.Errorf("hybrid DC error = %v, want 0", hybDC)
+	}
+	if baseDC == 0 {
+		t.Error("plain baseline reported zero DC error (expected violations from random FK)")
+	}
+	if margDC == 0 {
+		t.Error("baseline+marginals reported zero DC error")
+	}
+
+	baseCC := metrics.Median(metrics.CCErrors(base.VJoin, in.CCs))
+	hybCC := metrics.Median(metrics.CCErrors(hyb.VJoin, in.CCs))
+	if hybCC != 0 {
+		t.Errorf("hybrid median CC error = %v", hybCC)
+	}
+	if baseCC <= hybCC {
+		t.Errorf("baseline CC error %v not worse than hybrid %v", baseCC, hybCC)
+	}
+}
+
+// TestHybridWithAllDCsOnBadCCs is the hardest §6 configuration: DC
+// guarantee must hold regardless.
+func TestHybridWithAllDCsOnBadCCs(t *testing.T) {
+	in := censusInput(t, 100, 50, false, false)
+	res, err := Solve(in, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, in, res)
+}
+
+// TestHybridManySeeds is a randomized robustness sweep: the DC guarantee
+// and join-size invariant must hold for every seed.
+func TestHybridManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		d := census.Generate(census.Config{Households: 60, Areas: 4, Seed: seed})
+		in := Input{R1: d.Persons, R2: d.Housing, K1: "pid", K2: "hid", FK: "hid",
+			CCs: d.BadCCs(30), DCs: census.AllDCs()}
+		res, err := Solve(in, Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkSolution(t, in, res)
+	}
+}
+
+// TestExtraColumnsSolve exercises the Figure 12 configurations.
+func TestExtraColumnsSolve(t *testing.T) {
+	for _, extra := range []int{0, 2, 4, 8} {
+		d := census.Generate(census.Config{Households: 80, Areas: 4, ExtraCols: extra, Seed: 5})
+		in := Input{R1: d.Persons, R2: d.Housing, K1: "pid", K2: "hid", FK: "hid",
+			CCs: d.GoodCCs(30), DCs: census.GoodDCs()}
+		res, err := Solve(in, Options{Seed: 5})
+		if err != nil {
+			t.Fatalf("extra=%d: %v", extra, err)
+		}
+		checkSolution(t, in, res)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+// ccCounter tracks the current CC counts over the (partially) filled
+// V_Join so that solveInvalidTuples can pick combos that minimize the
+// marginal CC error (§5.2).
+type ccCounter struct {
+	p      *prob
+	counts []int64
+}
+
+// newCCCounter counts every filled row against every CC.
+func newCCCounter(p *prob) *ccCounter {
+	c := &ccCounter{p: p, counts: make([]int64, len(p.in.CCs))}
+	s := p.vjoin.Schema()
+	for i := 0; i < p.vjoin.Len(); i++ {
+		if !p.filled(i) {
+			continue
+		}
+		row := p.vjoin.Row(i)
+		for j, cc := range p.in.CCs {
+			if cc.MatchRow(s, row) {
+				c.counts[j]++
+			}
+		}
+	}
+	return c
+}
+
+// errOf is the relative CC error contribution used throughout §6:
+// |count − target| / max(10, target).
+func errOf(count, target int64) float64 {
+	d := count - target
+	if d < 0 {
+		d = -d
+	}
+	den := target
+	if den < 10 {
+		den = 10
+	}
+	return float64(d) / float64(den)
+}
+
+// delta returns the total CC error change caused by assigning combo c to
+// the currently-unfilled row i.
+func (ct *ccCounter) delta(i, c int) float64 {
+	d := 0.0
+	for j := range ct.p.in.CCs {
+		if !ct.p.ccMatchesPair(j, i, c) {
+			continue
+		}
+		t := ct.p.in.CCs[j].Target
+		d += errOf(ct.counts[j]+1, t) - errOf(ct.counts[j], t)
+	}
+	return d
+}
+
+// commit records that row i now carries combo c.
+func (ct *ccCounter) commit(i, c int) {
+	for j := range ct.p.in.CCs {
+		if ct.p.ccMatchesPair(j, i, c) {
+			ct.counts[j]++
+		}
+	}
+}

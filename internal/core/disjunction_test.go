@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/metrics"
+)
+
+// TestDisjunctiveCCEndToEnd exercises the disjunction extension the paper
+// sketches after Def. 2.4: a CC counting owners OR spouses in one area.
+func TestDisjunctiveCCEndToEnd(t *testing.T) {
+	in := paperInput(t)
+	dcc, err := constraint.ParseCC(
+		"cc adults: count(Rel = 'Owner', Area = 'Chicago' | Rel = 'Spouse', Area = 'Chicago') = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dcc.IsDisjunctive() || len(dcc.Disjuncts()) != 2 {
+		t.Fatalf("parsed CC not disjunctive: %+v", dcc)
+	}
+	in.CCs = append(in.CCs, dcc)
+	res, err := Solve(in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, in, res)
+	errs := metrics.CCErrors(res.VJoin, in.CCs)
+	for i, e := range errs {
+		if e != 0 {
+			t.Errorf("CC %d (%s): error %v", i, in.CCs[i], e)
+		}
+	}
+}
+
+// TestDisjunctiveCCRoutedToILP: the hybrid must never hand a disjunctive
+// CC to Algorithm 2, even when it is the only constraint.
+func TestDisjunctiveCCRoutedToILP(t *testing.T) {
+	in := paperInput(t)
+	dcc, err := constraint.ParseCC(
+		"cc: count(Rel = 'Owner', Area = 'NYC' | Rel = 'Spouse', Area = 'NYC') = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.CCs = []constraint.CC{dcc}
+	res, err := Solve(in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CCsToILP != 1 || res.Stats.CCsToHasse != 0 {
+		t.Errorf("routing = %d Hasse / %d ILP, want 0/1", res.Stats.CCsToHasse, res.Stats.CCsToILP)
+	}
+	checkSolution(t, in, res)
+	if e := metrics.CCErrors(res.VJoin, in.CCs)[0]; e != 0 {
+		t.Errorf("disjunctive CC error %v", e)
+	}
+}
+
+// TestDisjunctiveUnionSemantics: overlapping disjuncts must count rows
+// once, not twice.
+func TestDisjunctiveUnionSemantics(t *testing.T) {
+	in := paperInput(t)
+	// Disjuncts overlap: owners, and people over 20 — all Chicago owners
+	// are also over 20. Target is the union size under Figure 3's solution
+	// shape: 4 owners + spouse(24) + nobody else over 20 among children.
+	dcc, err := constraint.ParseCC(
+		"cc u: count(Rel = 'Owner', Area = 'Chicago' | Age > 20, Area = 'Chicago') = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.CCs = append(in.CCs, dcc)
+	res, err := Solve(in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dcc.CountIn(res.VJoin); got != 5 {
+		t.Errorf("union count = %d, want 5", got)
+	}
+}
+
+func TestDisjunctiveRenderRoundTrip(t *testing.T) {
+	src := "cc x: count(Rel = 'Owner', Area = 'Chicago' | Rel = 'Spouse') = 5"
+	cc, err := constraint.ParseCC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := constraint.ParseCC(constraint.RenderCC(cc))
+	if err != nil {
+		t.Fatalf("%q: %v", constraint.RenderCC(cc), err)
+	}
+	if !back.IsDisjunctive() || len(back.OrElse) != 1 || back.Target != 5 {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestDisjunctiveClassification(t *testing.T) {
+	a, _ := constraint.ParseCC("cc: count(Rel = 'Owner' | Rel = 'Spouse') = 5")
+	b, _ := constraint.ParseCC("cc: count(Rel = 'Child') = 2")
+	isR2 := func(c string) bool { return c == "Area" }
+	if got := constraint.Classify(a, b, isR2); got != constraint.RelIntersecting {
+		t.Errorf("disjunctive classification = %v, want intersecting (conservative)", got)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/binning"
+	"repro/internal/ilp"
+	"repro/internal/table"
+)
+
+// runILP is Algorithm 1: model the given CCs over the still-unfilled
+// V_Join tuples as an integer program and greedily write the solution's
+// combos back into the view.
+//
+// Bins are the distinct (A1..Ap) combinations among unfilled tuples with
+// numeric columns intervalized at CC boundaries; variables are the
+// (bin, combo) pairs touched by at least one CC row. With marginals enabled
+// (the paper's augmentation, §4.1/§4.3) each bin contributes a hard
+// capacity row and a soft all-way-marginal row, the latter including a
+// remainder variable when globally unused combos exist so that surplus
+// tuples can be parked harmlessly.
+func (p *prob) runILP(ccIdx []int, withMarginals bool) error {
+	if len(ccIdx) == 0 || len(p.usedBCols) == 0 {
+		return nil
+	}
+	// Intervalize the R1 parts of every disjunct of the participating CCs.
+	preds := make([]table.Predicate, 0, len(ccIdx))
+	for _, cc := range ccIdx {
+		preds = append(preds, p.ccR1s[cc]...)
+	}
+	intervals := binning.Intervalize(preds)
+	binner := binning.NewBinner(p.vjoin.Schema(), p.aCols, intervals)
+
+	// Collect bins over unfilled tuples.
+	type binInfo struct {
+		rep  int // representative V_Join row
+		rows []int
+	}
+	binByKey := make(map[string]int)
+	var bins []binInfo
+	for i := 0; i < p.vjoin.Len(); i++ {
+		if p.filled(i) {
+			continue
+		}
+		k := binner.Key(p.vjoin.Row(i))
+		id, ok := binByKey[k]
+		if !ok {
+			id = len(bins)
+			binByKey[k] = id
+			bins = append(bins, binInfo{rep: i})
+		}
+		bins[id].rows = append(bins[id].rows, i)
+	}
+	if len(bins) == 0 {
+		return nil
+	}
+
+	// Lazily create variables from CC rows.
+	type varKey struct{ bin, combo int }
+	varID := make(map[varKey]int)
+	var varList []varKey
+	getVar := func(b, c int) int {
+		k := varKey{b, c}
+		if id, ok := varID[k]; ok {
+			return id
+		}
+		id := len(varList)
+		varID[k] = id
+		varList = append(varList, k)
+		return id
+	}
+
+	prob := &ilp.Problem{}
+	var ccRows [][]ilp.Term
+	for _, cc := range ccIdx {
+		// Union over the CC's disjuncts: a (bin, combo) pair contributes
+		// once if any disjunct covers it.
+		covered := make(map[varKey]bool)
+		var terms []ilp.Term
+		for d := range p.ccR1s[cc] {
+			var matchBins []int
+			for b := range bins {
+				if p.rowMatchesR1(bins[b].rep, p.ccR1s[cc][d]) {
+					matchBins = append(matchBins, b)
+				}
+			}
+			for c := range p.combos {
+				if !p.comboMatches(c, p.ccR2s[cc][d]) {
+					continue
+				}
+				for _, b := range matchBins {
+					k := varKey{b, c}
+					if covered[k] {
+						continue
+					}
+					covered[k] = true
+					terms = append(terms, ilp.Term{Var: getVar(b, c), Coef: 1})
+				}
+			}
+		}
+		ccRows = append(ccRows, terms)
+	}
+
+	// The CC soft rows. A CC with no reachable (bin, combo) pair still gets
+	// a row so its deviation is accounted for; it simply has no terms.
+	for i, cc := range ccIdx {
+		prob.Cons = append(prob.Cons, ilp.Constraint{
+			Terms: ccRows[i], Sense: ilp.EQ, RHS: float64(p.in.CCs[cc].Target), Soft: true,
+		})
+	}
+
+	// Group variables by bin for the capacity/marginal rows.
+	varsByBin := make(map[int][]int)
+	for id, k := range varList {
+		varsByBin[k.bin] = append(varsByBin[k.bin], id)
+	}
+	nStructural := len(varList)
+	remainderPossible := len(p.comboUnused()) > 0
+	remainderVar := make(map[int]int) // bin -> var id
+	if withMarginals {
+		next := nStructural
+		// Sorted bin order keeps the LP row order — and therefore the
+		// specific optimum the simplex lands on — deterministic.
+		binOrder := make([]int, 0, len(varsByBin))
+		for b := range varsByBin {
+			binOrder = append(binOrder, b)
+		}
+		sort.Ints(binOrder)
+		for _, b := range binOrder {
+			vars := varsByBin[b]
+			cnt := float64(len(bins[b].rows))
+			terms := make([]ilp.Term, 0, len(vars)+1)
+			for _, v := range vars {
+				terms = append(terms, ilp.Term{Var: v, Coef: 1})
+			}
+			if remainderPossible {
+				terms = append(terms, ilp.Term{Var: next, Coef: 1})
+				remainderVar[b] = next
+				next++
+			}
+			// Hard capacity: never plan more tuples than the bin holds.
+			prob.Cons = append(prob.Cons, ilp.Constraint{Terms: terms, Sense: ilp.LE, RHS: cnt})
+			// Soft all-way marginal: plan to assign the whole bin.
+			prob.Cons = append(prob.Cons, ilp.Constraint{Terms: terms, Sense: ilp.EQ, RHS: cnt, Soft: true})
+		}
+		prob.NumVars = next
+	} else {
+		prob.NumVars = nStructural
+	}
+
+	sol, err := ilp.Solve(prob, p.opt.ILP)
+	if err != nil {
+		return fmt.Errorf("core: algorithm 1: %w", err)
+	}
+	p.stat.ILPVars += prob.NumVars
+	p.stat.ILPRows += len(prob.Cons)
+	p.stat.ILPNodes += sol.Nodes
+	p.stat.ILPIters += sol.Iters
+	p.stat.ILPStatus = sol.Status.String()
+	if sol.Status == ilp.StatusInfeasible {
+		// Hard rows are only capacities over non-negative vars, so this
+		// cannot happen; guard anyway.
+		return fmt.Errorf("core: algorithm 1: infeasible capacity system")
+	}
+
+	// Greedy fill (lines 15–17): deterministic variable order.
+	order := make([]int, nStructural)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := varList[order[a]], varList[order[b]]
+		if ka.bin != kb.bin {
+			return ka.bin < kb.bin
+		}
+		return ka.combo < kb.combo
+	})
+	cursor := make(map[int]int) // bin -> next row offset
+	for _, id := range order {
+		v := sol.X[id]
+		if v <= 0 {
+			continue
+		}
+		k := varList[id]
+		rows := bins[k.bin].rows
+		for v > 0 && cursor[k.bin] < len(rows) {
+			row := rows[cursor[k.bin]]
+			cursor[k.bin]++
+			if p.filled(row) {
+				continue
+			}
+			p.assignCombo(row, k.combo)
+			v--
+		}
+	}
+	return nil
+}

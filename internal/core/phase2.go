@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hypergraph"
+	"repro/internal/table"
+)
+
+// phase2 completes R1.FK from the filled V_Join (Algorithm 4). It returns
+// the per-row FK assignment (aligned with V_Join/R1 rows) and the augmented
+// copy of R2.
+type phase2 struct {
+	p       *prob
+	r2hat   *table.Relation
+	fk      []table.Value
+	keyRows map[table.Value][]int // FK value -> V_Join rows assigned so far
+	fresh   *freshKeys
+}
+
+// freshKeys mints primary-key values that do not collide with R2's keys.
+type freshKeys struct {
+	kind table.Type
+	next int64
+	used map[table.Value]bool
+}
+
+func newFreshKeys(r2 *table.Relation, k2 string) *freshKeys {
+	f := &freshKeys{kind: r2.Schema().Col(r2.Schema().MustIndex(k2)).Type, used: make(map[table.Value]bool)}
+	for i := 0; i < r2.Len(); i++ {
+		v := r2.Value(i, k2)
+		f.used[v] = true
+		if v.Kind() == table.KindInt && v.Int() >= f.next {
+			f.next = v.Int() + 1
+		}
+	}
+	return f
+}
+
+func (f *freshKeys) mint() table.Value {
+	for {
+		var v table.Value
+		if f.kind == table.TypeInt {
+			v = table.Int(f.next)
+		} else {
+			v = table.String(fmt.Sprintf("synthetic_%d", f.next))
+		}
+		f.next++
+		if !f.used[v] {
+			f.used[v] = true
+			return v
+		}
+	}
+}
+
+func (p *prob) runPhase2() (*phase2, error) {
+	ph := &phase2{
+		p:       p,
+		r2hat:   p.in.R2.Clone(),
+		fk:      make([]table.Value, p.vjoin.Len()),
+		keyRows: make(map[table.Value][]int),
+		fresh:   newFreshKeys(p.in.R2, p.in.K2),
+	}
+	ph.r2hat.Name = p.in.R2.Name
+
+	// Split rows into filled partitions and invalid tuples.
+	parts := make(map[string][]int)
+	var invalid []int
+	for i := 0; i < p.vjoin.Len(); i++ {
+		if !p.filled(i) {
+			invalid = append(invalid, i)
+			continue
+		}
+		vals := make([]table.Value, len(p.usedBCols))
+		for j, c := range p.usedBCols {
+			vals[j] = p.vjoin.Value(i, c)
+		}
+		parts[table.EncodeKey(vals...)] = append(parts[table.EncodeKey(vals...)], i)
+	}
+	p.stat.InvalidTuples = len(invalid)
+
+	if p.opt.RandomFK {
+		ph.assignRandom(parts, invalid)
+		return ph, nil
+	}
+
+	switch {
+	case p.opt.NoPartition:
+		if err := ph.colorGlobal(parts); err != nil {
+			return nil, err
+		}
+	case p.opt.Workers < 0 || p.opt.Workers > 1:
+		if err := ph.colorPartitionsParallel(parts, p.opt.Workers); err != nil {
+			return nil, err
+		}
+	default:
+		keys := make([]string, 0, len(parts))
+		for k := range parts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		p.stat.Partitions = len(keys)
+		for _, k := range keys {
+			if err := ph.colorPartition(k, parts[k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(invalid) > 0 {
+		ph.solveInvalidTuples(invalid)
+	}
+	return ph, nil
+}
+
+// partitionKeys returns the candidate FK values for a partition: the keys
+// of R̂2 rows whose usedBCols match the partition combo (L in Algorithm 4).
+func (ph *phase2) partitionKeys(comboKey string) []table.Value {
+	rows := ph.p.r2RowsByCombo[comboKey]
+	keys := make([]table.Value, 0, len(rows))
+	for _, r := range rows {
+		keys = append(keys, ph.p.in.R2.Value(r, ph.p.in.K2))
+	}
+	sort.Slice(keys, func(a, b int) bool { return table.Less(keys[a], keys[b]) })
+	return keys
+}
+
+// buildConflicts adds, for every DC, an edge per tuple set of the partition
+// that satisfies the DC's explicit predicate (Def. 5.1). rows holds V_Join
+// row indices; edges use local indices into rows.
+func (ph *phase2) buildConflicts(g *hypergraph.Graph, rows []int) {
+	p := ph.p
+	s := p.vjoin.Schema()
+	for _, dc := range p.in.DCs {
+		// Per-variable candidate lists via the unary filters.
+		cands := make([][]int, dc.K)
+		for v := 0; v < dc.K; v++ {
+			for li, ri := range rows {
+				if dc.UnaryMatch(v, s, p.vjoin.Row(ri)) {
+					cands[v] = append(cands[v], li)
+				}
+			}
+		}
+		switch dc.K {
+		case 2:
+			switch {
+			case len(dc.Binary) == 0:
+				// Pure-unary pair DC (e.g. "no two owners share a home"):
+				// the unary filters already decide everything, so the edge
+				// set is the complete bipartite graph over the candidate
+				// lists (a clique when symmetric). No per-pair evaluation.
+				if dc.VarsSymmetric(0, 1) {
+					for ai, a := range cands[0] {
+						for _, b := range cands[0][ai+1:] {
+							g.AddEdge(a, b)
+						}
+					}
+				} else {
+					for _, a := range cands[0] {
+						for _, b := range cands[1] {
+							if a != b {
+								g.AddEdge(a, b)
+							}
+						}
+					}
+				}
+			case len(dc.Binary) == 1 && sweepable(dc.Binary[0], s):
+				ph.sweepEdges(g, dc, cands, rows)
+			default:
+				if dc.VarsSymmetric(0, 1) {
+					for ai, a := range cands[0] {
+						for _, b := range cands[0][ai+1:] {
+							if dc.Holds(s, p.vjoin.Row(rows[a]), p.vjoin.Row(rows[b])) {
+								g.AddEdge(a, b)
+							}
+						}
+					}
+				} else {
+					for _, a := range cands[0] {
+						for _, b := range cands[1] {
+							if a == b {
+								continue
+							}
+							if dc.Holds(s, p.vjoin.Row(rows[a]), p.vjoin.Row(rows[b])) {
+								g.AddEdge(a, b)
+							}
+						}
+					}
+				}
+			}
+		default:
+			ph.enumEdges(g, dc.K, cands, rows, func(assign []int) bool {
+				tuples := make([][]table.Value, dc.K)
+				for v, li := range assign {
+					tuples[v] = p.vjoin.Row(rows[li])
+				}
+				return dc.Holds(s, tuples...)
+			})
+		}
+	}
+}
+
+// enumEdges enumerates ordered assignments of distinct partition tuples to
+// the K variables of a DC, adding an edge for each satisfying set.
+func (ph *phase2) enumEdges(g *hypergraph.Graph, k int, cands [][]int, rows []int, holds func([]int) bool) {
+	assign := make([]int, k)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == k {
+			if holds(assign) {
+				g.AddEdge(assign...)
+			}
+			return
+		}
+		for _, li := range cands[v] {
+			dup := false
+			for _, prev := range assign[:v] {
+				if prev == li {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				assign[v] = li
+				rec(v + 1)
+			}
+		}
+	}
+	rec(0)
+}
+
+// colorPartition handles one partition: build the conflict hypergraph,
+// list-color it (Algorithm 3), repair skipped vertices with fresh colors,
+// and materialize the corresponding new R̂2 tuples.
+func (ph *phase2) colorPartition(comboKey string, rows []int) error {
+	p := ph.p
+	g := hypergraph.New(len(rows))
+	ph.buildConflicts(g, rows)
+	p.stat.ConflictEdges += g.NumEdges()
+
+	palette := ph.partitionKeys(comboKey)
+	baseIdx := make([]int, len(palette))
+	for i := range baseIdx {
+		baseIdx[i] = i
+	}
+	coloring := hypergraph.NewColoring(len(rows))
+	var skipped []int
+	allowedBase := func(int) []int { return baseIdx }
+	if p.opt.Order == OrderInput {
+		coloring, skipped = g.ColoringInputOrder(coloring, allowedBase)
+	} else {
+		coloring, skipped = g.ColoringLF(coloring, allowedBase)
+	}
+	p.stat.SkippedVertices += len(skipped)
+
+	if len(skipped) > 0 {
+		// Mint |skipped| fresh colors and re-run the coloring over the
+		// skipped vertices (Algorithm 4, lines 11–12).
+		freshIdx := make([]int, len(skipped))
+		for i := range skipped {
+			palette = append(palette, ph.fresh.mint())
+			freshIdx[i] = len(palette) - 1
+		}
+		allowedFresh := func(int) []int { return freshIdx }
+		var left []int
+		if p.opt.Order == OrderInput {
+			coloring, left = g.ColoringInputOrder(coloring, allowedFresh)
+		} else {
+			coloring, left = g.ColoringLF(coloring, allowedFresh)
+		}
+		if len(left) > 0 {
+			return fmt.Errorf("core: phase 2: %d vertices uncolorable with %d fresh colors", len(left), len(skipped))
+		}
+		// Add an R̂2 tuple per fresh color that got used (line 13–14).
+		usedFresh := make(map[int]bool)
+		for _, c := range coloring {
+			if c >= len(palette)-len(skipped) {
+				usedFresh[c] = true
+			}
+		}
+		for _, fi := range freshIdx {
+			if usedFresh[fi] {
+				ph.appendR2Tuple(palette[fi], comboKey)
+			}
+		}
+	}
+	for li, ri := range rows {
+		key := palette[coloring[li]]
+		ph.fk[ri] = key
+		ph.keyRows[key] = append(ph.keyRows[key], ri)
+	}
+	return nil
+}
+
+// colorGlobal is the NoPartition ablation: one conflict hypergraph over all
+// filled tuples with per-vertex candidate lists.
+func (ph *phase2) colorGlobal(parts map[string][]int) error {
+	p := ph.p
+	var rows []int
+	comboOf := make(map[int]string)
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, r := range parts[k] {
+			comboOf[r] = k
+			rows = append(rows, r)
+		}
+	}
+	p.stat.Partitions = 1
+	g := hypergraph.New(len(rows))
+	ph.buildConflicts(g, rows)
+	p.stat.ConflictEdges += g.NumEdges()
+
+	// Global palette: all keys, indexed; per-vertex allowed lists pick the
+	// keys matching the vertex's combo.
+	var palette []table.Value
+	idxByCombo := make(map[string][]int)
+	for _, k := range keys {
+		for _, kv := range ph.partitionKeys(k) {
+			idxByCombo[k] = append(idxByCombo[k], len(palette))
+			palette = append(palette, kv)
+		}
+	}
+	allowed := func(v int) []int { return idxByCombo[comboOf[rows[v]]] }
+	coloring := hypergraph.NewColoring(len(rows))
+	var skipped []int
+	if p.opt.Order == OrderInput {
+		coloring, skipped = g.ColoringInputOrder(coloring, allowed)
+	} else {
+		coloring, skipped = g.ColoringLF(coloring, allowed)
+	}
+	p.stat.SkippedVertices += len(skipped)
+	if len(skipped) > 0 {
+		freshByCombo := make(map[string][]int)
+		for _, v := range skipped {
+			ck := comboOf[rows[v]]
+			palette = append(palette, ph.fresh.mint())
+			freshByCombo[ck] = append(freshByCombo[ck], len(palette)-1)
+		}
+		allowedFresh := func(v int) []int { return freshByCombo[comboOf[rows[v]]] }
+		var left []int
+		if p.opt.Order == OrderInput {
+			coloring, left = g.ColoringInputOrder(coloring, allowedFresh)
+		} else {
+			coloring, left = g.ColoringLF(coloring, allowedFresh)
+		}
+		if len(left) > 0 {
+			return fmt.Errorf("core: phase 2 (global): %d vertices uncolorable", len(left))
+		}
+		used := make(map[int]bool)
+		for _, c := range coloring {
+			used[c] = true
+		}
+		for ck, fis := range freshByCombo {
+			for _, fi := range fis {
+				if used[fi] {
+					ph.appendR2Tuple(palette[fi], ck)
+				}
+			}
+		}
+	}
+	for li, ri := range rows {
+		key := palette[coloring[li]]
+		ph.fk[ri] = key
+		ph.keyRows[key] = append(ph.keyRows[key], ri)
+	}
+	return nil
+}
+
+// appendR2Tuple adds a fresh household to R̂2: the minted key, the
+// partition's usedBCols values, and the remaining B columns copied from an
+// existing row of the same combo (or null when the combo has no backing
+// row, which cannot happen for active combos).
+func (ph *phase2) appendR2Tuple(key table.Value, comboKey string) {
+	p := ph.p
+	row := make([]table.Value, ph.r2hat.Schema().Len())
+	for i := range row {
+		row[i] = table.Null()
+	}
+	row[ph.r2hat.Schema().MustIndex(p.in.K2)] = key
+	if backing := p.r2RowsByCombo[comboKey]; len(backing) > 0 {
+		src := p.in.R2.Row(backing[0])
+		for _, c := range p.bCols {
+			j := ph.r2hat.Schema().MustIndex(c)
+			row[j] = src[p.in.R2.Schema().MustIndex(c)]
+		}
+	}
+	if ci, ok := p.comboByKey[comboKey]; ok {
+		for j, c := range p.usedBCols {
+			row[ph.r2hat.Schema().MustIndex(c)] = p.combos[ci][j]
+		}
+	}
+	ph.r2hat.MustAppend(row...)
+	p.stat.AddedR2Tuples++
+}
+
+// conflictsWithGroup reports whether adding V_Join row t to the set of rows
+// already holding one FK value would violate any DC.
+func (ph *phase2) conflictsWithGroup(t int, group []int) bool {
+	p := ph.p
+	s := p.vjoin.Schema()
+	pool := append(append([]int(nil), group...), t)
+	for _, dc := range p.in.DCs {
+		if len(pool) < dc.K {
+			continue
+		}
+		assign := make([]int, dc.K)
+		var rec func(v int, usedT bool) bool
+		rec = func(v int, usedT bool) bool {
+			if v == dc.K {
+				if !usedT {
+					return false // only new violations involving t matter
+				}
+				tuples := make([][]table.Value, dc.K)
+				for i, r := range assign {
+					tuples[i] = p.vjoin.Row(r)
+				}
+				return dc.Holds(s, tuples...)
+			}
+			for _, r := range pool {
+				dup := false
+				for _, prev := range assign[:v] {
+					if prev == r {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				if !dc.UnaryMatch(v, s, p.vjoin.Row(r)) {
+					continue
+				}
+				assign[v] = r
+				if rec(v+1, usedT || r == t) {
+					return true
+				}
+			}
+			return false
+		}
+		if rec(0, false) {
+			return true
+		}
+	}
+	return false
+}
+
+// solveInvalidTuples (Algorithm 4, line 16): each invalid tuple gets the
+// combo minimizing the marginal CC error; existing keys of that combo are
+// tried in order under DC checks, and a fresh key is minted otherwise.
+func (ph *phase2) solveInvalidTuples(invalid []int) {
+	p := ph.p
+	counter := newCCCounter(p)
+	const maxKeysTried = 256
+	for _, t := range invalid {
+		// Rank combos by CC-error delta; unused combos have delta 0.
+		type cand struct {
+			combo int
+			delta float64
+		}
+		cands := make([]cand, 0, len(p.combos))
+		for c := range p.combos {
+			cands = append(cands, cand{combo: c, delta: counter.delta(t, c)})
+		}
+		sort.SliceStable(cands, func(a, b int) bool { return cands[a].delta < cands[b].delta })
+
+		assignedKey := table.Null()
+		chosenCombo := -1
+		for _, cd := range cands {
+			if cd.delta > cands[0].delta {
+				break // only consider minimum-error combos for existing keys
+			}
+			tried := 0
+			for _, r2row := range p.r2RowsByCombo[p.comboKeys[cd.combo]] {
+				if tried >= maxKeysTried {
+					break
+				}
+				tried++
+				key := p.in.R2.Value(r2row, p.in.K2)
+				if ph.conflictsWithGroup(t, ph.keyRows[key]) {
+					continue
+				}
+				assignedKey = key
+				chosenCombo = cd.combo
+				break
+			}
+			if !assignedKey.IsNull() {
+				break
+			}
+		}
+		if assignedKey.IsNull() {
+			// Fresh household with the minimum-error combo.
+			chosenCombo = cands[0].combo
+			assignedKey = ph.fresh.mint()
+			if len(p.comboKeys) > 0 {
+				ph.appendR2Tuple(assignedKey, p.comboKeys[chosenCombo])
+			} else {
+				ph.appendR2Tuple(assignedKey, table.EncodeKey())
+			}
+		}
+		if chosenCombo >= 0 && len(p.usedBCols) > 0 {
+			p.assignCombo(t, chosenCombo)
+			counter.commit(t, chosenCombo)
+		}
+		ph.fk[t] = assignedKey
+		ph.keyRows[assignedKey] = append(ph.keyRows[assignedKey], t)
+	}
+}
+
+// assignRandom is the baselines' phase II: each tuple takes a uniformly
+// random candidate FK; DCs are ignored entirely.
+func (ph *phase2) assignRandom(parts map[string][]int, invalid []int) {
+	p := ph.p
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	p.stat.Partitions = len(keys)
+	for _, ck := range keys {
+		cand := ph.partitionKeys(ck)
+		for _, ri := range parts[ck] {
+			var key table.Value
+			if len(cand) > 0 {
+				key = cand[p.rng.Intn(len(cand))]
+			} else {
+				key = ph.fresh.mint()
+				ph.appendR2Tuple(key, ck)
+			}
+			ph.fk[ri] = key
+			ph.keyRows[key] = append(ph.keyRows[key], ri)
+		}
+	}
+	// Invalid tuples: random combo, then random key within it.
+	for _, t := range invalid {
+		if len(p.combos) == 0 {
+			key := ph.fresh.mint()
+			ph.appendR2Tuple(key, table.EncodeKey())
+			ph.fk[t] = key
+			continue
+		}
+		c := p.rng.Intn(len(p.combos))
+		if len(p.usedBCols) > 0 {
+			p.assignCombo(t, c)
+		}
+		rows := p.r2RowsByCombo[p.comboKeys[c]]
+		key := p.in.R2.Value(rows[p.rng.Intn(len(rows))], p.in.K2)
+		ph.fk[t] = key
+		ph.keyRows[key] = append(ph.keyRows[key], t)
+	}
+}

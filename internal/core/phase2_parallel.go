@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/hypergraph"
+	"repro/internal/table"
+)
+
+// colorPartitionsParallel implements the Appendix A.3 optimization: the
+// per-partition conflict hypergraphs are independent (candidate keys are
+// disjoint across partitions), so graph construction and the first
+// list-coloring pass run concurrently across a worker pool. The serial
+// tail — minting fresh keys for skipped vertices and appending tuples to
+// R̂2 — is inherently ordered and stays on the caller's goroutine, keeping
+// results byte-identical to the sequential path.
+func (ph *phase2) colorPartitionsParallel(parts map[string][]int, workers int) error {
+	p := ph.p
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	p.stat.Partitions = len(keys)
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type partResult struct {
+		graph    *hypergraph.Graph
+		palette  []table.Value
+		coloring hypergraph.Coloring
+		skipped  []int
+	}
+	results := make([]partResult, len(keys))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rows := parts[keys[i]]
+				g := hypergraph.New(len(rows))
+				ph.buildConflicts(g, rows)
+				palette := ph.partitionKeys(keys[i])
+				idx := make([]int, len(palette))
+				for j := range idx {
+					idx[j] = j
+				}
+				allowed := func(int) []int { return idx }
+				coloring := hypergraph.NewColoring(len(rows))
+				var skipped []int
+				if p.opt.Order == OrderInput {
+					coloring, skipped = g.ColoringInputOrder(coloring, allowed)
+				} else {
+					coloring, skipped = g.ColoringLF(coloring, allowed)
+				}
+				results[i] = partResult{graph: g, palette: palette, coloring: coloring, skipped: skipped}
+			}
+		}()
+	}
+	for i := range keys {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Serial tail: fresh colors, R̂2 augmentation, FK recording.
+	for i, k := range keys {
+		r := results[i]
+		p.stat.ConflictEdges += r.graph.NumEdges()
+		p.stat.SkippedVertices += len(r.skipped)
+		palette := r.palette
+		coloring := r.coloring
+		if len(r.skipped) > 0 {
+			freshIdx := make([]int, len(r.skipped))
+			for j := range r.skipped {
+				palette = append(palette, ph.fresh.mint())
+				freshIdx[j] = len(palette) - 1
+			}
+			allowedFresh := func(int) []int { return freshIdx }
+			var left []int
+			if p.opt.Order == OrderInput {
+				coloring, left = r.graph.ColoringInputOrder(coloring, allowedFresh)
+			} else {
+				coloring, left = r.graph.ColoringLF(coloring, allowedFresh)
+			}
+			if len(left) > 0 {
+				return fmt.Errorf("core: phase 2 (parallel): %d vertices uncolorable", len(left))
+			}
+			usedFresh := make(map[int]bool)
+			for _, c := range coloring {
+				if c >= len(palette)-len(r.skipped) {
+					usedFresh[c] = true
+				}
+			}
+			for _, fi := range freshIdx {
+				if usedFresh[fi] {
+					ph.appendR2Tuple(palette[fi], k)
+				}
+			}
+		}
+		for li, ri := range parts[k] {
+			key := palette[coloring[li]]
+			ph.fk[ri] = key
+			ph.keyRows[key] = append(ph.keyRows[key], ri)
+		}
+	}
+	return nil
+}

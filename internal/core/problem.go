@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/table"
+)
+
+// newProb validates the input and derives the shared solver state,
+// including the initialized join view of §3.1: a copy of R1's key and
+// attribute columns with empty B columns.
+func newProb(in Input, opt Options, stat *Stats) (*prob, error) {
+	if in.R1 == nil || in.R2 == nil {
+		return nil, fmt.Errorf("core: nil relation")
+	}
+	for _, c := range []struct {
+		rel *table.Relation
+		col string
+	}{
+		{in.R1, in.K1}, {in.R1, in.FK}, {in.R2, in.K2},
+	} {
+		if !c.rel.Schema().Has(c.col) {
+			return nil, fmt.Errorf("core: %s has no column %q", c.rel.Name, c.col)
+		}
+	}
+	p := &prob{in: in, opt: opt, rng: rand.New(rand.NewSource(opt.Seed)), stat: stat}
+
+	for _, col := range in.R1.Schema().Names() {
+		if col != in.K1 && col != in.FK {
+			p.aCols = append(p.aCols, col)
+		}
+	}
+	p.isR2Col = make(map[string]bool)
+	for _, col := range in.R2.Schema().Names() {
+		if col != in.K2 {
+			p.bCols = append(p.bCols, col)
+			p.isR2Col[col] = true
+		}
+	}
+	// Reject ambiguous schemas: a B column shadowing an R1 column would make
+	// CC predicates ambiguous on the join view.
+	for _, col := range p.aCols {
+		if p.isR2Col[col] {
+			return nil, fmt.Errorf("core: column %q appears in both relations", col)
+		}
+	}
+	for _, dc := range in.DCs {
+		if err := dc.Validate(); err != nil {
+			return nil, err
+		}
+		for _, a := range dc.Unary {
+			if p.isR2Col[a.Col] {
+				return nil, fmt.Errorf("core: DC %q references R2 column %q (foreign-key DCs are over R1)", dc.Name, a.Col)
+			}
+		}
+	}
+
+	// B columns actually used by the CC set; the solver only ever fills
+	// these in V_Join (the paper's "in practice we only consider columns
+	// used in S_CC").
+	used := make(map[string]bool)
+	p.ccR1 = make([]table.Predicate, len(in.CCs))
+	p.ccR2 = make([]table.Predicate, len(in.CCs))
+	p.ccR1s = make([][]table.Predicate, len(in.CCs))
+	p.ccR2s = make([][]table.Predicate, len(in.CCs))
+	for i, cc := range in.CCs {
+		if cc.Target < 0 {
+			return nil, fmt.Errorf("core: CC %d has negative target", i)
+		}
+		// Validate that every atom of every disjunct touches a known
+		// non-key column.
+		for _, d := range cc.Disjuncts() {
+			for _, a := range d.Atoms {
+				if !p.isR2Col[a.Col] && !in.R1.Schema().Has(a.Col) {
+					return nil, fmt.Errorf("core: CC %d references unknown column %q", i, a.Col)
+				}
+				if a.Col == in.K1 || a.Col == in.K2 || a.Col == in.FK {
+					return nil, fmt.Errorf("core: CC %d references key column %q (CCs are over non-key attributes)", i, a.Col)
+				}
+			}
+		}
+		p.ccR1s[i], p.ccR2s[i] = cc.PartAll(func(c string) bool { return p.isR2Col[c] })
+		p.ccR1[i], p.ccR2[i] = p.ccR1s[i][0], p.ccR2s[i][0]
+		for _, r2 := range p.ccR2s[i] {
+			for _, a := range r2.Atoms {
+				used[a.Col] = true
+			}
+		}
+	}
+	for _, col := range p.bCols { // keep schema order
+		if used[col] {
+			p.usedBCols = append(p.usedBCols, col)
+		}
+	}
+
+	// V_Join: K1 + A columns + all B columns (empty).
+	var cols []table.Column
+	s1 := in.R1.Schema()
+	cols = append(cols, s1.Col(s1.MustIndex(in.K1)))
+	for _, c := range p.aCols {
+		cols = append(cols, s1.Col(s1.MustIndex(c)))
+	}
+	s2 := in.R2.Schema()
+	for _, c := range p.bCols {
+		cols = append(cols, s2.Col(s2.MustIndex(c)))
+	}
+	p.vjoin = table.NewRelation("VJoin", table.NewSchema(cols...))
+	for i := 0; i < in.R1.Len(); i++ {
+		row := make([]table.Value, 0, len(cols))
+		row = append(row, in.R1.Value(i, in.K1))
+		for _, c := range p.aCols {
+			row = append(row, in.R1.Value(i, c))
+		}
+		for range p.bCols {
+			row = append(row, table.Null())
+		}
+		if err := p.vjoin.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+
+	// Active combos over usedBCols, with the R2 rows backing each combo.
+	p.comboByKey = make(map[string]int)
+	p.r2RowsByCombo = make(map[string][]int)
+	for i := 0; i < in.R2.Len(); i++ {
+		vals := make([]table.Value, len(p.usedBCols))
+		for j, c := range p.usedBCols {
+			vals[j] = in.R2.Value(i, c)
+		}
+		k := table.EncodeKey(vals...)
+		if _, ok := p.comboByKey[k]; !ok {
+			p.comboByKey[k] = len(p.combos)
+			p.combos = append(p.combos, vals)
+			p.comboKeys = append(p.comboKeys, k)
+		}
+		p.r2RowsByCombo[k] = append(p.r2RowsByCombo[k], i)
+	}
+	// Deterministic combo order.
+	order := make([]int, len(p.combos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return p.comboKeys[order[a]] < p.comboKeys[order[b]] })
+	combos := make([][]table.Value, len(order))
+	keys := make([]string, len(order))
+	for i, o := range order {
+		combos[i] = p.combos[o]
+		keys[i] = p.comboKeys[o]
+	}
+	p.combos, p.comboKeys = combos, keys
+	for i, k := range p.comboKeys {
+		p.comboByKey[k] = i
+	}
+	return p, nil
+}
+
+// filled reports whether V_Join row i has every usedBCol assigned.
+func (p *prob) filled(i int) bool {
+	for _, c := range p.usedBCols {
+		if p.vjoin.Value(i, c).IsNull() {
+			return false
+		}
+	}
+	return true
+}
+
+// assignCombo writes combo c's values into row i's usedBCols.
+func (p *prob) assignCombo(i, c int) {
+	for j, col := range p.usedBCols {
+		p.vjoin.Set(i, col, p.combos[c][j])
+	}
+}
+
+// comboMatches reports whether combo c satisfies the R2-part predicate
+// (which only references usedBCols).
+func (p *prob) comboMatches(c int, r2Part table.Predicate) bool {
+	for _, a := range r2Part.Atoms {
+		j := -1
+		for k, col := range p.usedBCols {
+			if col == a.Col {
+				j = k
+				break
+			}
+		}
+		if j < 0 || !a.Op.Apply(p.combos[c][j], a.Val) {
+			return false
+		}
+	}
+	return true
+}
+
+// rowMatchesR1 reports whether V_Join row i satisfies the R1-part predicate.
+func (p *prob) rowMatchesR1(i int, r1Part table.Predicate) bool {
+	return r1Part.Eval(p.vjoin.Schema(), p.vjoin.Row(i))
+}
+
+// comboUnused returns the combo indices that are irrelevant to every CC in
+// the full constraint set: assigning them can never contribute to any CC
+// count (line 14 of Algorithm 2). Every disjunct of every CC is consulted;
+// disjuncts without R2 atoms are combo-independent and ignored.
+func (p *prob) comboUnused() []int {
+	var out []int
+	for c := range p.combos {
+		relevant := false
+	scan:
+		for i := range p.in.CCs {
+			for _, r2 := range p.ccR2s[i] {
+				if len(r2.Atoms) == 0 {
+					continue
+				}
+				if p.comboMatches(c, r2) {
+					relevant = true
+					break scan
+				}
+			}
+		}
+		if !relevant {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ccMatchesPair reports whether a V_Join row paired with combo c would
+// contribute to CC j's count: some disjunct's R1 part holds on the row and
+// its R2 part holds on the combo.
+func (p *prob) ccMatchesPair(j, row, c int) bool {
+	for d := range p.ccR1s[j] {
+		if p.rowMatchesR1(row, p.ccR1s[j][d]) && p.comboMatches(c, p.ccR2s[j][d]) {
+			return true
+		}
+	}
+	return false
+}

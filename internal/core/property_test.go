@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/constraint"
+	"repro/internal/metrics"
+	"repro/internal/table"
+)
+
+// randomInstance builds a small random C-Extension instance over a toy
+// schema: R1(pid, A, B, fk), R2(kid, X, Y). CC targets are derived from a
+// random ground-truth assignment so instances are satisfiable; DCs are
+// random binary age-gap or category-pair constraints.
+func randomInstance(rng *rand.Rand) Input {
+	nR2 := 3 + rng.Intn(8)
+	r2 := table.NewRelation("R2", table.NewSchema(
+		table.IntCol("kid"), table.StrCol("X"), table.IntCol("Y")))
+	for i := 0; i < nR2; i++ {
+		r2.MustAppend(table.Int(int64(i+1)),
+			table.String(fmt.Sprintf("x%d", rng.Intn(3))), table.Int(int64(rng.Intn(2))))
+	}
+	nR1 := 5 + rng.Intn(30)
+	r1 := table.NewRelation("R1", table.NewSchema(
+		table.IntCol("pid"), table.IntCol("A"), table.StrCol("B"), table.IntCol("fk")))
+	truth := table.NewRelation("R1", r1.Schema())
+	for i := 0; i < nR1; i++ {
+		a := table.Int(int64(rng.Intn(50)))
+		b := table.String(fmt.Sprintf("b%d", rng.Intn(4)))
+		r1.MustAppend(table.Int(int64(i+1)), a, b, table.Null())
+		truth.MustAppend(table.Int(int64(i+1)), a, b, table.Int(int64(1+rng.Intn(nR2))))
+	}
+	tj, err := table.Join(truth, "fk", r2, "kid")
+	if err != nil {
+		panic(err)
+	}
+
+	var ccs []constraint.CC
+	nCC := rng.Intn(6)
+	for i := 0; i < nCC; i++ {
+		var atoms []table.Atom
+		if rng.Intn(2) == 0 {
+			lo := int64(rng.Intn(40))
+			atoms = append(atoms, table.Between("A", lo, lo+int64(rng.Intn(20)))...)
+		} else {
+			atoms = append(atoms, table.Eq("B", table.String(fmt.Sprintf("b%d", rng.Intn(4)))))
+		}
+		if rng.Intn(2) == 0 {
+			atoms = append(atoms, table.Eq("X", table.String(fmt.Sprintf("x%d", rng.Intn(3)))))
+		} else {
+			atoms = append(atoms, table.Eq("Y", table.Int(int64(rng.Intn(2)))))
+		}
+		pred := table.And(atoms...)
+		ccs = append(ccs, constraint.CC{
+			Name: fmt.Sprintf("cc%d", i), Pred: pred,
+			Target: int64(tj.Count(pred)),
+		})
+	}
+
+	var dcs []constraint.DC
+	nDC := rng.Intn(4)
+	for i := 0; i < nDC; i++ {
+		var src string
+		switch rng.Intn(3) {
+		case 0:
+			src = fmt.Sprintf("dc: deny t1.B = 'b%d' & t2.B = 'b%d'", rng.Intn(4), rng.Intn(4))
+		case 1:
+			src = fmt.Sprintf("dc: deny t1.B = 'b%d' & t2.A < t1.A - %d", rng.Intn(4), 5+rng.Intn(20))
+		default:
+			src = "dc: deny t1.A = t2.A"
+		}
+		dc, err := constraint.ParseDC(src)
+		if err != nil {
+			panic(err)
+		}
+		dcs = append(dcs, dc)
+	}
+	return Input{R1: r1, R2: r2, K1: "pid", K2: "kid", FK: "fk", CCs: ccs, DCs: dcs}
+}
+
+// TestPropertyInvariants: for random instances and all solver modes, the
+// paper's hard guarantees must hold — every FK filled with a real key,
+// zero DC violations (non-baseline modes), unique R̂2 keys.
+func TestPropertyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 120; trial++ {
+		in := randomInstance(rng)
+		opts := []Options{
+			{Seed: int64(trial)},
+			{Seed: int64(trial), Mode: ModeILPOnly},
+			{Seed: int64(trial), Mode: ModeHasseOnly},
+			{Seed: int64(trial), NoPartition: true},
+			{Seed: int64(trial), Workers: 3},
+		}
+		for oi, opt := range opts {
+			res, err := Solve(cloneInput(in), opt)
+			if err != nil {
+				t.Fatalf("trial %d opt %d: %v", trial, oi, err)
+			}
+			if res.VJoin.Len() != in.R1.Len() {
+				t.Fatalf("trial %d opt %d: |VJoin| = %d, want %d", trial, oi, res.VJoin.Len(), in.R1.Len())
+			}
+			if frac := metrics.DCErrorFraction(res.R1Hat, "fk", in.DCs); frac != 0 {
+				t.Fatalf("trial %d opt %d: DC error %v", trial, oi, frac)
+			}
+			if _, err := table.KeyIndex(res.R2Hat, "kid"); err != nil {
+				t.Fatalf("trial %d opt %d: %v", trial, oi, err)
+			}
+		}
+	}
+}
+
+func cloneInput(in Input) Input {
+	out := in
+	out.R1 = in.R1.Clone()
+	out.R2 = in.R2.Clone()
+	return out
+}
+
+// TestPropertyParallelMatchesSequential: the A.3 parallel coloring must be
+// byte-identical to the sequential path.
+func TestPropertyParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng)
+		seq, err := Solve(cloneInput(in), Options{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Solve(cloneInput(in), Options{Seed: 9, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.R1Hat.Len() != par.R1Hat.Len() {
+			t.Fatal("row count differs")
+		}
+		for i := 0; i < seq.R1Hat.Len(); i++ {
+			if seq.R1Hat.Value(i, "fk") != par.R1Hat.Value(i, "fk") {
+				t.Fatalf("trial %d: row %d: sequential %v vs parallel %v",
+					trial, i, seq.R1Hat.Value(i, "fk"), par.R1Hat.Value(i, "fk"))
+			}
+		}
+		if seq.R2Hat.Len() != par.R2Hat.Len() {
+			t.Fatalf("trial %d: R2Hat sizes differ: %d vs %d", trial, seq.R2Hat.Len(), par.R2Hat.Len())
+		}
+	}
+}
+
+// TestPropertyJoinConsistency: on the usedBCols the reported join view
+// must agree with what phase I planned — specifically, CC counts computed
+// on VJoin equal those computed by re-joining R̂1 with R̂2.
+func TestPropertyJoinConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng)
+		res, err := Solve(cloneInput(in), Options{Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejoined, err := table.Join(res.R1Hat, "fk", res.R2Hat, "kid")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cc := range in.CCs {
+			if a, b := res.VJoin.Count(cc.Pred), rejoined.Count(cc.Pred); a != b {
+				t.Fatalf("trial %d: %s: VJoin count %d vs rejoin %d", trial, cc.Name, a, b)
+			}
+		}
+	}
+}
+
+// TestPropertyHasseExactness: Prop 4.7 — when the CC set has no
+// intersecting pairs and a consistent completion exists, the hybrid (which
+// routes everything through Algorithm 2) satisfies all CCs exactly.
+func TestPropertyHasseExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		d := census.Generate(census.Config{Households: 40 + rng.Intn(60), Areas: 3 + rng.Intn(4), Seed: int64(trial)})
+		ccs := d.GoodCCs(10 + rng.Intn(30))
+		in := Input{R1: d.Persons, R2: d.Housing, K1: "pid", K2: "hid", FK: "hid", CCs: ccs}
+		res, err := Solve(in, Options{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.CCsToILP != 0 {
+			t.Fatalf("trial %d: %d good CCs routed to ILP", trial, res.Stats.CCsToILP)
+		}
+		for i, e := range metrics.CCErrors(res.VJoin, ccs) {
+			if e != 0 {
+				t.Fatalf("trial %d: CC %s error %v", trial, ccs[i].Name, e)
+			}
+		}
+	}
+}
+
+// TestPropertyParallelCensus: parallel equivalence on the realistic census
+// workload with all DCs.
+func TestPropertyParallelCensus(t *testing.T) {
+	d := census.Generate(census.Config{Households: 120, Areas: 6, Seed: 3})
+	mk := func() Input {
+		return Input{R1: d.Persons.Clone(), R2: d.Housing.Clone(), K1: "pid", K2: "hid", FK: "hid",
+			CCs: d.BadCCs(40), DCs: census.AllDCs()}
+	}
+	seq, err := Solve(mk(), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve(mk(), Options{Seed: 5, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < seq.R1Hat.Len(); i++ {
+		if seq.R1Hat.Value(i, "hid") != par.R1Hat.Value(i, "hid") {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	if frac := metrics.DCErrorFraction(par.R1Hat, "hid", census.AllDCs()); frac != 0 {
+		t.Fatalf("parallel DC error %v", frac)
+	}
+}

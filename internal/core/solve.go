@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/hasse"
+	"repro/internal/table"
+)
+
+// Solve runs the two-phase C-Extension solver end to end and returns R̂1
+// (FK filled), R̂2 (possibly augmented), and the final join view. With the
+// default options this is the paper's hybrid; BaselineOptions and
+// BaselineMarginalsOptions reproduce the §6.1 comparison algorithms.
+func Solve(in Input, opt Options) (*Result, error) {
+	var stat Stats
+	t0 := time.Now()
+	p, err := newProb(in, opt, &stat)
+	if err != nil {
+		return nil, err
+	}
+
+	// ---------- Phase I: complete V_Join from the CCs ----------
+	tPhase1 := time.Now()
+	switch opt.Mode {
+	case ModeHybrid:
+		tw := time.Now()
+		s1, s2, rel := p.splitHybrid()
+		stat.Pairwise = time.Since(tw)
+		stat.CCsToHasse, stat.CCsToILP = len(s1), len(s2)
+
+		tw = time.Now()
+		forest := hasse.Build(subMatrix(rel, s1))
+		p.runHasse(s1, forest)
+		stat.Recursion = time.Since(tw)
+
+		tw = time.Now()
+		if err := p.runILP(s2, !opt.NoMarginals); err != nil {
+			return nil, err
+		}
+		stat.ILPTime = time.Since(tw)
+
+	case ModeILPOnly:
+		all := make([]int, len(in.CCs))
+		for i := range all {
+			all[i] = i
+		}
+		stat.CCsToILP = len(all)
+		tw := time.Now()
+		if err := p.runILP(all, !opt.NoMarginals); err != nil {
+			return nil, err
+		}
+		stat.ILPTime = time.Since(tw)
+
+	case ModeHasseOnly:
+		all := make([]int, len(in.CCs))
+		for i := range all {
+			all[i] = i
+		}
+		stat.CCsToHasse = len(all)
+		tw := time.Now()
+		rel := constraint.ClassifyAll(in.CCs, func(c string) bool { return p.isR2Col[c] })
+		stat.Pairwise = time.Since(tw)
+		tw = time.Now()
+		p.runHasse(all, hasse.Build(rel))
+		stat.Recursion = time.Since(tw)
+
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", opt.Mode)
+	}
+
+	// Leftover tuples. The plain baseline fills them with uniformly random
+	// combos (§6.1); every other configuration uses combinations unused by
+	// the CC set, leaving invalid tuples when none exist.
+	if opt.RandomFK && opt.NoMarginals {
+		p.fillLeftoversRandom()
+	} else {
+		completed, invalid := p.fillLeftoversUnused()
+		stat.UnfilledAfterPhase1 = completed + invalid
+		if opt.RandomFK && invalid > 0 {
+			p.fillLeftoversRandom() // baselines never carry invalid tuples
+		}
+	}
+	stat.Phase1 = time.Since(tPhase1)
+
+	// ---------- Phase II: complete R1.FK from V_Join and the DCs ----------
+	tPhase2 := time.Now()
+	ph, err := p.runPhase2()
+	if err != nil {
+		return nil, err
+	}
+	stat.Coloring = time.Since(tPhase2)
+	stat.Phase2 = time.Since(tPhase2)
+
+	r1hat := in.R1.Clone()
+	for i := 0; i < r1hat.Len(); i++ {
+		r1hat.Set(i, in.FK, ph.fk[i])
+	}
+	vj, err := table.Join(r1hat, in.FK, ph.r2hat, in.K2)
+	if err != nil {
+		return nil, err
+	}
+	vj.Name = "VJoin"
+	stat.Total = time.Since(t0)
+	return &Result{R1Hat: r1hat, R2Hat: ph.r2hat, VJoin: vj, Stats: stat}, nil
+}
+
+// fillLeftoversRandom assigns uniformly random active combos to every
+// still-unfilled tuple (the plain baseline's completion rule).
+func (p *prob) fillLeftoversRandom() {
+	if len(p.usedBCols) == 0 || len(p.combos) == 0 {
+		return
+	}
+	for i := 0; i < p.vjoin.Len(); i++ {
+		if !p.filled(i) {
+			p.assignCombo(i, p.rng.Intn(len(p.combos)))
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/hypergraph"
+	"repro/internal/table"
+)
+
+// sweepable reports whether a binary DC atom compares two integer columns
+// with an order/equality operator, enabling the sorted-sweep edge
+// enumerator: instead of probing every candidate pair (quadratic in the
+// partition size even when few pairs conflict), the left variable's
+// candidates are sorted by the compared column and each right-variable row
+// selects its conflicting range by binary search. This is the dominant DC
+// shape in the paper's Table 4 (owner/member age-gap constraints).
+func sweepable(a constraint.BinaryAtom, s *table.Schema) bool {
+	jl, okL := s.Index(a.LCol)
+	jr, okR := s.Index(a.RCol)
+	if !okL || !okR {
+		return false
+	}
+	return s.Col(jl).Type == table.TypeInt && s.Col(jr).Type == table.TypeInt
+}
+
+// sweepEdges enumerates the edges of a 2-variable DC with exactly one
+// binary atom using a sorted sweep over the binary atom's left column.
+// Unary atoms are already folded into the candidate lists.
+func (ph *phase2) sweepEdges(g *hypergraph.Graph, dc constraint.DC, cands [][]int, rows []int) {
+	p := ph.p
+	s := p.vjoin.Schema()
+	atom := dc.Binary[0]
+	jl := s.MustIndex(atom.LCol)
+	jr := s.MustIndex(atom.RCol)
+
+	// Sort the left-variable candidates by the compared column, skipping
+	// null cells (null never conflicts).
+	type lv struct {
+		local int
+		val   int64
+	}
+	left := make([]lv, 0, len(cands[atom.LVar]))
+	for _, li := range cands[atom.LVar] {
+		v := p.vjoin.Row(rows[li])[jl]
+		if v.Kind() != table.KindInt {
+			continue
+		}
+		left = append(left, lv{local: li, val: v.Int()})
+	}
+	sort.Slice(left, func(a, b int) bool { return left[a].val < left[b].val })
+
+	for _, ri := range cands[atom.RVar] {
+		rv := p.vjoin.Row(rows[ri])[jr]
+		if rv.Kind() != table.KindInt {
+			continue
+		}
+		bound := rv.Int() + atom.Offset
+		var lo, hi int // half-open range [lo, hi) of conflicting left rows
+		switch atom.Op {
+		case table.OpLt:
+			lo, hi = 0, sort.Search(len(left), func(i int) bool { return left[i].val >= bound })
+		case table.OpLe:
+			lo, hi = 0, sort.Search(len(left), func(i int) bool { return left[i].val > bound })
+		case table.OpGt:
+			lo, hi = sort.Search(len(left), func(i int) bool { return left[i].val > bound }), len(left)
+		case table.OpGe:
+			lo, hi = sort.Search(len(left), func(i int) bool { return left[i].val >= bound }), len(left)
+		case table.OpEq:
+			lo = sort.Search(len(left), func(i int) bool { return left[i].val >= bound })
+			hi = sort.Search(len(left), func(i int) bool { return left[i].val > bound })
+		case table.OpNe:
+			// Two ranges: everything below and everything above `bound`.
+			mid1 := sort.Search(len(left), func(i int) bool { return left[i].val >= bound })
+			mid2 := sort.Search(len(left), func(i int) bool { return left[i].val > bound })
+			for _, l := range left[:mid1] {
+				if l.local != ri {
+					g.AddEdge(ri, l.local)
+				}
+			}
+			for _, l := range left[mid2:] {
+				if l.local != ri {
+					g.AddEdge(ri, l.local)
+				}
+			}
+			continue
+		default:
+			continue
+		}
+		for _, l := range left[lo:hi] {
+			if l.local != ri {
+				g.AddEdge(ri, l.local)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package core implements the paper's contribution: the two-phase
+// C-Extension solver.
+//
+// Phase I fills the R2-originated columns of the join view V_Join from the
+// cardinality constraints, combining Algorithm 1 (ILP over intervalized
+// bins) for intersecting CCs with Algorithm 2 (recursion over Hasse
+// diagrams of the containment order) for the rest — the hybrid of §4.3.
+//
+// Phase II (Algorithm 4) reverse-engineers R1's foreign-key column from the
+// filled view by list-coloring conflict hypergraphs built from the denial
+// constraints, partitioned by the filled R2 values (§5.2 optimization), and
+// materializes fresh R2 tuples for skipped vertices. The result satisfies
+// every DC exactly (Prop. 5.5) while keeping CC error low.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/constraint"
+	"repro/internal/ilp"
+	"repro/internal/table"
+)
+
+// Input is a C-Extension instance (Def. 2.6): R1 with an empty FK column,
+// R2, and the two constraint sets.
+type Input struct {
+	R1 *table.Relation // schema (K1, A1..Ap, FK); FK column all-null
+	R2 *table.Relation // schema (K2, B1..Bq)
+	K1 string          // primary key column of R1
+	K2 string          // primary key column of R2 (FK target)
+	FK string          // foreign key column of R1
+
+	CCs []constraint.CC
+	DCs []constraint.DC
+}
+
+// Mode selects the phase-I strategy.
+type Mode uint8
+
+const (
+	// ModeHybrid is the paper's approach (§4.3): Algorithm 2 for
+	// intersection-free diagrams, Algorithm 1 for the rest.
+	ModeHybrid Mode = iota
+	// ModeILPOnly routes every CC through Algorithm 1 (the baselines, and
+	// an ablation of the hybrid split).
+	ModeILPOnly
+	// ModeHasseOnly routes every CC through Algorithm 2, even intersecting
+	// ones (ablation; CC error may grow).
+	ModeHasseOnly
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeHybrid:
+		return "hybrid"
+	case ModeILPOnly:
+		return "ilp-only"
+	case ModeHasseOnly:
+		return "hasse-only"
+	}
+	return "unknown"
+}
+
+// ColorOrder selects the vertex order of the list-coloring heuristic.
+type ColorOrder uint8
+
+const (
+	// OrderLargestFirst is Algorithm 3's non-increasing degree order.
+	OrderLargestFirst ColorOrder = iota
+	// OrderInput visits vertices in input order (ablation).
+	OrderInput
+)
+
+// Options configure the solver. The zero value is the paper's hybrid with
+// marginal augmentation and partitioned coloring.
+type Options struct {
+	Mode Mode
+	// NoMarginals disables the all-way-marginal augmentation of the ILP
+	// (§4.1); the plain baseline runs with this set.
+	NoMarginals bool
+	// RandomFK makes phase II assign a uniformly random candidate FK per
+	// tuple instead of coloring conflict graphs — the baselines' phase II.
+	RandomFK bool
+	// NoPartition disables the §5.2 optimization and builds one global
+	// conflict hypergraph (ablation; slow on large inputs).
+	NoPartition bool
+	// Order selects the coloring vertex order.
+	Order ColorOrder
+	// Workers enables the Appendix A.3 optimization: partitions' conflict
+	// hypergraphs are built and colored concurrently by this many
+	// goroutines. 0 or 1 runs sequentially; negative uses GOMAXPROCS.
+	// Output is identical to the sequential path.
+	Workers int
+	// Seed drives all randomized tie-breaking; same seed, same output.
+	Seed int64
+	// ILP bounds the branch-and-bound effort of Algorithm 1.
+	ILP ilp.Options
+}
+
+// BaselineOptions returns the configuration of the paper's plain baseline
+// (Arasu-style ILP without marginal rows, random FK assignment).
+func BaselineOptions(seed int64) Options {
+	return Options{Mode: ModeILPOnly, NoMarginals: true, RandomFK: true, Seed: seed}
+}
+
+// BaselineMarginalsOptions returns the "baseline with marginals"
+// configuration from §6.1.
+func BaselineMarginalsOptions(seed int64) Options {
+	return Options{Mode: ModeILPOnly, RandomFK: true, Seed: seed}
+}
+
+// Stats records runtime breakdown and solution diagnostics; the fields
+// mirror the stages reported in Figures 11 and 13 of the paper.
+type Stats struct {
+	Pairwise  time.Duration // CC pairwise classification
+	Recursion time.Duration // Algorithm 2 over Hasse diagrams
+	ILPTime   time.Duration // Algorithm 1 (build + solve + greedy fill)
+	Coloring  time.Duration // Algorithm 4 conflict graphs + coloring
+	Phase1    time.Duration
+	Phase2    time.Duration
+	Total     time.Duration
+
+	CCsToHasse int // |S1|
+	CCsToILP   int // |S2|
+	ILPVars    int
+	ILPRows    int
+	ILPNodes   int
+	ILPIters   int
+	ILPStatus  string
+
+	UnfilledAfterPhase1 int // tuples completed via combo_unused
+	InvalidTuples       int
+	Partitions          int
+	ConflictEdges       int
+	SkippedVertices     int
+	AddedR2Tuples       int
+}
+
+// Result is the solver output: R̂1 with the FK column completed, R̂2 with
+// any artificially added tuples, the final join view, and diagnostics.
+type Result struct {
+	R1Hat *table.Relation
+	R2Hat *table.Relation
+	VJoin *table.Relation // R̂1 ⋈ R̂2, fully populated
+	Stats Stats
+}
+
+// prob carries the derived solver state shared across phases.
+type prob struct {
+	in   Input
+	opt  Options
+	rng  *rand.Rand
+	stat *Stats
+
+	aCols     []string // R1 non-key attribute columns
+	bCols     []string // R2 non-key attribute columns
+	usedBCols []string // B columns referenced by any CC
+	isR2Col   map[string]bool
+
+	vjoin *table.Relation // K1 + aCols + bCols; usedBCols filled by phase I
+
+	// Active combos of R2 over usedBCols.
+	combos        [][]table.Value
+	comboKeys     []string
+	comboByKey    map[string]int
+	r2RowsByCombo map[string][]int // combo key -> R2 row indices (of in.R2)
+
+	ccR1, ccR2   []table.Predicate   // first-disjunct split (Algorithm 2 path)
+	ccR1s, ccR2s [][]table.Predicate // per-disjunct splits (ILP path, union semantics)
+}

@@ -1,0 +1,178 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the synthetic census substrate. Each runner returns a
+// formatted text table with the same rows/series the paper reports; the
+// cmd/benchtab tool prints them and the root bench_test.go wraps them in
+// testing.B benchmarks.
+//
+// Absolute sizes are scaled down by default (Config.Unit households at
+// scale 1× instead of the paper's 9,820) so a full sweep finishes on a
+// laptop in seconds; the shapes — who wins, by what rough factor, where the
+// bottleneck lies — are what the harness reproduces.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Config sizes every experiment.
+type Config struct {
+	// Unit is the number of households at scale 1× (paper: 9,820).
+	Unit int
+	// Areas is the number of distinct Area values (affects partition count
+	// and CC grid size).
+	Areas int
+	// NCC is the size of the generated CC sets (paper: 1001).
+	NCC int
+	// Scales lists the data scales (multiples of Unit) used by the scale
+	// sweeps (paper: 1,2,5,10,40 for Fig. 8 and up to 160 for Fig. 11b).
+	Scales []int
+	// LargeScales is the Fig. 11b sweep (paper: 10,40,80,120,160).
+	LargeScales []int
+	Seed        int64
+}
+
+// DefaultConfig finishes the full suite quickly while preserving shapes.
+func DefaultConfig() Config {
+	return Config{
+		Unit:        120,
+		Areas:       6,
+		NCC:         60,
+		Scales:      []int{1, 2, 5},
+		LargeScales: []int{1, 2, 5, 10},
+		Seed:        1,
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for j, h := range t.Header {
+		widths[j] = len(h)
+	}
+	for _, r := range t.Rows {
+		for j, c := range r {
+			if j < len(widths) && len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for j, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[j], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// instance is one generated C-Extension problem.
+type instance struct {
+	in   core.Input
+	data *census.Data
+}
+
+func (c Config) build(scale int, goodCC, goodDC bool, extraCols int) instance {
+	d := census.Generate(census.Config{
+		Households: c.Unit * scale,
+		Areas:      c.Areas,
+		ExtraCols:  extraCols,
+		Seed:       c.Seed,
+	})
+	var ccs []constraint.CC
+	if goodCC {
+		ccs = d.GoodCCs(c.NCC)
+	} else {
+		ccs = d.BadCCs(c.NCC)
+	}
+	var dcs []constraint.DC
+	if goodDC {
+		dcs = census.GoodDCs()
+	} else {
+		dcs = census.AllDCs()
+	}
+	return instance{
+		in: core.Input{
+			R1: d.Persons, R2: d.Housing,
+			K1: "pid", K2: "hid", FK: "hid",
+			CCs: ccs, DCs: dcs,
+		},
+		data: d,
+	}
+}
+
+// outcome is one algorithm run's measurements.
+type outcome struct {
+	res      *core.Result
+	ccMedian float64
+	ccMean   float64
+	dcErr    float64
+	elapsed  time.Duration
+}
+
+func run(inst instance, opt core.Options) (outcome, error) {
+	start := time.Now()
+	res, err := core.Solve(inst.in, opt)
+	if err != nil {
+		return outcome{}, err
+	}
+	el := time.Since(start)
+	errs := metrics.CCErrors(res.VJoin, inst.in.CCs)
+	return outcome{
+		res:      res,
+		ccMedian: metrics.Median(errs),
+		ccMean:   metrics.Mean(errs),
+		dcErr:    metrics.DCErrorFraction(res.R1Hat, inst.in.FK, inst.in.DCs),
+		elapsed:  el,
+	}, nil
+}
+
+func f3(x float64) string        { return fmt.Sprintf("%.3f", x) }
+func dur(d time.Duration) string { return d.Round(time.Millisecond).String() }
+
+// Runners returns every experiment keyed by id, in report order.
+func Runners() []struct {
+	ID  string
+	Run func(Config) (*Table, error)
+} {
+	return []struct {
+		ID  string
+		Run func(Config) (*Table, error)
+	}{
+		{"table1", Table1},
+		{"fig8a", Fig8a},
+		{"fig8b", Fig8b},
+		{"fig9", Fig9},
+		{"fig10", Fig10},
+		{"fig11a", Fig11a},
+		{"fig11b", Fig11b},
+		{"fig12", Fig12},
+		{"fig13", Fig13},
+		{"ccsweep", CCSweep},
+		{"noise", NoiseSweep},
+		{"ablations", Ablations},
+	}
+}

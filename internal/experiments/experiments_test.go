@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps runner tests fast.
+func tinyConfig() Config {
+	return Config{Unit: 40, Areas: 4, NCC: 24, Scales: []int{1, 2}, LargeScales: []int{1, 2}, Seed: 1}
+}
+
+func TestAllRunnersProduceTables(t *testing.T) {
+	cfg := tinyConfig()
+	for _, r := range Runners() {
+		tab, err := r.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if tab.ID != r.ID {
+			t.Errorf("%s: table id %q", r.ID, tab.ID)
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s: no rows", r.ID)
+		}
+		for _, row := range tab.Rows {
+			if len(row) != len(tab.Header) {
+				t.Errorf("%s: row width %d vs header %d", r.ID, len(row), len(tab.Header))
+			}
+		}
+		if s := tab.String(); !strings.Contains(s, tab.Title) {
+			t.Errorf("%s: String() missing title", r.ID)
+		}
+	}
+}
+
+// TestFig8ShapesHold asserts the qualitative findings of Figure 8 on the
+// scaled-down instances: the hybrid has zero DC and CC error, the plain
+// baseline has substantial CC error and nonzero DC error, the
+// baseline-with-marginals has zero CC error but nonzero DC error.
+func TestFig8ShapesHold(t *testing.T) {
+	tab, err := Fig8a(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		scale := row[0]
+		ccBase, _ := strconv.ParseFloat(row[1], 64)
+		ccMarg, _ := strconv.ParseFloat(row[2], 64)
+		ccHyb, _ := strconv.ParseFloat(row[3], 64)
+		dcBase, _ := strconv.ParseFloat(row[4], 64)
+		dcMarg, _ := strconv.ParseFloat(row[5], 64)
+		dcHyb, _ := strconv.ParseFloat(row[6], 64)
+		if ccHyb != 0 || dcHyb != 0 {
+			t.Errorf("%s: hybrid errors cc=%v dc=%v, want 0/0", scale, ccHyb, dcHyb)
+		}
+		if ccMarg != 0 {
+			t.Errorf("%s: baseline+marginals CC error %v, want 0", scale, ccMarg)
+		}
+		if ccBase <= ccHyb {
+			t.Errorf("%s: baseline CC error %v not worse than hybrid", scale, ccBase)
+		}
+		if dcBase == 0 || dcMarg == 0 {
+			t.Errorf("%s: baseline DC errors base=%v marg=%v, want nonzero", scale, dcBase, dcMarg)
+		}
+	}
+}
+
+func TestFig13GoodVsBadRouting(t *testing.T) {
+	cfg := tinyConfig()
+	if _, err := Fig13(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The routing property behind Figure 13: good CCs never touch the ILP,
+	// bad CCs do. Checked on the solver stats directly because at test
+	// scale the ILP finishes in well under the table's 1ms rounding.
+	goodOut, err := run(cfg.build(1, true, false, 0), core.Options{Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goodOut.res.Stats.CCsToILP != 0 {
+		t.Errorf("good CCs routed to ILP: %d", goodOut.res.Stats.CCsToILP)
+	}
+	badOut, err := run(cfg.build(1, false, false, 0), core.Options{Seed: cfg.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badOut.res.Stats.CCsToILP == 0 {
+		t.Error("bad CCs did not exercise the ILP")
+	}
+	if badOut.res.Stats.ILPVars == 0 {
+		t.Error("no ILP variables created for bad CCs")
+	}
+}
+
+func TestAblationsIncludeAllVariants(t *testing.T) {
+	tab, err := Ablations(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("variants = %d", len(tab.Rows))
+	}
+	// Paper variants keep DC error at 0 (columns: variant..., DCerr at 4).
+	for _, row := range tab.Rows {
+		if row[4] != "0.000" {
+			t.Errorf("%s: DC error %s, want 0.000", row[0], row[4])
+		}
+	}
+}
+
+func TestDefaultConfigComplete(t *testing.T) {
+	c := DefaultConfig()
+	if c.Unit <= 0 || c.NCC <= 0 || len(c.Scales) == 0 || len(c.LargeScales) == 0 {
+		t.Errorf("default config incomplete: %+v", c)
+	}
+}

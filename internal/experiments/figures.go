@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Table1 reproduces Table 1: tuple counts per data scale. The paper's unit
+// is 9,820 households ≈ 25k persons; ours is Config.Unit households with
+// the same persons/households ratio.
+func Table1(c Config) (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Data scales (cf. paper Table 1; unit scaled down)",
+		Header: []string{"Scale", "Persons", "Housing", "|VJoin|"},
+		Notes:  []string{fmt.Sprintf("paper 1x = 25,099 persons / 9,820 households; ours uses Unit=%d households", c.Unit)},
+	}
+	for _, s := range c.Scales {
+		inst := c.build(s, true, true, 0)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx", s),
+			fmt.Sprint(inst.in.R1.Len()),
+			fmt.Sprint(inst.in.R2.Len()),
+			fmt.Sprint(inst.in.R1.Len()), // |VJoin| = |R1| by FK dependence
+		})
+	}
+	return t, nil
+}
+
+// fig8 is the error comparison of Figure 8: baseline vs baseline+marginals
+// vs hybrid across data scales for a fixed DC set and CC family.
+func fig8(c Config, id string, goodCC bool) (*Table, error) {
+	t := &Table{
+		ID:    id,
+		Title: fmt.Sprintf("CC/DC error vs scale (S_all_DC, %s CCs)", ccName(goodCC)),
+		Header: []string{"Scale",
+			"CCerr-base", "CCerr-marg", "CCerr-hybrid",
+			"DCerr-base", "DCerr-marg", "DCerr-hybrid"},
+		Notes: []string{"CC error is the median relative error, as in the paper's Figure 8"},
+	}
+	for _, s := range c.Scales {
+		algos := []core.Options{
+			core.BaselineOptions(c.Seed),
+			core.BaselineMarginalsOptions(c.Seed),
+			{Seed: c.Seed},
+		}
+		var cc, dc [3]string
+		for i, opt := range algos {
+			out, err := run(c.build(s, goodCC, false, 0), opt)
+			if err != nil {
+				return nil, err
+			}
+			cc[i] = f3(out.ccMedian)
+			dc[i] = f3(out.dcErr)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%dx", s), cc[0], cc[1], cc[2], dc[0], dc[1], dc[2]})
+	}
+	return t, nil
+}
+
+// Fig8a: S_all_DC with S_good_CC.
+func Fig8a(c Config) (*Table, error) { return fig8(c, "fig8a", true) }
+
+// Fig8b: S_all_DC with S_bad_CC.
+func Fig8b(c Config) (*Table, error) { return fig8(c, "fig8b", false) }
+
+// Fig9 reproduces Figure 9: the distribution of per-CC relative errors for
+// the baseline vs the hybrid at the largest scale with bad CCs.
+func Fig9(c Config) (*Table, error) {
+	scale := c.Scales[len(c.Scales)-1]
+	inst := c.build(scale, false, false, 0)
+	t := &Table{
+		ID:     "fig9",
+		Title:  fmt.Sprintf("Per-CC relative error distribution (scale %dx, S_all_DC, bad CCs)", scale),
+		Header: []string{"Algorithm", "p25", "median", "p75", "p95", "max", "mean"},
+		Notes:  []string{"baseline-with-marginals omitted, as in the paper (it satisfies all CCs)"},
+	}
+	for _, a := range []struct {
+		name string
+		opt  core.Options
+	}{
+		{"baseline", core.BaselineOptions(c.Seed)},
+		{"hybrid", core.Options{Seed: c.Seed}},
+	} {
+		out, err := run(inst, a.opt)
+		if err != nil {
+			return nil, err
+		}
+		errs := metrics.CCErrors(out.res.VJoin, inst.in.CCs)
+		t.Rows = append(t.Rows, []string{a.name,
+			f3(metrics.Quantile(errs, 0.25)), f3(metrics.Median(errs)),
+			f3(metrics.Quantile(errs, 0.75)), f3(metrics.Quantile(errs, 0.95)),
+			f3(metrics.Quantile(errs, 1.0)), f3(metrics.Mean(errs))})
+		inst = c.build(scale, false, false, 0) // fresh instance per run
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: the four good/bad DC x CC combinations at a
+// fixed scale, comparing all three algorithms.
+func Fig10(c Config) (*Table, error) {
+	scale := c.Scales[len(c.Scales)/2]
+	t := &Table{
+		ID:    "fig10",
+		Title: fmt.Sprintf("Error for good/bad DC and CC combinations (scale %dx)", scale),
+		Header: []string{"DCs", "CCs",
+			"CCerr-base", "CCerr-marg", "CCerr-hybrid",
+			"DCerr-base", "DCerr-marg", "DCerr-hybrid"},
+	}
+	for _, combo := range []struct{ goodDC, goodCC bool }{
+		{true, true}, {true, false}, {false, true}, {false, false},
+	} {
+		var cc, dc [3]string
+		for i, opt := range []core.Options{
+			core.BaselineOptions(c.Seed),
+			core.BaselineMarginalsOptions(c.Seed),
+			{Seed: c.Seed},
+		} {
+			out, err := run(c.build(scale, combo.goodCC, combo.goodDC, 0), opt)
+			if err != nil {
+				return nil, err
+			}
+			cc[i] = f3(out.ccMedian)
+			dc[i] = f3(out.dcErr)
+		}
+		t.Rows = append(t.Rows, []string{
+			dcName(combo.goodDC), ccName(combo.goodCC),
+			cc[0], cc[1], cc[2], dc[0], dc[1], dc[2]})
+	}
+	return t, nil
+}
+
+// Fig11a reproduces Figure 11a: total runtime with the phase II share,
+// baseline vs hybrid, at two scales with bad CCs and all DCs.
+func Fig11a(c Config) (*Table, error) {
+	t := &Table{
+		ID:     "fig11a",
+		Title:  "Runtime baseline vs hybrid (S_all_DC, bad CCs); phaseII is the shaded area",
+		Header: []string{"Scale", "Algorithm", "total", "phaseI", "phaseII"},
+	}
+	scales := c.Scales
+	if len(scales) > 2 {
+		scales = scales[len(scales)-2:]
+	}
+	for _, s := range scales {
+		for _, a := range []struct {
+			name string
+			opt  core.Options
+		}{
+			{"baseline", core.BaselineOptions(c.Seed)},
+			{"hybrid", core.Options{Seed: c.Seed}},
+		} {
+			out, err := run(c.build(s, false, false, 0), a.opt)
+			if err != nil {
+				return nil, err
+			}
+			st := out.res.Stats
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%dx", s), a.name,
+				dur(st.Total), dur(st.Phase1), dur(st.Phase2)})
+		}
+	}
+	return t, nil
+}
+
+// Fig11b reproduces Figure 11b: hybrid runtime across larger scales with
+// good DCs, for good vs bad CCs.
+func Fig11b(c Config) (*Table, error) {
+	t := &Table{
+		ID:     "fig11b",
+		Title:  "Hybrid runtime at larger scales (S_good_DC)",
+		Header: []string{"Scale", "CCs", "total", "phaseI", "phaseII"},
+	}
+	for _, s := range c.LargeScales {
+		for _, goodCC := range []bool{true, false} {
+			out, err := run(c.build(s, goodCC, true, 0), core.Options{Seed: c.Seed})
+			if err != nil {
+				return nil, err
+			}
+			st := out.res.Stats
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%dx", s), ccName(goodCC),
+				dur(st.Total), dur(st.Phase1), dur(st.Phase2)})
+		}
+	}
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: hybrid runtime as the number of non-key R2
+// columns grows from 2 to 10 (good DCs, good CCs).
+func Fig12(c Config) (*Table, error) {
+	scale := c.Scales[len(c.Scales)/2]
+	t := &Table{
+		ID:     "fig12",
+		Title:  fmt.Sprintf("Hybrid runtime vs number of R2 columns (scale %dx, good DCs/CCs)", scale),
+		Header: []string{"R2 cols", "total", "recursion", "coloring", "partitions"},
+	}
+	for _, extra := range []int{0, 2, 4, 6, 8} {
+		out, err := run(c.build(scale, true, true, extra), core.Options{Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		st := out.res.Stats
+		t.Rows = append(t.Rows, []string{fmt.Sprint(2 + extra),
+			dur(st.Total), dur(st.Recursion), dur(st.Coloring), fmt.Sprint(st.Partitions)})
+	}
+	return t, nil
+}
+
+// Fig13 reproduces Figure 13: the runtime breakdown of the hybrid
+// (pairwise comparison / recursion / ILP / coloring) for good vs bad CC
+// sets with all DCs.
+func Fig13(c Config) (*Table, error) {
+	scale := c.Scales[len(c.Scales)/2]
+	t := &Table{
+		ID:     "fig13",
+		Title:  fmt.Sprintf("Hybrid runtime breakdown (scale %dx, S_all_DC, %d CCs)", scale, c.NCC),
+		Header: []string{"CCs", "pairwise", "recursion", "ILP", "coloring", "total"},
+	}
+	for _, goodCC := range []bool{true, false} {
+		out, err := run(c.build(scale, goodCC, false, 0), core.Options{Seed: c.Seed})
+		if err != nil {
+			return nil, err
+		}
+		st := out.res.Stats
+		t.Rows = append(t.Rows, []string{ccName(goodCC),
+			dur(st.Pairwise), dur(st.Recursion), dur(st.ILPTime), dur(st.Coloring), dur(st.Total)})
+	}
+	return t, nil
+}
+
+// CCSweep reproduces the "increasing the number of CCs" experiment
+// (datasets 13-22): runtime and error as the CC count grows.
+func CCSweep(c Config) (*Table, error) {
+	scale := c.Scales[len(c.Scales)/2]
+	t := &Table{
+		ID:     "ccsweep",
+		Title:  fmt.Sprintf("Hybrid runtime/error vs CC count (scale %dx, S_all_DC)", scale),
+		Header: []string{"CCs", "family", "total", "ILP", "CCerr-median", "CCerr-mean"},
+	}
+	steps := []int{c.NCC / 2, c.NCC * 3 / 4, c.NCC}
+	for _, goodCC := range []bool{true, false} {
+		for _, n := range steps {
+			cc := c
+			cc.NCC = n
+			out, err := run(cc.build(scale, goodCC, false, 0), core.Options{Seed: c.Seed})
+			if err != nil {
+				return nil, err
+			}
+			st := out.res.Stats
+			t.Rows = append(t.Rows, []string{fmt.Sprint(n), ccName(goodCC),
+				dur(st.Total), dur(st.ILPTime), f3(out.ccMedian), f3(out.ccMean)})
+		}
+	}
+	return t, nil
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out: marginal
+// augmentation, the hybrid split, conflict-graph partitioning, and the
+// coloring order.
+func Ablations(c Config) (*Table, error) {
+	scale := c.Scales[len(c.Scales)/2]
+	t := &Table{
+		ID:     "ablations",
+		Title:  fmt.Sprintf("Design-choice ablations (scale %dx, S_all_DC, bad CCs)", scale),
+		Header: []string{"Variant", "total", "CCerr-median", "CCerr-mean", "DCerr", "skipped", "addedR2"},
+	}
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"hybrid (paper)", core.Options{Seed: c.Seed}},
+		{"no marginals", core.Options{Seed: c.Seed, NoMarginals: true}},
+		{"ilp-only", core.Options{Seed: c.Seed, Mode: core.ModeILPOnly}},
+		{"hasse-only", core.Options{Seed: c.Seed, Mode: core.ModeHasseOnly}},
+		{"no partition", core.Options{Seed: c.Seed, NoPartition: true}},
+		{"input-order coloring", core.Options{Seed: c.Seed, Order: core.OrderInput}},
+		{"parallel coloring (A.3)", core.Options{Seed: c.Seed, Workers: -1}},
+	}
+	for _, v := range variants {
+		out, err := run(c.build(scale, false, false, 0), v.opt)
+		if err != nil {
+			return nil, err
+		}
+		st := out.res.Stats
+		t.Rows = append(t.Rows, []string{v.name, dur(st.Total),
+			f3(out.ccMedian), f3(out.ccMean), f3(out.dcErr),
+			fmt.Sprint(st.SkippedVertices), fmt.Sprint(st.AddedR2Tuples)})
+	}
+	return t, nil
+}
+
+func ccName(good bool) string {
+	if good {
+		return "good"
+	}
+	return "bad"
+}
+
+func dcName(good bool) string {
+	if good {
+		return "good"
+	}
+	return "all"
+}

@@ -1,0 +1,147 @@
+// Package hasse builds the Hasse diagrams over the CC containment partial
+// order used by Algorithm 2: nodes are CCs, edges are covering containment
+// relations, and each connected component ("diagram" in the paper's
+// terminology) is processed bottom-up from its maximal element.
+package hasse
+
+import (
+	"sort"
+
+	"repro/internal/constraint"
+)
+
+// Diagram is one connected component of the containment order.
+type Diagram struct {
+	// Nodes lists the CC indices in this component, ascending.
+	Nodes []int
+	// Maximal lists the nodes not contained in any other node of the
+	// component. A well-formed diagram for Algorithm 2 has exactly one, but
+	// degenerate inputs can produce several; the hybrid routes such
+	// components to the ILP.
+	Maximal []int
+}
+
+// Forest is the set of diagrams plus the covering relation.
+type Forest struct {
+	// Children[i] lists the CCs covered by i (directly contained, no CC in
+	// between), ascending.
+	Children [][]int
+	// Parents[i] lists the CCs covering i.
+	Parents  [][]int
+	Diagrams []Diagram
+}
+
+// Build constructs the forest from a pairwise relationship matrix (as
+// produced by constraint.ClassifyAll). Only containment relations
+// contribute edges; RelEqual pairs are linked as a containment in index
+// order so that duplicated CCs stay in one diagram instead of looping.
+func Build(rel [][]constraint.Relationship) *Forest {
+	n := len(rel)
+	// contains[i][j] == true means j ⊆ i strictly (or equal with i < j).
+	contains := make([][]bool, n)
+	for i := range contains {
+		contains[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			switch rel[i][j] {
+			case constraint.RelAContainsB:
+				contains[i][j] = true
+			case constraint.RelEqual:
+				if i < j {
+					contains[i][j] = true
+				}
+			}
+		}
+	}
+	f := &Forest{Children: make([][]int, n), Parents: make([][]int, n)}
+	// Covering relation: i covers j iff i ⊇ j and no k with i ⊇ k ⊇ j.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !contains[i][j] {
+				continue
+			}
+			covered := true
+			for k := 0; k < n && covered; k++ {
+				if k != i && k != j && contains[i][k] && contains[k][j] {
+					covered = false
+				}
+			}
+			if covered {
+				f.Children[i] = append(f.Children[i], j)
+				f.Parents[j] = append(f.Parents[j], i)
+			}
+		}
+	}
+	// Connected components over the undirected covering graph.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	nc := 0
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		stack := []int{i}
+		comp[i] = nc
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range append(append([]int(nil), f.Children[v]...), f.Parents[v]...) {
+				if comp[u] < 0 {
+					comp[u] = nc
+					stack = append(stack, u)
+				}
+			}
+		}
+		nc++
+	}
+	f.Diagrams = make([]Diagram, nc)
+	for i := 0; i < n; i++ {
+		d := &f.Diagrams[comp[i]]
+		d.Nodes = append(d.Nodes, i)
+		// Maximal iff nothing strictly contains i.
+		isMax := true
+		for k := 0; k < n; k++ {
+			if contains[k][i] {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			d.Maximal = append(d.Maximal, i)
+		}
+	}
+	for i := range f.Diagrams {
+		sort.Ints(f.Diagrams[i].Nodes)
+		sort.Ints(f.Diagrams[i].Maximal)
+	}
+	return f
+}
+
+// SubdiagramNodes returns root plus all its descendants through the
+// covering relation, ascending.
+func (f *Forest) SubdiagramNodes(root int) []int {
+	seen := map[int]bool{root: true}
+	stack := []int{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range f.Children[v] {
+			if !seen[c] {
+				seen[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

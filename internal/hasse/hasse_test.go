@@ -1,0 +1,129 @@
+package hasse
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/constraint"
+)
+
+func mustCC(t *testing.T, src string) constraint.CC {
+	t.Helper()
+	cc, err := constraint.ParseCC(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+func isR2(c string) bool { return c == "Area" || c == "Tenure" }
+
+func buildFrom(t *testing.T, srcs ...string) (*Forest, []constraint.CC) {
+	t.Helper()
+	ccs := make([]constraint.CC, len(srcs))
+	for i, s := range srcs {
+		ccs[i] = mustCC(t, s)
+	}
+	return Build(constraint.ClassifyAll(ccs, isR2)), ccs
+}
+
+// TestFigure6Diagrams reproduces Example 4.6: H = {H1, H2, H3} where H1={CC1},
+// H2={CC2}, H3 has an edge CC3 -> CC4.
+func TestFigure6Diagrams(t *testing.T) {
+	f, _ := buildFrom(t,
+		"cc: count(Age in [10,14], Area = 'Chicago') = 20",
+		"cc: count(Age in [50,60], Multi = 0, Area = 'NYC') = 25",
+		"cc: count(Age in [13,64], Area = 'Chicago') = 100",
+		"cc: count(Age in [18,24], Multi = 0, Area = 'Chicago') = 16",
+	)
+	if len(f.Diagrams) != 3 {
+		t.Fatalf("diagrams = %d, want 3", len(f.Diagrams))
+	}
+	if !reflect.DeepEqual(f.Children[2], []int{3}) {
+		t.Errorf("children of CC3 = %v, want [3]", f.Children[2])
+	}
+	if len(f.Children[0]) != 0 || len(f.Children[1]) != 0 || len(f.Children[3]) != 0 {
+		t.Errorf("unexpected edges: %v", f.Children)
+	}
+	// H3 contains nodes {2,3} with maximal element 2.
+	for _, d := range f.Diagrams {
+		if len(d.Nodes) == 2 {
+			if !reflect.DeepEqual(d.Nodes, []int{2, 3}) || !reflect.DeepEqual(d.Maximal, []int{2}) {
+				t.Errorf("H3 = %+v", d)
+			}
+		} else if len(d.Maximal) != 1 || d.Maximal[0] != d.Nodes[0] {
+			t.Errorf("singleton diagram = %+v", d)
+		}
+	}
+}
+
+// TestCoveringRelationSkipsTransitive checks that a chain a ⊇ b ⊇ c yields
+// covering edges a->b and b->c only (no a->c).
+func TestCoveringRelationSkipsTransitive(t *testing.T) {
+	f, _ := buildFrom(t,
+		"cc: count(Age in [0,100], Area = 'X') = 50", // 0
+		"cc: count(Age in [10,50], Area = 'X') = 30", // 1 ⊆ 0
+		"cc: count(Age in [20,30], Area = 'X') = 10", // 2 ⊆ 1 ⊆ 0
+	)
+	if !reflect.DeepEqual(f.Children[0], []int{1}) {
+		t.Errorf("children(0) = %v", f.Children[0])
+	}
+	if !reflect.DeepEqual(f.Children[1], []int{2}) {
+		t.Errorf("children(1) = %v", f.Children[1])
+	}
+	if len(f.Diagrams) != 1 || !reflect.DeepEqual(f.Diagrams[0].Maximal, []int{0}) {
+		t.Errorf("diagram = %+v", f.Diagrams[0])
+	}
+}
+
+func TestStarDiagram(t *testing.T) {
+	// One parent, two disjoint children.
+	f, _ := buildFrom(t,
+		"cc: count(Rel = 'Child', Area = 'X') = 50",
+		"cc: count(Rel = 'Child', Age in [0,10], Area = 'X') = 20",
+		"cc: count(Rel = 'Child', Age in [11,18], Area = 'X') = 30",
+	)
+	if !reflect.DeepEqual(f.Children[0], []int{1, 2}) {
+		t.Errorf("children(0) = %v", f.Children[0])
+	}
+	if len(f.Diagrams) != 1 {
+		t.Errorf("diagrams = %d", len(f.Diagrams))
+	}
+}
+
+func TestEqualCCsDoNotLoop(t *testing.T) {
+	f, _ := buildFrom(t,
+		"cc: count(Rel = 'Owner') = 5",
+		"cc: count(Rel = 'Owner') = 5",
+	)
+	if len(f.Diagrams) != 1 {
+		t.Fatalf("diagrams = %d", len(f.Diagrams))
+	}
+	if len(f.Diagrams[0].Maximal) != 1 {
+		t.Errorf("maximal = %v", f.Diagrams[0].Maximal)
+	}
+}
+
+func TestSubdiagramNodes(t *testing.T) {
+	f, _ := buildFrom(t,
+		"cc: count(Age in [0,100], Area = 'X') = 50",
+		"cc: count(Age in [10,50], Area = 'X') = 30",
+		"cc: count(Age in [20,30], Area = 'X') = 10",
+		"cc: count(Age in [60,70], Area = 'X') = 5",
+	)
+	got := f.SubdiagramNodes(1)
+	if !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("subdiagram(1) = %v", got)
+	}
+	got = f.SubdiagramNodes(0)
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("subdiagram(0) = %v", got)
+	}
+}
+
+func TestEmptyForest(t *testing.T) {
+	f := Build(nil)
+	if len(f.Diagrams) != 0 {
+		t.Errorf("diagrams = %d", len(f.Diagrams))
+	}
+}

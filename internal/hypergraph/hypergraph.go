@@ -1,0 +1,231 @@
+// Package hypergraph implements the conflict hypergraph (Def. 5.1) and the
+// greedy largest-first list-coloring heuristic of Algorithm 3. Vertices
+// stand for R1 tuples, hyperedges for tuple sets that would violate some
+// foreign-key DC if assigned one FK value, and colors for candidate FK
+// values.
+package hypergraph
+
+import "sort"
+
+// Graph is a hypergraph over vertices 0..N-1.
+type Graph struct {
+	n     int
+	edges [][]int // each edge is a sorted vertex set of size >= 2
+	inc   [][]int // inc[v] = indices of edges containing v
+	seen  map[string]bool
+}
+
+// New creates an empty hypergraph with n vertices.
+func New(n int) *Graph {
+	return &Graph{n: n, inc: make([][]int, n), seen: make(map[string]bool)}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edge returns the i-th edge (sorted vertex set). Callers must not mutate.
+func (g *Graph) Edge(i int) []int { return g.edges[i] }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int { return len(g.inc[v]) }
+
+// Incident returns the edge indices incident to v. Callers must not mutate.
+func (g *Graph) Incident(v int) []int { return g.inc[v] }
+
+// AddEdge inserts an edge over the given vertices. Edges with repeated
+// vertices are normalized by deduplication; edges of size < 2 after
+// normalization, and duplicate edges, are ignored. Returns whether an edge
+// was added.
+func (g *Graph) AddEdge(vs ...int) bool {
+	set := append([]int(nil), vs...)
+	sort.Ints(set)
+	w := 0
+	for i, v := range set {
+		if i == 0 || v != set[i-1] {
+			set[w] = v
+			w++
+		}
+	}
+	set = set[:w]
+	if len(set) < 2 {
+		return false
+	}
+	key := edgeKey(set)
+	if g.seen[key] {
+		return false
+	}
+	g.seen[key] = true
+	id := len(g.edges)
+	g.edges = append(g.edges, set)
+	for _, v := range set {
+		g.inc[v] = append(g.inc[v], id)
+	}
+	return true
+}
+
+func edgeKey(set []int) string {
+	b := make([]byte, 0, len(set)*4)
+	for _, v := range set {
+		for v >= 0x80 {
+			b = append(b, byte(v)|0x80)
+			v >>= 7
+		}
+		b = append(b, byte(v), 0xff)
+	}
+	return string(b)
+}
+
+// Uncolored marks a vertex without a color in a Coloring.
+const Uncolored = -1
+
+// Coloring maps each vertex to a palette index, or Uncolored.
+type Coloring []int
+
+// NewColoring returns an all-uncolored coloring for n vertices.
+func NewColoring(n int) Coloring {
+	c := make(Coloring, n)
+	for i := range c {
+		c[i] = Uncolored
+	}
+	return c
+}
+
+// Proper reports whether the (partial) coloring violates no edge: an edge
+// is violated when all of its vertices are colored with one color.
+func (g *Graph) Proper(c Coloring) bool {
+	for _, e := range g.edges {
+		col := c[e[0]]
+		if col == Uncolored {
+			continue
+		}
+		mono := true
+		for _, v := range e[1:] {
+			if c[v] != col {
+				mono = false
+				break
+			}
+		}
+		if mono {
+			return false
+		}
+	}
+	return true
+}
+
+// ColoringLF is Algorithm 3: greedy largest-first list coloring. It colors
+// the vertices of g that are uncolored in c, in non-increasing degree order,
+// assigning each the smallest color from its allowed list that is not
+// forbidden. A color is forbidden for v when some incident edge has all its
+// other vertices already colored with that color. Vertices whose entire
+// list is forbidden are skipped and returned.
+//
+// allowed(v) returns the palette indices permitted for v, in preference
+// order; the same slice may be shared between vertices. c is updated in
+// place and also returned.
+func (g *Graph) ColoringLF(c Coloring, allowed func(v int) []int) (Coloring, []int) {
+	order := make([]int, 0, g.n)
+	for v := 0; v < g.n; v++ {
+		if c[v] == Uncolored {
+			order = append(order, v)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+
+	var skipped []int
+	forbidden := make(map[int]bool)
+	for _, v := range order {
+		clear(forbidden)
+		for _, ei := range g.inc[v] {
+			col := Uncolored
+			mono := true
+			for _, u := range g.edges[ei] {
+				if u == v {
+					continue
+				}
+				cu := c[u]
+				if cu == Uncolored {
+					mono = false
+					break
+				}
+				if col == Uncolored {
+					col = cu
+				} else if col != cu {
+					mono = false
+					break
+				}
+			}
+			if mono && col != Uncolored {
+				forbidden[col] = true
+			}
+		}
+		assigned := false
+		for _, col := range allowed(v) {
+			if !forbidden[col] {
+				c[v] = col
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			skipped = append(skipped, v)
+		}
+	}
+	return c, skipped
+}
+
+// ColoringInputOrder is the ablation variant of Algorithm 3 that visits the
+// uncolored vertices in index order instead of by descending degree.
+func (g *Graph) ColoringInputOrder(c Coloring, allowed func(v int) []int) (Coloring, []int) {
+	var skipped []int
+	forbidden := make(map[int]bool)
+	for v := 0; v < g.n; v++ {
+		if c[v] != Uncolored {
+			continue
+		}
+		clear(forbidden)
+		for _, ei := range g.inc[v] {
+			col := Uncolored
+			mono := true
+			for _, u := range g.edges[ei] {
+				if u == v {
+					continue
+				}
+				cu := c[u]
+				if cu == Uncolored {
+					mono = false
+					break
+				}
+				if col == Uncolored {
+					col = cu
+				} else if col != cu {
+					mono = false
+					break
+				}
+			}
+			if mono && col != Uncolored {
+				forbidden[col] = true
+			}
+		}
+		assigned := false
+		for _, col := range allowed(v) {
+			if !forbidden[col] {
+				c[v] = col
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			skipped = append(skipped, v)
+		}
+	}
+	return c, skipped
+}

@@ -1,0 +1,335 @@
+// Package ilp implements a small integer linear programming solver on top
+// of the simplex package: branch and bound over the LP relaxation, with an
+// L1-deviation ("soft constraint") objective so that unsatisfiable
+// cardinality-constraint systems degrade into minimum-error solutions
+// instead of failing — exactly the behaviour the paper relies on when it
+// reports nonzero CC error for bad constraint sets.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/simplex"
+)
+
+// Sense mirrors simplex row senses for hard constraints.
+type Sense = simplex.Sense
+
+// Constraint senses (re-exported for callers).
+const (
+	LE = simplex.LE
+	EQ = simplex.EQ
+	GE = simplex.GE
+)
+
+// Term is one coefficient of a constraint.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a linear constraint over the integer variables. A Soft
+// constraint must have sense EQ; it is relaxed with a pair of deviation
+// variables whose total is charged Weight per unit in the objective. Hard
+// constraints must hold exactly.
+type Constraint struct {
+	Terms  []Term
+	Sense  Sense
+	RHS    float64
+	Soft   bool
+	Weight float64 // deviation penalty for soft rows; 0 means 1
+}
+
+// Problem is an integer program: all NumVars variables are non-negative
+// integers, the objective is the weighted L1 deviation of the soft rows
+// (plus VarCost·x if set).
+type Problem struct {
+	NumVars int
+	Cons    []Constraint
+	VarCost []float64 // optional per-variable linear cost; may be nil
+}
+
+// Options bound the search effort.
+type Options struct {
+	MaxNodes  int           // branch-and-bound node budget (0 = 10000)
+	MaxIters  int           // simplex pivots per LP (0 = auto)
+	TimeLimit time.Duration // wall-clock budget (0 = none)
+}
+
+// Status reports how the solution was obtained.
+type Status int8
+
+// Solution statuses.
+const (
+	// StatusOptimal: branch and bound proved optimality.
+	StatusOptimal Status = iota
+	// StatusFeasible: an integral solution was found but the search budget
+	// expired before proving optimality.
+	StatusFeasible
+	// StatusRounded: no integral solution was found in budget; the returned
+	// X is the floor-rounding of the best LP relaxation (never exceeds LE
+	// capacities, may undershoot targets).
+	StatusRounded
+	// StatusInfeasible: the hard constraints are unsatisfiable.
+	StatusInfeasible
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusFeasible:
+		return "feasible"
+	case StatusRounded:
+		return "rounded"
+	case StatusInfeasible:
+		return "infeasible"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution is the solver output.
+type Solution struct {
+	Status Status
+	X      []int64
+	Obj    float64 // total weighted deviation (+ VarCost part)
+	Nodes  int
+	Iters  int
+}
+
+const intTol = 1e-6
+
+// Solve runs branch and bound. It always returns a usable X (except for
+// StatusInfeasible), because phase I of the paper's algorithm needs *some*
+// assignment even when CC targets conflict.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if p.NumVars < 0 {
+		return nil, fmt.Errorf("ilp: negative NumVars")
+	}
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 10000
+	}
+	deadline := time.Time{}
+	if opt.TimeLimit > 0 {
+		deadline = time.Now().Add(opt.TimeLimit)
+	}
+
+	base, err := buildLP(p)
+	if err != nil {
+		return nil, err
+	}
+
+	sol := &Solution{Status: StatusInfeasible, Obj: math.Inf(1)}
+	// Depth-first stack of nodes; each node is a set of extra bound rows on
+	// structural variables.
+	type bound struct {
+		v     int
+		sense Sense
+		b     float64
+	}
+	type node struct {
+		bounds []bound
+	}
+	stack := []node{{}}
+	var bestLPX []float64
+	bestLPObj := math.Inf(1)
+
+	for len(stack) > 0 {
+		if sol.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sol.Nodes++
+
+		lp := *base
+		lp.Rows = append(append([]simplex.Row(nil), base.Rows...), nil...)
+		for _, bd := range nd.bounds {
+			lp.Rows = append(lp.Rows, simplex.Row{Coefs: []simplex.Nz{{Var: bd.v, Coef: 1}}, Sense: bd.sense, B: bd.b})
+		}
+		res, err := simplex.Solve(&lp, opt.MaxIters)
+		if err != nil {
+			return nil, err
+		}
+		sol.Iters += res.Iters
+		if res.Status == simplex.Infeasible {
+			continue
+		}
+		if res.Status == simplex.Unbounded {
+			return nil, fmt.Errorf("ilp: relaxation unbounded (missing capacity constraints?)")
+		}
+		if res.Status == simplex.IterLimit {
+			continue // treat as unexplorable
+		}
+		if res.Obj >= sol.Obj-1e-9 {
+			continue // bound prune
+		}
+		if res.Obj < bestLPObj {
+			bestLPObj = res.Obj
+			bestLPX = res.X
+		}
+		// Find most fractional structural variable.
+		branchVar, fracDist := -1, intTol
+		for j := 0; j < p.NumVars; j++ {
+			f := res.X[j] - math.Floor(res.X[j])
+			d := math.Min(f, 1-f)
+			if d > fracDist {
+				fracDist = d
+				branchVar = j
+			}
+		}
+		if branchVar < 0 {
+			// Integral solution.
+			x := roundX(res.X[:p.NumVars])
+			obj := evalObj(p, x)
+			if obj < sol.Obj-1e-9 {
+				sol.Obj = obj
+				sol.X = x
+				sol.Status = StatusOptimal
+				if obj <= 1e-9 {
+					break // cannot do better than zero deviation
+				}
+			}
+			continue
+		}
+		v := res.X[branchVar]
+		// Explore the "floor" branch first: CC systems usually have
+		// near-integral relaxations, so floor tends to reach an incumbent
+		// quickly.
+		up := append(append([]bound(nil), nd.bounds...), bound{v: branchVar, sense: GE, b: math.Ceil(v)})
+		down := append(append([]bound(nil), nd.bounds...), bound{v: branchVar, sense: LE, b: math.Floor(v)})
+		stack = append(stack, node{bounds: up}, node{bounds: down})
+	}
+
+	if sol.X == nil {
+		if bestLPX == nil {
+			sol.Status = StatusInfeasible
+			return sol, nil
+		}
+		// Round the relaxation down; floors never violate LE capacities.
+		x := make([]int64, p.NumVars)
+		for j := 0; j < p.NumVars; j++ {
+			x[j] = int64(math.Floor(bestLPX[j] + intTol))
+			if x[j] < 0 {
+				x[j] = 0
+			}
+		}
+		sol.X = x
+		sol.Obj = evalObj(p, x)
+		sol.Status = StatusRounded
+		return sol, nil
+	}
+	if sol.Status == StatusOptimal && (sol.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline))) && len(stack) > 0 {
+		sol.Status = StatusFeasible // budget expired with nodes left
+	}
+	return sol, nil
+}
+
+// buildLP converts the integer program into the relaxation LP: structural
+// variables first, then a (s⁺, s⁻) deviation pair per soft row.
+func buildLP(p *Problem) (*simplex.LP, error) {
+	nSoft := 0
+	for i, c := range p.Cons {
+		if c.Soft {
+			if c.Sense != EQ {
+				return nil, fmt.Errorf("ilp: soft constraint %d must have sense EQ", i)
+			}
+			nSoft++
+		}
+	}
+	lp := &simplex.LP{
+		NumVars: p.NumVars + 2*nSoft,
+		C:       make([]float64, p.NumVars+2*nSoft),
+	}
+	copy(lp.C, p.VarCost)
+	devCol := p.NumVars
+	for _, c := range p.Cons {
+		row := simplex.Row{Sense: c.Sense, B: c.RHS}
+		for _, t := range c.Terms {
+			if t.Var < 0 || t.Var >= p.NumVars {
+				return nil, fmt.Errorf("ilp: term references var %d out of range", t.Var)
+			}
+			row.Coefs = append(row.Coefs, simplex.Nz{Var: t.Var, Coef: t.Coef})
+		}
+		if c.Soft {
+			w := c.Weight
+			if w == 0 {
+				w = 1
+			}
+			// terms + s⁺ − s⁻ = rhs
+			row.Coefs = append(row.Coefs, simplex.Nz{Var: devCol, Coef: 1}, simplex.Nz{Var: devCol + 1, Coef: -1})
+			lp.C[devCol] = w
+			lp.C[devCol+1] = w
+			devCol += 2
+		}
+		lp.Rows = append(lp.Rows, row)
+	}
+	return lp, nil
+}
+
+func roundX(x []float64) []int64 {
+	out := make([]int64, len(x))
+	for j, v := range x {
+		out[j] = int64(math.Round(v))
+		if out[j] < 0 {
+			out[j] = 0
+		}
+	}
+	return out
+}
+
+// evalObj computes the true objective of an integral assignment: weighted
+// L1 deviation over soft rows plus the optional variable cost.
+func evalObj(p *Problem, x []int64) float64 {
+	obj := 0.0
+	for j, c := range p.VarCost {
+		obj += c * float64(x[j])
+	}
+	for _, c := range p.Cons {
+		if !c.Soft {
+			continue
+		}
+		lhs := 0.0
+		for _, t := range c.Terms {
+			lhs += t.Coef * float64(x[t.Var])
+		}
+		w := c.Weight
+		if w == 0 {
+			w = 1
+		}
+		obj += w * math.Abs(lhs-c.RHS)
+	}
+	return obj
+}
+
+// CheckHard verifies that an assignment satisfies every hard constraint
+// within tolerance; used by tests and by callers in debug paths.
+func CheckHard(p *Problem, x []int64) error {
+	for i, c := range p.Cons {
+		if c.Soft {
+			continue
+		}
+		lhs := 0.0
+		for _, t := range c.Terms {
+			lhs += t.Coef * float64(x[t.Var])
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+1e-6 {
+				return fmt.Errorf("ilp: hard row %d violated: %v > %v", i, lhs, c.RHS)
+			}
+		case GE:
+			if lhs < c.RHS-1e-6 {
+				return fmt.Errorf("ilp: hard row %d violated: %v < %v", i, lhs, c.RHS)
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > 1e-6 {
+				return fmt.Errorf("ilp: hard row %d violated: %v != %v", i, lhs, c.RHS)
+			}
+		}
+	}
+	return nil
+}

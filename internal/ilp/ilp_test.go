@@ -1,0 +1,237 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func solve(t *testing.T, p *Problem, opt Options) *Solution {
+	t.Helper()
+	s, err := Solve(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExactSystem(t *testing.T) {
+	// x0 + x1 = 5, x0 - soft target: x0 = 2. All satisfiable.
+	p := &Problem{
+		NumVars: 2,
+		Cons: []Constraint{
+			{Terms: []Term{{0, 1}, {1, 1}}, Sense: EQ, RHS: 5},
+			{Terms: []Term{{0, 1}}, Sense: EQ, RHS: 2, Soft: true},
+		},
+	}
+	s := solve(t, p, Options{})
+	if s.Status != StatusOptimal || s.Obj > 1e-9 {
+		t.Fatalf("status %v obj %v", s.Status, s.Obj)
+	}
+	if s.X[0] != 2 || s.X[1] != 3 {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestSoftDeviationMinimized(t *testing.T) {
+	// Hard: x0 <= 3. Soft: x0 = 10. Best is x0=3 with deviation 7.
+	p := &Problem{
+		NumVars: 1,
+		Cons: []Constraint{
+			{Terms: []Term{{0, 1}}, Sense: LE, RHS: 3},
+			{Terms: []Term{{0, 1}}, Sense: EQ, RHS: 10, Soft: true},
+		},
+	}
+	s := solve(t, p, Options{})
+	if s.X[0] != 3 || math.Abs(s.Obj-7) > 1e-9 {
+		t.Fatalf("x %v obj %v", s.X, s.Obj)
+	}
+	if err := CheckHard(p, s.X); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightsSteerConflicts(t *testing.T) {
+	// Two conflicting soft targets on the same var; heavier one wins.
+	p := &Problem{
+		NumVars: 1,
+		Cons: []Constraint{
+			{Terms: []Term{{0, 1}}, Sense: EQ, RHS: 2, Soft: true, Weight: 1},
+			{Terms: []Term{{0, 1}}, Sense: EQ, RHS: 8, Soft: true, Weight: 10},
+		},
+	}
+	s := solve(t, p, Options{})
+	if s.X[0] != 8 {
+		t.Fatalf("x = %v, want 8", s.X)
+	}
+}
+
+func TestInfeasibleHard(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		Cons: []Constraint{
+			{Terms: []Term{{0, 1}}, Sense: LE, RHS: 1},
+			{Terms: []Term{{0, 1}}, Sense: GE, RHS: 3},
+		},
+	}
+	s := solve(t, p, Options{})
+	if s.Status != StatusInfeasible {
+		t.Fatalf("status = %v", s.Status)
+	}
+}
+
+func TestBranchingForcedFractional(t *testing.T) {
+	// 2x0 + 2x1 = 5 has no integer solution; closest integral deviation 1.
+	p := &Problem{
+		NumVars: 2,
+		Cons: []Constraint{
+			{Terms: []Term{{0, 2}, {1, 2}}, Sense: EQ, RHS: 5, Soft: true},
+			{Terms: []Term{{0, 1}}, Sense: LE, RHS: 10},
+			{Terms: []Term{{1, 1}}, Sense: LE, RHS: 10},
+		},
+	}
+	s := solve(t, p, Options{})
+	if s.Status != StatusOptimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Obj-1) > 1e-9 {
+		t.Errorf("obj = %v, want 1 (|4-5| or |6-5|)", s.Obj)
+	}
+}
+
+func TestVarCostObjective(t *testing.T) {
+	// min x0+x1 s.t. x0 + x1 >= 3, prefer cheap var.
+	p := &Problem{
+		NumVars: 2,
+		VarCost: []float64{5, 1},
+		Cons: []Constraint{
+			{Terms: []Term{{0, 1}, {1, 1}}, Sense: GE, RHS: 3},
+		},
+	}
+	s := solve(t, p, Options{})
+	if s.X[0] != 0 || s.X[1] != 3 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestSoftMustBeEQ(t *testing.T) {
+	p := &Problem{NumVars: 1, Cons: []Constraint{{Terms: []Term{{0, 1}}, Sense: LE, RHS: 1, Soft: true}}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("soft LE accepted")
+	}
+}
+
+func TestBadVarIndex(t *testing.T) {
+	p := &Problem{NumVars: 1, Cons: []Constraint{{Terms: []Term{{7, 1}}, Sense: LE, RHS: 1}}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("bad var index accepted")
+	}
+}
+
+func TestUnboundedDetected(t *testing.T) {
+	// min -x with no bound: relaxation unbounded -> error.
+	p := &Problem{NumVars: 1, VarCost: []float64{-1}}
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("unbounded accepted")
+	}
+}
+
+func TestZeroVariables(t *testing.T) {
+	s := solve(t, &Problem{NumVars: 0}, Options{})
+	if s.Status != StatusOptimal || len(s.X) != 0 {
+		t.Errorf("empty problem: %v", s)
+	}
+}
+
+func TestNodeBudgetRoundedFallback(t *testing.T) {
+	// A fractional system with a 1-node budget: must fall back to rounding
+	// and never violate the hard capacity.
+	p := &Problem{
+		NumVars: 2,
+		Cons: []Constraint{
+			{Terms: []Term{{0, 2}, {1, 2}}, Sense: EQ, RHS: 5, Soft: true},
+			{Terms: []Term{{0, 1}, {1, 1}}, Sense: LE, RHS: 2},
+		},
+	}
+	s := solve(t, p, Options{MaxNodes: 1})
+	if s.Status != StatusRounded && s.Status != StatusOptimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if err := CheckHard(p, s.X); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeLimitRespected(t *testing.T) {
+	// A problem with many fractional branches; generous correctness not
+	// required, just termination well under a second.
+	rng := rand.New(rand.NewSource(5))
+	nv := 30
+	p := &Problem{NumVars: nv}
+	for i := 0; i < 15; i++ {
+		c := Constraint{Sense: EQ, RHS: float64(rng.Intn(50)), Soft: true}
+		for j := 0; j < nv; j++ {
+			if rng.Intn(2) == 0 {
+				c.Terms = append(c.Terms, Term{j, 2}) // even coefs force fractions
+			}
+		}
+		p.Cons = append(p.Cons, c)
+	}
+	for j := 0; j < nv; j++ {
+		p.Cons = append(p.Cons, Constraint{Terms: []Term{{j, 1}}, Sense: LE, RHS: 9})
+	}
+	start := time.Now()
+	s := solve(t, p, Options{TimeLimit: 50 * time.Millisecond, MaxNodes: 1 << 30})
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("took %v", el)
+	}
+	if s.X == nil {
+		t.Fatal("no solution returned")
+	}
+	if err := CheckHard(p, s.X); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomCCLikeSystems builds random "CC-like" 0/1 systems with known
+// feasible integer solutions and checks the solver recovers zero deviation.
+func TestRandomCCLikeSystems(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		nv := 4 + rng.Intn(8)
+		truth := make([]int64, nv)
+		for j := range truth {
+			truth[j] = int64(rng.Intn(6))
+		}
+		p := &Problem{NumVars: nv}
+		// Capacity rows: x_j <= truth_j + slackroom.
+		for j := 0; j < nv; j++ {
+			p.Cons = append(p.Cons, Constraint{Terms: []Term{{j, 1}}, Sense: LE, RHS: float64(truth[j] + 2)})
+		}
+		// Soft rows: random subsets with RHS = true subset sum.
+		nr := 3 + rng.Intn(5)
+		for i := 0; i < nr; i++ {
+			c := Constraint{Sense: EQ, Soft: true}
+			sum := int64(0)
+			for j := 0; j < nv; j++ {
+				if rng.Intn(2) == 0 {
+					c.Terms = append(c.Terms, Term{j, 1})
+					sum += truth[j]
+				}
+			}
+			c.RHS = float64(sum)
+			p.Cons = append(p.Cons, c)
+		}
+		s := solve(t, p, Options{})
+		if s.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		if s.Obj > 1e-6 {
+			t.Fatalf("trial %d: deviation %v for satisfiable system", trial, s.Obj)
+		}
+		if err := CheckHard(p, s.X); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package metrics implements the error measures of §6.1: the relative CC
+// error |ĉ − c| / max(10, c) per cardinality constraint, and the DC error
+// as the fraction of R̂1 tuples involved in at least one denial-constraint
+// violation.
+package metrics
+
+import (
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/table"
+)
+
+// CCErrors returns the relative error of every CC measured on the final
+// join view. Disjunctive CCs count rows satisfying any disjunct once.
+func CCErrors(vjoin *table.Relation, ccs []constraint.CC) []float64 {
+	out := make([]float64, len(ccs))
+	for i, cc := range ccs {
+		out[i] = RelativeError(cc.CountIn(vjoin), cc.Target)
+	}
+	return out
+}
+
+// RelativeError is |got − want| / max(10, want), the measure used in
+// Figures 8–10 (the threshold of 10 guards small targets).
+func RelativeError(got, want int64) float64 {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	den := want
+	if den < 10 {
+		den = 10
+	}
+	return float64(d) / float64(den)
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Mean returns the mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank on the
+// sorted values.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// DCViolations finds all tuples of r1hat involved in at least one DC
+// violation. Tuples are grouped by their FK value (the implicit conjunct of
+// every foreign-key DC), and each DC's explicit predicate is evaluated over
+// ordered tuple assignments within each group. It returns the set of
+// violating row indices.
+func DCViolations(r1hat *table.Relation, fkCol string, dcs []constraint.DC) map[int]bool {
+	groups := r1hat.GroupBy(fkCol)
+	violating := make(map[int]bool)
+	s := r1hat.Schema()
+	fkIdx := s.MustIndex(fkCol)
+	for _, rows := range groups {
+		if len(rows) < 2 {
+			continue
+		}
+		if r1hat.Row(rows[0])[fkIdx].IsNull() {
+			continue // unassigned tuples cannot violate FK DCs
+		}
+		for _, dc := range dcs {
+			if len(rows) < dc.K {
+				continue
+			}
+			markViolations(r1hat, dc, rows, violating)
+		}
+	}
+	return violating
+}
+
+// markViolations enumerates ordered assignments of distinct group rows to
+// the DC's variables (with unary-atom pre-filtering) and marks every member
+// of a satisfying set.
+func markViolations(r *table.Relation, dc constraint.DC, rows []int, out map[int]bool) {
+	s := r.Schema()
+	cands := make([][]int, dc.K)
+	for v := 0; v < dc.K; v++ {
+		for _, ri := range rows {
+			if dc.UnaryMatch(v, s, r.Row(ri)) {
+				cands[v] = append(cands[v], ri)
+			}
+		}
+		if len(cands[v]) == 0 {
+			return
+		}
+	}
+	assign := make([]int, dc.K)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == dc.K {
+			tuples := make([][]table.Value, dc.K)
+			for i, ri := range assign {
+				tuples[i] = r.Row(ri)
+			}
+			if dc.Holds(s, tuples...) {
+				for _, ri := range assign {
+					out[ri] = true
+				}
+			}
+			return
+		}
+		for _, ri := range cands[v] {
+			dup := false
+			for _, prev := range assign[:v] {
+				if prev == ri {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				assign[v] = ri
+				rec(v + 1)
+			}
+		}
+	}
+	rec(0)
+}
+
+// DCErrorFraction is the §6.1 DC error: |violating tuples| / |R1|.
+func DCErrorFraction(r1hat *table.Relation, fkCol string, dcs []constraint.DC) float64 {
+	if r1hat.Len() == 0 {
+		return 0
+	}
+	return float64(len(DCViolations(r1hat, fkCol, dcs))) / float64(r1hat.Len())
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/table"
+)
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct {
+		got, want int64
+		err       float64
+	}{
+		{4, 4, 0},
+		{6, 4, 0.2}, // |6-4|/max(10,4) = 2/10
+		{0, 100, 1}, // 100/100
+		{150, 100, 0.5},
+		{3, 0, 0.3}, // threshold denominator
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.got, c.want); math.Abs(got-c.err) > 1e-12 {
+			t.Errorf("RelativeError(%d,%d) = %v, want %v", c.got, c.want, got, c.err)
+		}
+	}
+}
+
+func TestMedianMeanQuantile(t *testing.T) {
+	xs := []float64{0.5, 0.1, 0.3}
+	if Median(xs) != 0.3 {
+		t.Errorf("median = %v", Median(xs))
+	}
+	if Median([]float64{1, 3}) != 2 {
+		t.Errorf("even median = %v", Median([]float64{1, 3}))
+	}
+	if Median(nil) != 0 || Mean(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Error("empty inputs should be 0")
+	}
+	if math.Abs(Mean(xs)-0.3) > 1e-12 {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if Quantile(xs, 0) != 0.1 || Quantile(xs, 1) != 0.5 {
+		t.Errorf("quantiles: %v %v", Quantile(xs, 0), Quantile(xs, 1))
+	}
+	// Median must not mutate its input.
+	if xs[0] != 0.5 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func buildR1(t *testing.T, hids []int64) *table.Relation {
+	t.Helper()
+	r1 := table.NewRelation("Persons", table.NewSchema(
+		table.IntCol("pid"), table.IntCol("Age"), table.StrCol("Rel"), table.IntCol("hid")))
+	rows := []struct {
+		age int64
+		rel string
+	}{
+		{75, "Owner"}, {70, "Owner"}, {25, "Spouse"}, {10, "Child"},
+	}
+	for i, x := range rows {
+		var h table.Value = table.Null()
+		if hids != nil {
+			h = table.Int(hids[i])
+		}
+		r1.MustAppend(table.Int(int64(i+1)), table.Int(x.age), table.String(x.rel), h)
+	}
+	return r1
+}
+
+func parseDCs(t *testing.T, src string) []constraint.DC {
+	t.Helper()
+	_, dcs, err := constraint.ParseConstraints(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dcs
+}
+
+func TestDCViolationsFindsOwnerPair(t *testing.T) {
+	dcs := parseDCs(t, "dc: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'\n")
+	r1 := buildR1(t, []int64{1, 1, 1, 2}) // two owners share hid 1
+	viol := DCViolations(r1, "hid", dcs)
+	if len(viol) != 2 || !viol[0] || !viol[1] {
+		t.Errorf("violations = %v, want rows 0 and 1", viol)
+	}
+	if f := DCErrorFraction(r1, "hid", dcs); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("fraction = %v, want 0.5", f)
+	}
+}
+
+func TestDCViolationsCleanAssignment(t *testing.T) {
+	dcs := parseDCs(t, "dc: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'\n")
+	r1 := buildR1(t, []int64{1, 2, 1, 1})
+	if f := DCErrorFraction(r1, "hid", dcs); f != 0 {
+		t.Errorf("fraction = %v, want 0", f)
+	}
+}
+
+func TestDCViolationsAsymmetricBinary(t *testing.T) {
+	dcs := parseDCs(t, "dc: deny t1.Rel = 'Owner' & t2.Rel = 'Spouse' & t2.Age < t1.Age - 50\n")
+	// Owner 75 with spouse 25 in home 1: 25 < 25 false -> clean.
+	r1 := buildR1(t, []int64{1, 2, 1, 3})
+	if f := DCErrorFraction(r1, "hid", dcs); f != 0 {
+		t.Errorf("fraction = %v", f)
+	}
+	// Make the spouse much younger.
+	r1.Set(2, "Age", table.Int(20))
+	viol := DCViolations(r1, "hid", dcs)
+	if len(viol) != 2 || !viol[0] || !viol[2] {
+		t.Errorf("violations = %v, want rows 0 and 2", viol)
+	}
+}
+
+func TestDCViolationsNullFKSkipped(t *testing.T) {
+	dcs := parseDCs(t, "dc: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'\n")
+	r1 := buildR1(t, nil) // all FKs null
+	if f := DCErrorFraction(r1, "hid", dcs); f != 0 {
+		t.Errorf("null FK fraction = %v", f)
+	}
+}
+
+func TestDCViolationsTernary(t *testing.T) {
+	dcs := parseDCs(t, "dc: deny t1.Rel = 'Owner' & t2.Rel = 'Owner' & t3.Rel = 'Owner'\n")
+	r1 := table.NewRelation("P", table.NewSchema(table.IntCol("pid"), table.StrCol("Rel"), table.IntCol("hid")))
+	for i := 0; i < 3; i++ {
+		r1.MustAppend(table.Int(int64(i)), table.String("Owner"), table.Int(1))
+	}
+	r1.MustAppend(table.Int(9), table.String("Owner"), table.Int(2))
+	viol := DCViolations(r1, "hid", dcs)
+	if len(viol) != 3 {
+		t.Errorf("violations = %v, want the hid-1 triple", viol)
+	}
+}
+
+func TestCCErrors(t *testing.T) {
+	r1 := buildR1(t, []int64{1, 2, 1, 1})
+	ccSrc := "cc: count(Rel = 'Owner') = 2\ncc: count(Age <= 24) = 5\n"
+	ccs, _, err := constraint.ParseConstraints(strings.NewReader(ccSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := CCErrors(r1, ccs)
+	if errs[0] != 0 {
+		t.Errorf("cc0 err = %v", errs[0])
+	}
+	// Only one row with Age <= 24, target 5 -> |1-5|/10 = 0.4.
+	if math.Abs(errs[1]-0.4) > 1e-12 {
+		t.Errorf("cc1 err = %v", errs[1])
+	}
+}
+
+func TestDCErrorFractionEmptyRelation(t *testing.T) {
+	r1 := table.NewRelation("P", table.NewSchema(table.IntCol("pid"), table.IntCol("hid")))
+	if f := DCErrorFraction(r1, "hid", nil); f != 0 {
+		t.Errorf("empty fraction = %v", f)
+	}
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestReportDCsPerConstraint(t *testing.T) {
+	dcs := parseDCs(t, `
+dc owners: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'
+dc gap: deny t1.Rel = 'Owner' & t2.Rel = 'Spouse' & t2.Age < t1.Age - 50
+`)
+	// Home 1: two owners (violates dc0) and a too-young spouse (violates
+	// dc1 with each owner). Home 2: clean.
+	r1 := table.NewRelation("P", table.NewSchema(
+		table.IntCol("pid"), table.IntCol("Age"), table.StrCol("Rel"), table.IntCol("hid")))
+	r1.MustAppend(table.Int(1), table.Int(80), table.String("Owner"), table.Int(1))
+	r1.MustAppend(table.Int(2), table.Int(75), table.String("Owner"), table.Int(1))
+	r1.MustAppend(table.Int(3), table.Int(20), table.String("Spouse"), table.Int(1))
+	r1.MustAppend(table.Int(4), table.Int(40), table.String("Owner"), table.Int(2))
+
+	rep := ReportDCs(r1, "hid", dcs)
+	if rep.PerDC[0] != 2 {
+		t.Errorf("dc0 tuples = %d, want 2", rep.PerDC[0])
+	}
+	if rep.PerDC[1] != 3 { // both owners plus the spouse
+		t.Errorf("dc1 tuples = %d, want 3", rep.PerDC[1])
+	}
+	if len(rep.Violating) != 3 {
+		t.Errorf("union = %d, want 3", len(rep.Violating))
+	}
+	if got, want := rep.Fraction(), 0.75; got != want {
+		t.Errorf("fraction = %v, want %v", got, want)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "dc[1]: 3 tuples") || !strings.Contains(s, "0.7500") {
+		t.Errorf("render: %s", s)
+	}
+	// Consistency with the aggregate metric.
+	if rep.Fraction() != DCErrorFraction(r1, "hid", dcs) {
+		t.Error("report fraction disagrees with DCErrorFraction")
+	}
+}
+
+func TestReportDCsEmpty(t *testing.T) {
+	r1 := table.NewRelation("P", table.NewSchema(table.IntCol("pid"), table.IntCol("hid")))
+	rep := ReportDCs(r1, "hid", nil)
+	if rep.Fraction() != 0 || len(rep.Violating) != 0 {
+		t.Errorf("empty report: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "0/0") {
+		t.Errorf("render: %s", rep.String())
+	}
+}

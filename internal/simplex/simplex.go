@@ -1,0 +1,408 @@
+// Package simplex implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize cᵀx  subject to  a_iᵀx {≤,=,≥} b_i,  x ≥ 0.
+//
+// It is the substrate the paper obtained from PuLP/CBC: phase I of the
+// paper's solution (Algorithm 1) reduces cardinality-constraint satisfaction
+// to an integer program whose relaxations this package solves; the
+// branch-and-bound layer lives in package ilp.
+//
+// The implementation is a textbook tableau method with Dantzig pricing and a
+// Bland's-rule fallback for anti-cycling, which is ample for the problem
+// sizes produced by the intervalized CC systems.
+package simplex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the row sense of a constraint.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // aᵀx ≤ b
+	EQ              // aᵀx = b
+	GE              // aᵀx ≥ b
+)
+
+// Nz is one nonzero coefficient of a constraint row.
+type Nz struct {
+	Var  int
+	Coef float64
+}
+
+// Row is a sparse constraint row.
+type Row struct {
+	Coefs []Nz
+	Sense Sense
+	B     float64
+}
+
+// LP is a linear program over NumVars non-negative variables.
+type LP struct {
+	NumVars int
+	C       []float64 // minimization objective; len NumVars (missing = 0)
+	Rows    []Row
+}
+
+// Status reports the outcome of Solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the solver output. X has length NumVars; Obj is cᵀx. Iters
+// counts simplex pivots across both phases.
+type Result struct {
+	Status Status
+	X      []float64
+	Obj    float64
+	Iters  int
+}
+
+const (
+	epsCost  = 1e-7 // reduced-cost tolerance for optimality
+	epsPivot = 1e-9 // minimum pivot magnitude
+	epsFeas  = 1e-6 // phase-1 residual tolerance
+)
+
+// Solve runs two-phase primal simplex. maxIters bounds total pivots
+// (0 means an automatic limit based on problem size).
+func Solve(lp *LP, maxIters int) (*Result, error) {
+	if err := validate(lp); err != nil {
+		return nil, err
+	}
+	t := newTableau(lp)
+	if maxIters <= 0 {
+		maxIters = 200 * (len(lp.Rows) + t.ncols + 10)
+	}
+	res := &Result{}
+
+	if t.nart > 0 {
+		phase1Cost := make([]float64, t.ncols)
+		for j := t.artStart; j < t.ncols; j++ {
+			phase1Cost[j] = 1
+		}
+		st := t.run(phase1Cost, maxIters, &res.Iters)
+		if st == IterLimit {
+			res.Status = IterLimit
+			return res, nil
+		}
+		if t.objValue(phase1Cost) > epsFeas {
+			res.Status = Infeasible
+			return res, nil
+		}
+		t.driveOutArtificials()
+		for j := t.artStart; j < t.ncols; j++ {
+			t.dead[j] = true
+		}
+	}
+
+	phase2Cost := make([]float64, t.ncols)
+	copy(phase2Cost, lp.C)
+	st := t.run(phase2Cost, maxIters, &res.Iters)
+	switch st {
+	case Unbounded:
+		res.Status = Unbounded
+		return res, nil
+	case IterLimit:
+		res.Status = IterLimit
+	default:
+		res.Status = Optimal
+	}
+	res.X = make([]float64, lp.NumVars)
+	for i, bv := range t.basis {
+		if bv < lp.NumVars {
+			res.X[bv] = t.b[i]
+		}
+	}
+	for j := range res.X {
+		if res.X[j] < 0 && res.X[j] > -epsFeas {
+			res.X[j] = 0
+		}
+	}
+	res.Obj = 0
+	for j, c := range lp.C {
+		res.Obj += c * res.X[j]
+	}
+	return res, nil
+}
+
+func validate(lp *LP) error {
+	if lp.NumVars < 0 {
+		return fmt.Errorf("simplex: negative NumVars")
+	}
+	if len(lp.C) > lp.NumVars {
+		return fmt.Errorf("simplex: objective longer than NumVars")
+	}
+	for i, r := range lp.Rows {
+		for _, nz := range r.Coefs {
+			if nz.Var < 0 || nz.Var >= lp.NumVars {
+				return fmt.Errorf("simplex: row %d references var %d out of range", i, nz.Var)
+			}
+			if math.IsNaN(nz.Coef) || math.IsInf(nz.Coef, 0) {
+				return fmt.Errorf("simplex: row %d has non-finite coefficient", i)
+			}
+		}
+		if math.IsNaN(r.B) || math.IsInf(r.B, 0) {
+			return fmt.Errorf("simplex: row %d has non-finite rhs", i)
+		}
+	}
+	return nil
+}
+
+// tableau is the dense working state: a[m][ncols], rhs b[m], and the basic
+// variable of each row.
+type tableau struct {
+	m        int
+	ncols    int
+	artStart int
+	nart     int
+	a        [][]float64
+	b        []float64
+	basis    []int
+	dead     []bool // columns barred from entering (removed artificials)
+}
+
+func newTableau(lp *LP) *tableau {
+	m := len(lp.Rows)
+	n := lp.NumVars
+
+	// Normalize rows to b >= 0, flipping sense as needed.
+	type normRow struct {
+		coefs []Nz
+		sense Sense
+		b     float64
+	}
+	rows := make([]normRow, m)
+	nslack := 0
+	for i, r := range lp.Rows {
+		nr := normRow{coefs: r.Coefs, sense: r.Sense, b: r.B}
+		if nr.b < 0 {
+			flipped := make([]Nz, len(nr.coefs))
+			for k, nz := range nr.coefs {
+				flipped[k] = Nz{Var: nz.Var, Coef: -nz.Coef}
+			}
+			nr.coefs = flipped
+			nr.b = -nr.b
+			switch nr.sense {
+			case LE:
+				nr.sense = GE
+			case GE:
+				nr.sense = LE
+			}
+		}
+		if nr.sense != EQ {
+			nslack++
+		}
+		rows[i] = nr
+	}
+	nart := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			nart++
+		}
+	}
+
+	t := &tableau{
+		m:        m,
+		ncols:    n + nslack + nart,
+		artStart: n + nslack,
+		nart:     nart,
+		a:        make([][]float64, m),
+		b:        make([]float64, m),
+		basis:    make([]int, m),
+		dead:     make([]bool, n+nslack+nart),
+	}
+	slackCol := n
+	artCol := t.artStart
+	for i, r := range rows {
+		t.a[i] = make([]float64, t.ncols)
+		for _, nz := range r.coefs {
+			t.a[i][nz.Var] += nz.Coef
+		}
+		t.b[i] = r.b
+		switch r.sense {
+		case LE:
+			t.a[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			slackCol++
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	return t
+}
+
+// objValue computes cᵀ(basic solution).
+func (t *tableau) objValue(cost []float64) float64 {
+	v := 0.0
+	for i, bv := range t.basis {
+		v += cost[bv] * t.b[i]
+	}
+	return v
+}
+
+// run executes simplex iterations for the given cost vector until optimal,
+// unbounded, or the iteration budget is exhausted. *iters accumulates.
+func (t *tableau) run(cost []float64, maxIters int, iters *int) Status {
+	// Reduced costs: z[j] = cost[j] - Σ_i cost[basis[i]]·a[i][j].
+	z := make([]float64, t.ncols)
+	copy(z, cost)
+	for i, bv := range t.basis {
+		cb := cost[bv]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := range z {
+			z[j] -= cb * row[j]
+		}
+	}
+
+	blandAfter := maxIters / 2
+	for it := 0; ; it++ {
+		if *iters >= maxIters {
+			return IterLimit
+		}
+		// Entering column.
+		enter := -1
+		if it < blandAfter {
+			best := -epsCost
+			for j := 0; j < t.ncols; j++ {
+				if !t.dead[j] && z[j] < best {
+					best = z[j]
+					enter = j
+				}
+			}
+		} else { // Bland's rule: first improving column
+			for j := 0; j < t.ncols; j++ {
+				if !t.dead[j] && z[j] < -epsCost {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i][enter]
+			if aij > epsPivot {
+				ratio := t.b[i] / aij
+				if ratio < bestRatio-epsPivot || (ratio < bestRatio+epsPivot && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter, z)
+		*iters++
+	}
+}
+
+// pivot makes column `enter` basic in row `leave`, updating the tableau and
+// the reduced-cost vector z.
+func (t *tableau) pivot(leave, enter int, z []float64) {
+	prow := t.a[leave]
+	p := prow[enter]
+	inv := 1 / p
+	for j := range prow {
+		prow[j] *= inv
+	}
+	t.b[leave] *= inv
+	prow[enter] = 1 // exact
+
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0 // exact
+		t.b[i] -= f * t.b[leave]
+		if t.b[i] < 0 && t.b[i] > -epsPivot {
+			t.b[i] = 0
+		}
+	}
+	f := z[enter]
+	if f != 0 {
+		for j := range z {
+			z[j] -= f * prow[j]
+		}
+		z[enter] = 0
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots any artificial variable still basic at the end
+// of phase 1 out of the basis (its value is ~0). If a row has no eligible
+// pivot column the row is redundant and is zeroed out.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		pivCol := -1
+		for j := 0; j < t.artStart; j++ {
+			if !t.dead[j] && math.Abs(t.a[i][j]) > epsPivot {
+				pivCol = j
+				break
+			}
+		}
+		if pivCol < 0 {
+			// Redundant row: neutralize it.
+			for j := range t.a[i] {
+				t.a[i][j] = 0
+			}
+			t.a[i][t.basis[i]] = 1
+			t.b[i] = 0
+			continue
+		}
+		z := make([]float64, t.ncols) // throwaway reduced costs
+		t.pivot(i, pivCol, z)
+	}
+}

@@ -1,0 +1,202 @@
+// Package snowflake extends the C-Extension solver to snowflake schemas
+// (§5.2 "Extending the solution to snowflake schemas"): starting from the
+// fact table, dimension tables are completed one foreign key at a time in
+// BFS order, folding each completed dimension into the accumulated R1 so
+// that later steps may use CCs spanning the join of everything completed so
+// far (Example 5.6).
+package snowflake
+
+import (
+	"fmt"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+// Edge is one foreign-key dependence in the schema graph: From.FKCol
+// references To.KeyCol.
+type Edge struct {
+	From   string // relation holding the FK column
+	To     string // referenced relation
+	FKCol  string
+	KeyCol string
+}
+
+// Schema is a snowflake schema: named relations, the fact table, and the
+// FK edges. Every relation except Fact must be reachable from Fact.
+type Schema struct {
+	Fact  string
+	Rels  map[string]*table.Relation
+	Keys  map[string]string // relation -> primary key column
+	Edges []Edge
+}
+
+// StepConstraints supplies per-edge constraint sets: CCs over the join view
+// accumulated up to (and including) the edge's To relation, and DCs over
+// the relation currently playing R1.
+type StepConstraints struct {
+	CCs []constraint.CC
+	DCs []constraint.DC
+}
+
+// Result reports the completed relations (same keys as Schema.Rels; dim
+// tables may have gained artificial tuples) and the per-step core results.
+type Result struct {
+	Rels  map[string]*table.Relation
+	Steps []*core.Result
+	Order []Edge
+}
+
+// Solve completes every FK column of the snowflake in BFS order from the
+// fact table. constraints maps "From->To" edge labels to their constraint
+// sets (missing entries mean no constraints for that step); opt configures
+// every step's solver.
+func Solve(s *Schema, constraints map[string]StepConstraints, opt core.Options) (*Result, error) {
+	if _, ok := s.Rels[s.Fact]; !ok {
+		return nil, fmt.Errorf("snowflake: unknown fact table %q", s.Fact)
+	}
+	rels := make(map[string]*table.Relation, len(s.Rels))
+	for k, v := range s.Rels {
+		rels[k] = v.Clone()
+	}
+
+	order, err := bfsOrder(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Rels: rels, Order: order}
+
+	// acc is the running R1: the fact table joined with every completed
+	// dimension so far. Completed FK columns are kept so the original
+	// relations can be reconstructed.
+	acc := rels[s.Fact].Clone()
+	accKey := s.Keys[s.Fact]
+	for _, e := range order {
+		label := EdgeLabel(e)
+		sc := constraints[label]
+		in := core.Input{
+			R1: acc, R2: rels[e.To],
+			K1: accKey, K2: s.Keys[e.To], FK: e.FKCol,
+			CCs: sc.CCs, DCs: sc.DCs,
+		}
+		stepRes, err := core.Solve(in, opt)
+		if err != nil {
+			return nil, fmt.Errorf("snowflake: step %s: %w", label, err)
+		}
+		res.Steps = append(res.Steps, stepRes)
+		rels[e.To] = stepRes.R2Hat
+		// Fold the completed dimension into the accumulator: acc gains the
+		// dimension's non-key columns, keeps the FK it just filled, and
+		// keeps its key so later steps can still be reconstructed.
+		joined, err := joinKeepFK(stepRes.R1Hat, e.FKCol, stepRes.R2Hat, s.Keys[e.To])
+		if err != nil {
+			return nil, err
+		}
+		acc = joined
+		// Write completed FK values back into the original From relation.
+		if err := writeBackFK(rels, s, e, stepRes.R1Hat, accKey); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// EdgeLabel names an edge for the constraints map: "From->To".
+func EdgeLabel(e Edge) string { return e.From + "->" + e.To }
+
+// bfsOrder returns the edges in BFS order from the fact table: inner
+// dimensions first, exactly as Example 5.6 prescribes.
+func bfsOrder(s *Schema) ([]Edge, error) {
+	adj := make(map[string][]Edge)
+	for _, e := range s.Edges {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	var order []Edge
+	seen := map[string]bool{s.Fact: true}
+	queue := []string{s.Fact}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			if seen[e.To] {
+				return nil, fmt.Errorf("snowflake: relation %q reached twice", e.To)
+			}
+			if _, ok := s.Rels[e.To]; !ok {
+				return nil, fmt.Errorf("snowflake: unknown relation %q", e.To)
+			}
+			seen[e.To] = true
+			order = append(order, e)
+			queue = append(queue, e.To)
+		}
+	}
+	for name := range s.Rels {
+		if !seen[name] {
+			return nil, fmt.Errorf("snowflake: relation %q unreachable from fact table", name)
+		}
+	}
+	return order, nil
+}
+
+// joinKeepFK joins r1 ⋈ r2 like table.Join but keeps the FK column in the
+// output (the accumulator must retain completed FKs).
+func joinKeepFK(r1 *table.Relation, fkCol string, r2 *table.Relation, keyCol string) (*table.Relation, error) {
+	idx, err := table.KeyIndex(r2, keyCol)
+	if err != nil {
+		return nil, err
+	}
+	var extra []table.Column
+	var extraIdx []int
+	for j := 0; j < r2.Schema().Len(); j++ {
+		c := r2.Schema().Col(j)
+		if c.Name == keyCol {
+			continue
+		}
+		extra = append(extra, c)
+		extraIdx = append(extraIdx, j)
+	}
+	out := table.NewRelation(r1.Name, r1.Schema().Extend(extra...))
+	for i := 0; i < r1.Len(); i++ {
+		fk := r1.Value(i, fkCol)
+		r2row, ok := idx[fk]
+		if !ok {
+			return nil, fmt.Errorf("snowflake: dangling FK %v after completion", fk)
+		}
+		row := append([]table.Value(nil), r1.Row(i)...)
+		for _, j := range extraIdx {
+			row = append(row, r2.Row(r2row)[j])
+		}
+		if err := out.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// writeBackFK copies the FK values assigned in the accumulator back into
+// the original From relation (keyed by the fact table's primary key when
+// From is the fact table; dimension-to-dimension edges share keys through
+// the accumulator's retained key columns).
+func writeBackFK(rels map[string]*table.Relation, s *Schema, e Edge, solved *table.Relation, accKey string) error {
+	from := rels[e.From]
+	if !from.Schema().Has(e.FKCol) {
+		return fmt.Errorf("snowflake: %s has no column %q", e.From, e.FKCol)
+	}
+	fromKey := s.Keys[e.From]
+	if !solved.Schema().Has(fromKey) {
+		// The accumulator lost the From relation's key; fall back to the
+		// accumulator key (only valid when From is the fact table).
+		fromKey = accKey
+	}
+	idx, err := table.KeyIndex(from, s.Keys[e.From])
+	if err != nil {
+		return err
+	}
+	for i := 0; i < solved.Len(); i++ {
+		k := solved.Value(i, fromKey)
+		if at, ok := idx[k]; ok {
+			from.Set(at, e.FKCol, solved.Value(i, e.FKCol))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package snowflake
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/table"
+)
+
+// studentsSchema builds the Example 5.6 schema: Students -> Majors ->
+// Departments and Students -> Courses.
+func studentsSchema(t *testing.T) *Schema {
+	t.Helper()
+	students := table.NewRelation("Students", table.NewSchema(
+		table.IntCol("sid"), table.IntCol("Year"), table.StrCol("Honors"),
+		table.IntCol("majorID"), table.IntCol("courseID")))
+	for i := int64(1); i <= 24; i++ {
+		honors := "no"
+		if i%3 == 0 {
+			honors = "yes"
+		}
+		students.MustAppend(table.Int(i), table.Int(1+(i%4)), table.String(honors), table.Null(), table.Null())
+	}
+	majors := table.NewRelation("Majors", table.NewSchema(
+		table.IntCol("mid"), table.StrCol("Field"), table.IntCol("deptID")))
+	for i, f := range []string{"CS", "Math", "Bio", "CS", "Math", "Bio"} {
+		majors.MustAppend(table.Int(int64(i+1)), table.String(f), table.Null())
+	}
+	courses := table.NewRelation("Courses", table.NewSchema(
+		table.IntCol("cid"), table.StrCol("Level")))
+	for i, l := range []string{"Intro", "Intro", "Advanced", "Advanced"} {
+		courses.MustAppend(table.Int(int64(i+1)), table.String(l))
+	}
+	depts := table.NewRelation("Departments", table.NewSchema(
+		table.IntCol("did"), table.StrCol("School")))
+	depts.MustAppend(table.Int(1), table.String("Engineering"))
+	depts.MustAppend(table.Int(2), table.String("Science"))
+
+	return &Schema{
+		Fact: "Students",
+		Rels: map[string]*table.Relation{
+			"Students": students, "Majors": majors, "Courses": courses, "Departments": depts,
+		},
+		Keys: map[string]string{"Students": "sid", "Majors": "mid", "Courses": "cid", "Departments": "did"},
+		Edges: []Edge{
+			{From: "Students", To: "Majors", FKCol: "majorID", KeyCol: "mid"},
+			{From: "Students", To: "Courses", FKCol: "courseID", KeyCol: "cid"},
+			{From: "Majors", To: "Departments", FKCol: "deptID", KeyCol: "did"},
+		},
+	}
+}
+
+func parseCCs(t *testing.T, src string) []constraint.CC {
+	t.Helper()
+	ccs, _, err := constraint.ParseConstraints(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ccs
+}
+
+func TestBFSOrderMatchesExample56(t *testing.T) {
+	s := studentsSchema(t)
+	order, err := bfsOrder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Students->Majors", "Students->Courses", "Majors->Departments"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i, e := range order {
+		if EdgeLabel(e) != want[i] {
+			t.Errorf("step %d = %s, want %s", i, EdgeLabel(e), want[i])
+		}
+	}
+}
+
+func TestSolveCompletesAllFKs(t *testing.T) {
+	s := studentsSchema(t)
+	cons := map[string]StepConstraints{
+		"Students->Majors": {
+			CCs: parseCCs(t, "cc: count(Field = 'CS') = 10\ncc: count(Field = 'Math') = 8\ncc: count(Field = 'Bio') = 6\n"),
+		},
+		"Students->Courses": {
+			// CCs may span the accumulated view: Field came from Majors.
+			CCs: parseCCs(t, "cc: count(Field = 'CS', Level = 'Advanced') = 4\n"),
+		},
+		"Majors->Departments": {},
+	}
+	res, err := Solve(s, cons, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Students", "Majors"} {
+		rel := res.Rels[name]
+		for i := 0; i < rel.Len(); i++ {
+			for _, col := range rel.Schema().Names() {
+				if strings.HasSuffix(col, "ID") && rel.Value(i, col).IsNull() {
+					t.Fatalf("%s row %d: %s not filled", name, i, col)
+				}
+			}
+		}
+	}
+	// The Students->Majors CC targets must be met on the final join.
+	joined, err := table.Join(res.Rels["Students"], "majorID", res.Rels["Majors"], "mid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range cons["Students->Majors"].CCs {
+		if e := metrics.RelativeError(int64(joined.Count(cc.Pred)), cc.Target); e != 0 {
+			t.Errorf("%s: error %v", cc, e)
+		}
+	}
+}
+
+func TestSolveWithDCsOnFactTable(t *testing.T) {
+	s := studentsSchema(t)
+	_, dcs, err := constraint.ParseConstraints(strings.NewReader(
+		"dc: deny t1.Honors = 'yes' & t2.Honors = 'yes'\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := map[string]StepConstraints{
+		"Students->Majors": {DCs: dcs}, // at most one honors student per major
+	}
+	res, err := Solve(s, cons, core.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := metrics.DCErrorFraction(res.Rels["Students"], "majorID", dcs); frac != 0 {
+		t.Errorf("DC error = %v", frac)
+	}
+	// 8 honors students but only 6 majors: artificial majors required.
+	if res.Rels["Majors"].Len() <= 6 {
+		t.Errorf("majors = %d, expected augmentation", res.Rels["Majors"].Len())
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	s := studentsSchema(t)
+	s.Fact = "Nope"
+	if _, err := Solve(s, nil, core.Options{}); err == nil {
+		t.Error("unknown fact accepted")
+	}
+	s = studentsSchema(t)
+	s.Edges = append(s.Edges, Edge{From: "Courses", To: "Majors", FKCol: "x", KeyCol: "mid"})
+	if _, err := Solve(s, nil, core.Options{}); err == nil {
+		t.Error("doubly-reached relation accepted")
+	}
+	s = studentsSchema(t)
+	s.Edges = s.Edges[:2] // Departments unreachable
+	if _, err := Solve(s, nil, core.Options{}); err == nil {
+		t.Error("unreachable relation accepted")
+	}
+}
+
+func TestOriginalRelationsNotMutated(t *testing.T) {
+	s := studentsSchema(t)
+	orig := s.Rels["Students"].Clone()
+	_, err := Solve(s, nil, core.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if !s.Rels["Students"].Value(i, "majorID").IsNull() {
+			t.Fatal("input relation mutated")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteCSV writes the relation as CSV with a header row. Null cells render
+// as empty fields.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema().Names()); err != nil {
+		return err
+	}
+	rec := make([]string, r.Schema().Len())
+	for i := 0; i < r.Len(); i++ {
+		for j, v := range r.Row(i) {
+			rec[j] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the relation to the named file.
+func WriteCSVFile(path string, r *Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteCSV(f, r); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSV reads a relation from CSV. The header row must match the schema's
+// column names (order included); empty fields become null.
+func ReadCSV(rd io.Reader, name string, schema *Schema) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = schema.Len()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: read csv header: %w", err)
+	}
+	for j, n := range schema.Names() {
+		if strings.TrimSpace(header[j]) != n {
+			return nil, fmt.Errorf("table: csv header mismatch at column %d: got %q, want %q", j, header[j], n)
+		}
+	}
+	out := NewRelation(name, schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: read csv: %w", err)
+		}
+		row := make([]Value, schema.Len())
+		for j, field := range rec {
+			v, err := ParseValue(strings.TrimSpace(field), schema.Col(j).Type)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// ReadCSVFile reads a relation from the named CSV file.
+func ReadCSVFile(path, name string, schema *Schema) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, name, schema)
+}

@@ -1,0 +1,119 @@
+package table
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVInferredTypes(t *testing.T) {
+	in := "pid,Rel,Age,hid\n1,Owner,75,\n2,Spouse,24,\n"
+	r, err := ReadCSVInferred(strings.NewReader(in), "Persons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Schema()
+	wantTypes := map[string]Type{"pid": TypeInt, "Rel": TypeString, "Age": TypeInt, "hid": TypeInt}
+	for name, want := range wantTypes {
+		j, ok := s.Index(name)
+		if !ok {
+			t.Fatalf("missing column %q", name)
+		}
+		if s.Col(j).Type != want {
+			t.Errorf("column %q type %v, want %v", name, s.Col(j).Type, want)
+		}
+	}
+	if r.Len() != 2 {
+		t.Fatalf("rows = %d", r.Len())
+	}
+	if !r.Value(0, "hid").IsNull() {
+		t.Error("empty cell not null")
+	}
+	if r.Value(1, "Rel") != String("Spouse") {
+		t.Errorf("Rel = %v", r.Value(1, "Rel"))
+	}
+}
+
+// A column whose first value is empty must probe deeper rows for its type.
+func TestReadCSVInferredProbesPastEmpties(t *testing.T) {
+	in := "a,b\n,x\n7,y\n"
+	r, err := ReadCSVInferred(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().Col(0).Type != TypeInt {
+		t.Errorf("a type = %v, want int (probed row 2)", r.Schema().Col(0).Type)
+	}
+	if r.Schema().Col(1).Type != TypeString {
+		t.Errorf("b type = %v", r.Schema().Col(1).Type)
+	}
+}
+
+func TestReadCSVInferredAllEmptyColumnDefaultsInt(t *testing.T) {
+	in := "fk,x\n,a\n,b\n" // fk column entirely empty
+	r, err := ReadCSVInferred(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().Col(0).Type != TypeInt {
+		t.Errorf("type = %v", r.Schema().Col(0).Type)
+	}
+	if r.Len() != 2 || !r.Value(0, "fk").IsNull() {
+		t.Errorf("rows: %d", r.Len())
+	}
+}
+
+func TestReadCSVInferredRoundTripWithWriter(t *testing.T) {
+	orig := filledR1()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVInferred(&buf, "Persons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema().Equal(orig.Schema()) {
+		t.Fatalf("schema inferred differently: %v", got.Schema().Names())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		for j := 0; j < orig.Schema().Len(); j++ {
+			if got.At(i, j) != orig.At(i, j) {
+				t.Errorf("cell (%d,%d): %v vs %v", i, j, got.At(i, j), orig.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReadCSVFileInferred(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.csv")
+	if err := WriteCSVFile(path, paperR2()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadCSVFileInferred(path, "Housing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 6 || r.Schema().Col(1).Type != TypeString {
+		t.Errorf("inferred: %d rows, %v", r.Len(), r.Schema().Col(1).Type)
+	}
+	if _, err := ReadCSVFileInferred(filepath.Join(dir, "missing.csv"), "x"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadCSVInferredErrors(t *testing.T) {
+	if _, err := ReadCSVInferred(strings.NewReader(""), "t"); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Ragged rows are a csv error.
+	if _, err := ReadCSVInferred(strings.NewReader("a,b\n1\n"), "t"); err == nil {
+		t.Error("ragged row accepted")
+	}
+	// Mixed int/string after the probe: parse error surfaces.
+	if _, err := ReadCSVInferred(strings.NewReader("a\n1\nxyz\n"), "t"); err == nil {
+		t.Error("type clash accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package table
+
+import "fmt"
+
+// Join computes the foreign-key equi-join r1 ⋈_{fkCol = keyCol} r2. The
+// result schema is r1's schema without fkCol, followed by r2's non-key
+// columns. Rows of r1 whose FK is null or dangling (no matching key in r2)
+// are skipped; for a valid foreign-key dependence every row joins exactly
+// once, so |result| == |r1|.
+func Join(r1 *Relation, fkCol string, r2 *Relation, keyCol string) (*Relation, error) {
+	if !r1.Schema().Has(fkCol) {
+		return nil, fmt.Errorf("table: join: %s has no column %q", r1.Name, fkCol)
+	}
+	if !r2.Schema().Has(keyCol) {
+		return nil, fmt.Errorf("table: join: %s has no column %q", r2.Name, keyCol)
+	}
+	index, err := KeyIndex(r2, keyCol)
+	if err != nil {
+		return nil, err
+	}
+	fkIdx := r1.Schema().MustIndex(fkCol)
+	keyIdx := r2.Schema().MustIndex(keyCol)
+
+	var r2Cols []Column
+	var r2ColIdx []int
+	for j := 0; j < r2.Schema().Len(); j++ {
+		if j == keyIdx {
+			continue
+		}
+		r2Cols = append(r2Cols, r2.Schema().Col(j))
+		r2ColIdx = append(r2ColIdx, j)
+	}
+	outSchema := r1.Schema().Drop(fkCol).Extend(r2Cols...)
+	out := NewRelation(r1.Name+"_join_"+r2.Name, outSchema)
+	for i := 0; i < r1.Len(); i++ {
+		fk := r1.Row(i)[fkIdx]
+		if fk.IsNull() {
+			continue
+		}
+		r2Row, ok := index[fk]
+		if !ok {
+			continue
+		}
+		row := make([]Value, 0, outSchema.Len())
+		for j, v := range r1.Row(i) {
+			if j == fkIdx {
+				continue
+			}
+			row = append(row, v)
+		}
+		for _, j := range r2ColIdx {
+			row = append(row, r2.Row(r2Row)[j])
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+// KeyIndex builds a unique index from key value to row position. It returns
+// an error on duplicate or null keys, since keyCol must be a primary key.
+func KeyIndex(r *Relation, keyCol string) (map[Value]int, error) {
+	j, ok := r.Schema().Index(keyCol)
+	if !ok {
+		return nil, fmt.Errorf("table: %s has no column %q", r.Name, keyCol)
+	}
+	out := make(map[Value]int, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		k := r.Row(i)[j]
+		if k.IsNull() {
+			return nil, fmt.Errorf("table: %s: null key at row %d", r.Name, i)
+		}
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("table: %s: duplicate key %v", r.Name, k)
+		}
+		out[k] = i
+	}
+	return out, nil
+}

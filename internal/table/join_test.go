@@ -1,0 +1,158 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// filledR1 is Figure 3: the paper's solution with hid imputed.
+func filledR1() *Relation {
+	r := paperR1()
+	hids := []int64{2, 1, 3, 4, 2, 2, 2, 5, 6}
+	for i, h := range hids {
+		r.Set(i, "hid", Int(h))
+	}
+	return r
+}
+
+func TestJoinReproducesFigure5(t *testing.T) {
+	vj, err := Join(filledR1(), "hid", paperR2(), "hid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vj.Len() != 9 {
+		t.Fatalf("|VJoin| = %d, want 9", vj.Len())
+	}
+	wantCols := []string{"pid", "Age", "Rel", "Multi", "Area"}
+	if got := strings.Join(vj.Schema().Names(), ","); got != strings.Join(wantCols, ",") {
+		t.Fatalf("schema = %s", got)
+	}
+	// Figure 5: pids 1..7 in Chicago, 8..9 in NYC.
+	for i := 0; i < vj.Len(); i++ {
+		pid := vj.Value(i, "pid").Int()
+		area := vj.Value(i, "Area").Str()
+		want := "Chicago"
+		if pid >= 8 {
+			want = "NYC"
+		}
+		if area != want {
+			t.Errorf("pid %d: area = %s, want %s", pid, area, want)
+		}
+	}
+	// CC1 from Figure 2b: owners in Chicago = 4.
+	cc1 := And(Eq("Rel", String("Owner")), Eq("Area", String("Chicago")))
+	if got := vj.Count(cc1); got != 4 {
+		t.Errorf("CC1 count = %d, want 4", got)
+	}
+	// CC2: owners in NYC = 2.
+	cc2 := And(Eq("Rel", String("Owner")), Eq("Area", String("NYC")))
+	if got := vj.Count(cc2); got != 2 {
+		t.Errorf("CC2 count = %d, want 2", got)
+	}
+}
+
+func TestJoinSkipsNullAndDanglingFKs(t *testing.T) {
+	r1 := paperR1() // all FKs null
+	vj, err := Join(r1, "hid", paperR2(), "hid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vj.Len() != 0 {
+		t.Errorf("join over null FKs = %d rows", vj.Len())
+	}
+	r1.Set(0, "hid", Int(999)) // dangling
+	r1.Set(1, "hid", Int(1))
+	vj, err = Join(r1, "hid", paperR2(), "hid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vj.Len() != 1 {
+		t.Errorf("join rows = %d, want 1", vj.Len())
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	if _, err := Join(paperR1(), "nope", paperR2(), "hid"); err == nil {
+		t.Error("missing fk col accepted")
+	}
+	if _, err := Join(paperR1(), "hid", paperR2(), "nope"); err == nil {
+		t.Error("missing key col accepted")
+	}
+	dup := NewRelation("d", NewSchema(IntCol("hid"), StrCol("Area")))
+	dup.MustAppend(Int(1), String("a"))
+	dup.MustAppend(Int(1), String("b"))
+	if _, err := Join(filledR1(), "hid", dup, "hid"); err == nil {
+		t.Error("duplicate key accepted")
+	}
+}
+
+func TestKeyIndex(t *testing.T) {
+	idx, err := KeyIndex(paperR2(), "hid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 6 {
+		t.Fatalf("index size = %d", len(idx))
+	}
+	r := NewRelation("n", NewSchema(IntCol("k")))
+	r.MustAppend(Null())
+	if _, err := KeyIndex(r, "k"); err == nil {
+		t.Error("null key accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := filledR1()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "Persons", r.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != r.Len() {
+		t.Fatalf("rows = %d", got.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		for j := 0; j < r.Schema().Len(); j++ {
+			if got.At(i, j) != r.At(i, j) {
+				t.Errorf("cell (%d,%d): %v != %v", i, j, got.At(i, j), r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCSVNullsRoundTrip(t *testing.T) {
+	r := paperR1() // null hid column
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "Persons", r.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < got.Len(); i++ {
+		if !got.Value(i, "hid").IsNull() {
+			t.Errorf("row %d: hid = %v, want null", i, got.Value(i, "hid"))
+		}
+	}
+}
+
+func TestCSVHeaderMismatch(t *testing.T) {
+	in := "a,b\n1,2\n"
+	_, err := ReadCSV(strings.NewReader(in), "t", NewSchema(IntCol("a"), IntCol("c")))
+	if err == nil {
+		t.Error("header mismatch accepted")
+	}
+}
+
+func TestCSVBadCell(t *testing.T) {
+	in := "a\nxyz\n"
+	_, err := ReadCSV(strings.NewReader(in), "t", NewSchema(IntCol("a")))
+	if err == nil {
+		t.Error("non-integer cell accepted for int column")
+	}
+}

@@ -1,0 +1,141 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOpApplyTable(t *testing.T) {
+	cases := []struct {
+		a    Value
+		op   Op
+		b    Value
+		want bool
+	}{
+		{Int(3), OpEq, Int(3), true},
+		{Int(3), OpEq, Int(4), false},
+		{Int(3), OpNe, Int(4), true},
+		{Int(3), OpLt, Int(4), true},
+		{Int(4), OpLt, Int(4), false},
+		{Int(4), OpLe, Int(4), true},
+		{Int(5), OpGt, Int(4), true},
+		{Int(4), OpGe, Int(4), true},
+		{String("a"), OpLt, String("b"), true},
+		{String("b"), OpGe, String("b"), true},
+		{Null(), OpEq, Null(), false}, // null never matches
+		{Null(), OpNe, Int(1), false}, // not even !=
+		{Int(1), OpEq, Null(), false},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v %v %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpApplyComplement(t *testing.T) {
+	// For non-null ints: Eq/Ne, Lt/Ge and Le/Gt are complements.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a, b := Int(rng.Int63n(100)), Int(rng.Int63n(100))
+		if OpEq.Apply(a, b) == OpNe.Apply(a, b) {
+			t.Fatalf("Eq/Ne not complementary for %v %v", a, b)
+		}
+		if OpLt.Apply(a, b) == OpGe.Apply(a, b) {
+			t.Fatalf("Lt/Ge not complementary for %v %v", a, b)
+		}
+		if OpLe.Apply(a, b) == OpGt.Apply(a, b) {
+			t.Fatalf("Le/Gt not complementary for %v %v", a, b)
+		}
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	s := NewSchema(IntCol("Age"), StrCol("Rel"))
+	row := []Value{Int(30), String("Owner")}
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{And(), true}, // empty conjunction
+		{And(Eq("Rel", String("Owner"))), true},
+		{And(Eq("Rel", String("Spouse"))), false},
+		{And(Between("Age", 18, 114)...), true},
+		{And(Between("Age", 31, 40)...), false},
+		{And(Eq("Rel", String("Owner")), Atom{Col: "Age", Op: OpGt, Val: Int(29)}), true},
+		{And(Eq("Missing", Int(1))), false}, // unknown column is false
+	}
+	for i, c := range cases {
+		if got := c.p.Eval(s, row); got != c.want {
+			t.Errorf("case %d (%s): got %v", i, c.p, got)
+		}
+	}
+}
+
+func TestPredicateColumnsAndRestrict(t *testing.T) {
+	p := And(append(Between("Age", 0, 24), Eq("Area", String("Chicago")), Eq("Rel", String("Owner")))...)
+	cols := p.Columns()
+	if len(cols) != 3 || cols[0] != "Age" {
+		t.Errorf("Columns = %v", cols)
+	}
+	r1Cols := map[string]bool{"Age": true, "Rel": true}
+	r1Part := p.Restrict(func(c string) bool { return r1Cols[c] })
+	if len(r1Part.Atoms) != 3 {
+		t.Errorf("R1 part = %s", r1Part)
+	}
+	r2Part := p.Restrict(func(c string) bool { return !r1Cols[c] })
+	if len(r2Part.Atoms) != 1 || r2Part.Atoms[0].Col != "Area" {
+		t.Errorf("R2 part = %s", r2Part)
+	}
+}
+
+func TestPredicateWithAtomsDoesNotAlias(t *testing.T) {
+	p := And(Eq("a", Int(1)))
+	q := p.WithAtoms(Eq("b", Int(2)))
+	if len(p.Atoms) != 1 || len(q.Atoms) != 2 {
+		t.Errorf("alias bug: p=%d q=%d", len(p.Atoms), len(q.Atoms))
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	p := And(Eq("Rel", String("Owner")), Atom{Col: "Age", Op: OpLe, Val: Int(24)})
+	if got := p.String(); got != "Rel = 'Owner' & Age <= 24" {
+		t.Errorf("String = %q", got)
+	}
+	if got := And().String(); got != "true" {
+		t.Errorf("empty = %q", got)
+	}
+}
+
+// Property: Eval(p, row) equals evaluating each atom independently.
+func TestPredicateEvalMatchesReference(t *testing.T) {
+	s := NewSchema(IntCol("x"), IntCol("y"))
+	rng := rand.New(rand.NewSource(42))
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for trial := 0; trial < 500; trial++ {
+		var atoms []Atom
+		n := rng.Intn(4)
+		for i := 0; i < n; i++ {
+			col := "x"
+			if rng.Intn(2) == 0 {
+				col = "y"
+			}
+			atoms = append(atoms, Atom{Col: col, Op: ops[rng.Intn(len(ops))], Val: Int(rng.Int63n(10))})
+		}
+		p := And(atoms...)
+		row := []Value{Int(rng.Int63n(10)), Int(rng.Int63n(10))}
+		want := true
+		for _, a := range atoms {
+			j := 0
+			if a.Col == "y" {
+				j = 1
+			}
+			if !a.Op.Apply(row[j], a.Val) {
+				want = false
+			}
+		}
+		if got := p.Eval(s, row); got != want {
+			t.Fatalf("trial %d: %s on %v: got %v want %v", trial, p, row, got, want)
+		}
+	}
+}

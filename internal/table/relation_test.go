@@ -1,0 +1,259 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func personsSchema() *Schema {
+	return NewSchema(IntCol("pid"), IntCol("Age"), StrCol("Rel"), IntCol("Multi"), IntCol("hid"))
+}
+
+// paperR1 builds the Persons relation from Figure 1 with the FK column null.
+func paperR1() *Relation {
+	r := NewRelation("Persons", personsSchema())
+	rows := []struct {
+		pid, age int64
+		rel      string
+		multi    int64
+	}{
+		{1, 75, "Owner", 0}, {2, 75, "Owner", 1}, {3, 25, "Owner", 0},
+		{4, 25, "Owner", 1}, {5, 24, "Spouse", 0}, {6, 10, "Child", 1},
+		{7, 10, "Child", 1}, {8, 30, "Owner", 0}, {9, 30, "Owner", 1},
+	}
+	for _, x := range rows {
+		r.MustAppend(Int(x.pid), Int(x.age), String(x.rel), Int(x.multi), Null())
+	}
+	return r
+}
+
+// paperR2 builds the Housing relation from Figure 1.
+func paperR2() *Relation {
+	r := NewRelation("Housing", NewSchema(IntCol("hid"), StrCol("Area")))
+	for hid, area := range map[int64]string{1: "Chicago", 2: "Chicago", 3: "Chicago", 4: "Chicago", 5: "NYC", 6: "NYC"} {
+		r.MustAppend(Int(hid), String(area))
+	}
+	return r
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := personsSchema()
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if i, ok := s.Index("Rel"); !ok || i != 2 {
+		t.Errorf("Index(Rel) = %d, %v", i, ok)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("Index(nope) found")
+	}
+	if !s.Has("Age") || s.Has("Salary") {
+		t.Error("Has misbehaves")
+	}
+	if got := strings.Join(s.Names(), ","); got != "pid,Age,Rel,Multi,hid" {
+		t.Errorf("Names = %s", got)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on duplicate column")
+		}
+	}()
+	NewSchema(IntCol("a"), StrCol("a"))
+}
+
+func TestSchemaExtendProjectDrop(t *testing.T) {
+	s := NewSchema(IntCol("a"), StrCol("b"))
+	e := s.Extend(IntCol("c"))
+	if e.Len() != 3 || !e.Has("c") {
+		t.Errorf("Extend: %v", e.Names())
+	}
+	if s.Len() != 2 {
+		t.Error("Extend mutated receiver")
+	}
+	p, err := s.Project("b")
+	if err != nil || p.Len() != 1 || p.Col(0).Name != "b" {
+		t.Errorf("Project: %v, %v", p, err)
+	}
+	if _, err := s.Project("zzz"); err == nil {
+		t.Error("Project(zzz) succeeded")
+	}
+	d := e.Drop("b")
+	if d.Len() != 2 || d.Has("b") {
+		t.Errorf("Drop: %v", d.Names())
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := NewSchema(IntCol("x"), StrCol("y"))
+	b := NewSchema(IntCol("x"), StrCol("y"))
+	c := NewSchema(StrCol("x"), StrCol("y"))
+	if !a.Equal(b) {
+		t.Error("a != b")
+	}
+	if a.Equal(c) {
+		t.Error("a == c despite type change")
+	}
+	if a.Equal(NewSchema(IntCol("x"))) {
+		t.Error("a == shorter schema")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	r := NewRelation("t", NewSchema(IntCol("a"), StrCol("b")))
+	if err := r.Append(Int(1), String("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(Int(1)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := r.Append(String("x"), String("y")); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if err := r.Append(Null(), Null()); err != nil {
+		t.Errorf("nulls rejected: %v", err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestValueSetAndClone(t *testing.T) {
+	r := paperR1()
+	if got := r.Value(0, "Age"); got != Int(75) {
+		t.Errorf("Value(0,Age) = %v", got)
+	}
+	c := r.Clone()
+	c.Set(0, "Age", Int(99))
+	if r.Value(0, "Age") != Int(75) {
+		t.Error("Clone shares row storage")
+	}
+	if c.Value(0, "Age") != Int(99) {
+		t.Error("Set on clone failed")
+	}
+}
+
+func TestSelectAndCount(t *testing.T) {
+	r := paperR1()
+	owners := And(Eq("Rel", String("Owner")))
+	if got := r.Count(owners); got != 6 {
+		t.Errorf("Count(owners) = %d, want 6", got)
+	}
+	young := And(Atom{Col: "Age", Op: OpLe, Val: Int(24)})
+	idx := r.Select(young)
+	if len(idx) != 3 {
+		t.Errorf("Select(age<=24) = %v", idx)
+	}
+	// Compound predicate.
+	p := And(Eq("Rel", String("Owner")), Atom{Col: "Multi", Op: OpEq, Val: Int(1)})
+	if got := r.Count(p); got != 3 {
+		t.Errorf("Count(owner&multi) = %d, want 3", got)
+	}
+	// Null FK never matches.
+	if got := r.Count(And(Eq("hid", Int(1)))); got != 0 {
+		t.Errorf("Count(hid=1) over null column = %d", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := paperR1()
+	p, err := r.Project("Rel", "Age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema().Len() != 2 || p.Len() != r.Len() {
+		t.Fatalf("Project shape: %d cols %d rows", p.Schema().Len(), p.Len())
+	}
+	if p.Value(0, "Rel") != String("Owner") || p.Value(0, "Age") != Int(75) {
+		t.Errorf("Project row 0: %v", p.Row(0))
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	r := paperR1()
+	ages := r.DistinctValues("Age")
+	want := []int64{10, 24, 25, 30, 75}
+	if len(ages) != len(want) {
+		t.Fatalf("distinct ages = %v", ages)
+	}
+	for i, w := range want {
+		if ages[i] != Int(w) {
+			t.Errorf("ages[%d] = %v, want %d", i, ages[i], w)
+		}
+	}
+	// Null column yields no values.
+	if got := r.DistinctValues("hid"); len(got) != 0 {
+		t.Errorf("DistinctValues(hid) = %v", got)
+	}
+}
+
+func TestDistinctRowsCounts(t *testing.T) {
+	r := paperR1()
+	combos, counts := r.DistinctRows("Rel", "Multi")
+	// Owner/0 x3, Owner/1 x3, Spouse/0 x1, Child/1 x2.
+	if len(combos) != 4 {
+		t.Fatalf("combos = %v", combos)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != r.Len() {
+		t.Errorf("counts sum to %d, want %d", total, r.Len())
+	}
+	byKey := make(map[string]int)
+	for i, c := range combos {
+		byKey[EncodeKey(c...)] = counts[i]
+	}
+	if byKey[EncodeKey(String("Child"), Int(1))] != 2 {
+		t.Errorf("Child/1 count = %d", byKey[EncodeKey(String("Child"), Int(1))])
+	}
+}
+
+func TestGroupByAndKeyOf(t *testing.T) {
+	r := paperR1()
+	groups := r.GroupBy("Rel")
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	k := r.KeyOf(0, "Rel")
+	if len(groups[k]) != 6 {
+		t.Errorf("owner group size = %d", len(groups[k]))
+	}
+}
+
+func TestEncodeKeyDistinguishesKindAndBoundary(t *testing.T) {
+	if EncodeKey(Int(1)) == EncodeKey(String("1")) {
+		t.Error("int/string collision")
+	}
+	if EncodeKey(String("ab"), String("c")) == EncodeKey(String("a"), String("bc")) {
+		t.Error("boundary collision")
+	}
+	if EncodeKey(Null()) == EncodeKey(Int(0)) {
+		t.Error("null/zero collision")
+	}
+}
+
+func TestHasNullIn(t *testing.T) {
+	r := paperR1()
+	if !r.HasNullIn(0, "hid") {
+		t.Error("hid should be null")
+	}
+	if r.HasNullIn(0, "Age", "Rel") {
+		t.Error("Age/Rel are non-null")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := paperR1()
+	s := r.String()
+	if !strings.Contains(s, "Persons (9 rows)") || !strings.Contains(s, "Owner") {
+		t.Errorf("render: %s", s)
+	}
+	// Null renders as "?".
+	if !strings.Contains(s, "?") {
+		t.Error("missing ? for null cell")
+	}
+}

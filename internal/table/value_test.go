@@ -1,0 +1,146 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	if got := Int(7).Kind(); got != KindInt {
+		t.Errorf("Int kind = %v", got)
+	}
+	if got := String("x").Kind(); got != KindString {
+		t.Errorf("String kind = %v", got)
+	}
+	if got := Null().Kind(); got != KindNull {
+		t.Errorf("Null kind = %v", got)
+	}
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if Int(0).IsNull() {
+		t.Error("Int(0).IsNull() = true")
+	}
+}
+
+func TestValuePayloads(t *testing.T) {
+	if got := Int(-42).Int(); got != -42 {
+		t.Errorf("Int payload = %d", got)
+	}
+	if got := String("chicago").Str(); got != "chicago" {
+		t.Errorf("Str payload = %q", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(12), "12"},
+		{Int(-3), "-3"},
+		{String("NYC"), "NYC"},
+		{Null(), ""},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueEquality(t *testing.T) {
+	if Int(3) != Int(3) {
+		t.Error("Int(3) != Int(3)")
+	}
+	if Int(3) == String("3") {
+		t.Error("Int(3) == String(\"3\")")
+	}
+	if Null() != Null() {
+		t.Error("Null() != Null()")
+	}
+	m := map[Value]int{Int(1): 1, String("1"): 2}
+	if len(m) != 2 {
+		t.Errorf("map keyed by Value collapsed: %v", m)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(5), Int(5), 0},
+		{String("a"), String("b"), -1},
+		{String("b"), String("a"), 1},
+		{String("x"), String("x"), 0},
+		{Null(), Int(0), -1},
+		{Int(9), String(""), -1}, // ints order before strings
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := func() Value {
+		switch rng.Intn(3) {
+		case 0:
+			return Int(rng.Int63n(20) - 10)
+		case 1:
+			return String(string(rune('a' + rng.Intn(5))))
+		default:
+			return Null()
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		a, b, c := vals(), vals(), vals()
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue("42", TypeInt)
+	if err != nil || v != Int(42) {
+		t.Errorf("ParseValue(42) = %v, %v", v, err)
+	}
+	v, err = ParseValue("hello", TypeString)
+	if err != nil || v != String("hello") {
+		t.Errorf("ParseValue(hello) = %v, %v", v, err)
+	}
+	v, err = ParseValue("", TypeInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("ParseValue(empty) = %v, %v", v, err)
+	}
+	if _, err = ParseValue("notanint", TypeInt); err == nil {
+		t.Error("ParseValue(notanint) succeeded")
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		v, err := ParseValue(Int(n).String(), TypeInt)
+		return err == nil && v == Int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

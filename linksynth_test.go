@@ -1,0 +1,115 @@
+package linksynth
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// apiInput is the paper's running example built purely through the public
+// API surface.
+func apiInput(t *testing.T) Input {
+	t.Helper()
+	persons := NewRelation("Persons", NewSchema(
+		IntCol("pid"), IntCol("Age"), StrCol("Rel"), IntCol("Multi"), IntCol("hid")))
+	for _, p := range []struct {
+		pid, age int64
+		rel      string
+		multi    int64
+	}{
+		{1, 75, "Owner", 0}, {2, 75, "Owner", 1}, {3, 25, "Owner", 0},
+		{4, 25, "Owner", 1}, {5, 24, "Spouse", 0}, {6, 10, "Child", 1},
+		{7, 10, "Child", 1}, {8, 30, "Owner", 0}, {9, 30, "Owner", 1},
+	} {
+		persons.MustAppend(Int(p.pid), Int(p.age), String(p.rel), Int(p.multi), Null())
+	}
+	housing := NewRelation("Housing", NewSchema(IntCol("hid"), StrCol("Area")))
+	for i, area := range []string{"Chicago", "Chicago", "Chicago", "Chicago", "NYC", "NYC"} {
+		housing.MustAppend(Int(int64(i+1)), String(area))
+	}
+	ccs, dcs, err := ParseConstraints(strings.NewReader(`
+cc: count(Rel = 'Owner', Area = 'Chicago') = 4
+cc: count(Rel = 'Owner', Area = 'NYC') = 2
+dc: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Input{R1: persons, R2: housing, K1: "pid", K2: "hid", FK: "hid", CCs: ccs, DCs: dcs}
+}
+
+func TestPublicAPISolve(t *testing.T) {
+	in := apiInput(t)
+	res, err := Solve(in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VJoin.Len() != 9 {
+		t.Fatalf("|VJoin| = %d", res.VJoin.Len())
+	}
+	for _, e := range CCErrors(res.VJoin, in.CCs) {
+		if e != 0 {
+			t.Errorf("CC error %v", e)
+		}
+	}
+	if f := DCErrorFraction(res.R1Hat, "hid", in.DCs); f != 0 {
+		t.Errorf("DC error %v", f)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	for _, opt := range []Options{BaselineOptions(4), BaselineMarginalsOptions(4)} {
+		res, err := Solve(apiInput(t), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.R1Hat.Len() != 9 {
+			t.Fatal("missing rows")
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	cc, err := ParseCC("cc: count(Rel = 'Owner') = 3")
+	if err != nil || cc.Target != 3 {
+		t.Errorf("ParseCC: %v %v", cc, err)
+	}
+	dc, err := ParseDC("dc: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'")
+	if err != nil || dc.K != 2 {
+		t.Errorf("ParseDC: %v %v", dc, err)
+	}
+}
+
+func TestCSVRoundTripThroughAPI(t *testing.T) {
+	dir := t.TempDir()
+	in := apiInput(t)
+	path := filepath.Join(dir, "housing.csv")
+	if err := WriteCSVFile(path, in.R2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path, "Housing", in.R2.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != in.R2.Len() {
+		t.Errorf("rows = %d", got.Len())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeConstantsExposed(t *testing.T) {
+	res, err := Solve(apiInput(t), Options{Mode: ModeILPOnly, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CCsToILP == 0 {
+		t.Error("ModeILPOnly did not route CCs to the ILP")
+	}
+	if _, err := Solve(apiInput(t), Options{Mode: ModeHasseOnly, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = ModeHybrid
+}

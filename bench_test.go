@@ -150,6 +150,72 @@ func BenchmarkAblationInputOrderColoring(b *testing.B) {
 	benchSolve(b, false, Options{Seed: 1, Order: core.OrderInput})
 }
 
+// ---- Parallel-vs-serial and batch benchmarks ----
+//
+// These pin the end-to-end pipeline parallelization on a Table-1-scale
+// instance; comparing BenchmarkSolveSerial against BenchmarkSolveParallel
+// (and the batch pair) in BENCH_*.json tracks the multi-core speedup. On a
+// single-core host the parallel numbers degrade gracefully to roughly the
+// serial ones (the pool runs tasks inline when saturated).
+
+func benchTable1Instance() Input {
+	d := census.Generate(census.Config{Households: 400, Areas: 8, Seed: 5})
+	return Input{R1: d.Persons, R2: d.Housing, K1: "pid", K2: "hid", FK: "hid",
+		CCs: d.GoodCCs(120), DCs: census.AllDCs()}
+}
+
+func benchSolveWorkers(b *testing.B, workers int) {
+	b.Helper()
+	in := benchTable1Instance()
+	opt := Options{Seed: 1, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(in, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveSerial is the sequential pipeline (Workers: 0).
+func BenchmarkSolveSerial(b *testing.B) { benchSolveWorkers(b, 0) }
+
+// BenchmarkSolveParallel2 runs both phases on a 2-worker pool.
+func BenchmarkSolveParallel2(b *testing.B) { benchSolveWorkers(b, 2) }
+
+// BenchmarkSolveParallel runs both phases on a GOMAXPROCS pool.
+func BenchmarkSolveParallel(b *testing.B) { benchSolveWorkers(b, -1) }
+
+func benchBatch(b *testing.B, workers int) {
+	b.Helper()
+	const instances = 4
+	inputs := make([]Input, instances)
+	for i := range inputs {
+		d := census.Generate(census.Config{Households: 150, Areas: 6, Seed: int64(i + 1)})
+		inputs[i] = Input{R1: d.Persons, R2: d.Housing, K1: "pid", K2: "hid", FK: "hid",
+			CCs: d.GoodCCs(60), DCs: census.AllDCs()}
+	}
+	opt := Options{Seed: 1, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := SolveBatch(inputs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != instances {
+			b.Fatalf("got %d results", len(results))
+		}
+	}
+}
+
+// BenchmarkSolveBatchSerial schedules a 4-instance batch sequentially.
+func BenchmarkSolveBatchSerial(b *testing.B) { benchBatch(b, 0) }
+
+// BenchmarkSolveBatchParallel schedules the same batch over a GOMAXPROCS
+// pool (instances fan out first; spare capacity flows to per-phase tasks).
+func BenchmarkSolveBatchParallel(b *testing.B) { benchBatch(b, -1) }
+
 // ---- Substrate micro-benchmarks ----
 
 // BenchmarkTable4Edges times conflict-hypergraph construction for the

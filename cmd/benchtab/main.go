@@ -7,6 +7,7 @@
 //	benchtab                  # run everything at the default quick scale
 //	benchtab -exp fig8a,fig13 # selected experiments
 //	benchtab -unit 982 -ccs 200 -scales 1,2,5,10   # closer to paper scale
+//	benchtab -batch 8 -workers -1                  # batched multi-instance workload
 package main
 
 import (
@@ -17,7 +18,10 @@ import (
 	"strings"
 	"time"
 
+	linksynth "repro"
+	"repro/internal/census"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -29,12 +33,18 @@ func main() {
 	scales := flag.String("scales", "", "comma-separated scale multipliers (e.g. 1,2,5,10)")
 	largeScales := flag.String("large-scales", "", "scales for fig11b")
 	seed := flag.Int64("seed", 1, "seed")
+	batch := flag.Int("batch", 0, "solve this many instances via SolveBatch instead of running experiments")
+	workers := flag.Int("workers", -1, "worker pool size for -batch (-1 = GOMAXPROCS, 0/1 = serial)")
 	flag.Parse()
 
 	if *list {
 		for _, r := range experiments.Runners() {
 			fmt.Println(r.ID)
 		}
+		return
+	}
+	if *batch > 0 {
+		runBatch(*batch, *workers, *unit, *ccs, *seed)
 		return
 	}
 
@@ -75,6 +85,46 @@ func main() {
 		fmt.Print(tab.String())
 		fmt.Printf("(%s took %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runBatch is the multi-instance workload: n census instances (one seed
+// each) solved by a single SolveBatch call over a shared worker pool, with
+// per-instance quality and a throughput summary.
+func runBatch(n, workers, unit, nCC int, seed int64) {
+	if unit <= 0 {
+		unit = 200
+	}
+	if nCC <= 0 {
+		nCC = 40
+	}
+	inputs := make([]linksynth.Input, n)
+	allCCs := make([][]linksynth.CC, n)
+	dcs := census.AllDCs()
+	for i := range inputs {
+		d := census.Generate(census.Config{Households: unit, Areas: 6, Seed: seed + int64(i)})
+		allCCs[i] = d.GoodCCs(nCC)
+		inputs[i] = linksynth.Input{R1: d.Persons, R2: d.Housing,
+			K1: "pid", K2: "hid", FK: "hid", CCs: allCCs[i], DCs: dcs}
+	}
+	start := time.Now()
+	results, err := linksynth.SolveBatch(inputs, linksynth.Options{Seed: seed, Workers: workers})
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtab: batch: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("batch: %d instances x %d households, %d CCs, workers=%d\n",
+		n, unit, nCC, workers)
+	fmt.Printf("%-10s %-12s %-10s %-10s %s\n", "instance", "CCerr-median", "DCerr", "addedR2", "solve-time")
+	for i, res := range results {
+		errs := linksynth.CCErrors(res.VJoin, allCCs[i])
+		fmt.Printf("%-10d %-12.4f %-10.4f %-10d %v\n",
+			i, metrics.Median(errs),
+			linksynth.DCErrorFraction(res.R1Hat, "hid", dcs),
+			res.Stats.AddedR2Tuples, res.Stats.Total.Round(time.Millisecond))
+	}
+	fmt.Printf("total %v, %.2f instances/s\n", elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
 }
 
 func parseInts(s string) []int {

@@ -5,15 +5,54 @@ import (
 	"repro/internal/hasse"
 )
 
+// hasseExec is one execution context for Algorithm 2. In direct mode
+// (base nil) assignments write straight into the shared problem state; in
+// speculative mode the executor reads a shared immutable snapshot of the
+// fill state plus its own small assignment overlay, recording proposals to
+// be merged — or discarded and replayed — in canonical order by
+// runHasseParallel. Sharing one snapshot keeps speculation memory
+// O(rows + proposals) instead of O(subtrees × rows).
+type hasseExec struct {
+	p         *prob
+	base      []int        // shared read-only fill snapshot; nil reads/writes p directly
+	mine      map[int]bool // rows this execution has assigned
+	proposals []fillProp
+}
+
+// fillProp is one speculative (row, combo) assignment.
+type fillProp struct{ row, combo int }
+
+func (e *hasseExec) filled(i int) bool {
+	if e.base != nil {
+		return len(e.p.usedBCols) == 0 || e.base[i] >= 0 || e.mine[i]
+	}
+	return e.p.filled(i)
+}
+
+func (e *hasseExec) assign(i, c int) {
+	if e.base != nil {
+		e.mine[i] = true
+		e.proposals = append(e.proposals, fillProp{row: i, combo: c})
+		return
+	}
+	e.p.assignCombo(i, c)
+}
+
 // runHasse is Algorithm 2: complete V_Join for a set of non-intersecting
 // CCs organized in a Hasse forest. ccIdx lists the CC indices (into
 // p.in.CCs) participating; forest was built over exactly those CCs in the
 // same order. Shortfalls (fewer available tuples than a target) are
-// tolerated; they surface later as CC error.
+// tolerated; they surface later as CC error. With a worker pool attached
+// the independent maximal subtrees run concurrently.
 func (p *prob) runHasse(ccIdx []int, forest *hasse.Forest) {
+	if p.pool != nil {
+		p.runHasseParallel(ccIdx, forest)
+		return
+	}
+	e := &hasseExec{p: p}
 	for _, d := range forest.Diagrams {
 		for _, m := range d.Maximal {
-			p.solveDiagram(ccIdx, forest, m)
+			e.solveDiagram(ccIdx, forest, m)
 		}
 	}
 }
@@ -21,15 +60,15 @@ func (p *prob) runHasse(ccIdx []int, forest *hasse.Forest) {
 // solveDiagram processes the sub-diagram rooted at local node `node`
 // bottom-up: children first (recursively), then the remaining tuples of the
 // root's own target.
-func (p *prob) solveDiagram(ccIdx []int, forest *hasse.Forest, node int) {
+func (e *hasseExec) solveDiagram(ccIdx []int, forest *hasse.Forest, node int) {
 	children := forest.Children[node]
 	for _, c := range children {
-		p.solveDiagram(ccIdx, forest, c)
+		e.solveDiagram(ccIdx, forest, c)
 	}
 	cc := ccIdx[node]
-	need := p.in.CCs[cc].Target
+	need := e.p.in.CCs[cc].Target
 	for _, c := range children {
-		need -= p.in.CCs[ccIdx[c]].Target
+		need -= e.p.in.CCs[ccIdx[c]].Target
 	}
 	if need <= 0 {
 		return
@@ -40,13 +79,14 @@ func (p *prob) solveDiagram(ccIdx []int, forest *hasse.Forest, node int) {
 	for _, c := range children {
 		avoidR1 = append(avoidR1, ccIdx[c])
 	}
-	p.fillForCC(cc, need, avoidR1)
+	e.fillForCC(cc, need, avoidR1)
 }
 
 // fillForCC assigns up to need unfilled V_Join tuples a combo that
 // satisfies CC cc's R2 part, choosing tuples satisfying its R1 part, while
 // avoiding the full predicates of the listed CCs.
-func (p *prob) fillForCC(cc int, need int64, avoid []int) {
+func (e *hasseExec) fillForCC(cc int, need int64, avoid []int) {
+	p := e.p
 	if need <= 0 {
 		return
 	}
@@ -67,7 +107,7 @@ func (p *prob) fillForCC(cc int, need int64, avoid []int) {
 	assigned := int64(0)
 	comboCursor := 0
 	for i := 0; i < p.vjoin.Len() && assigned < need; i++ {
-		if p.filled(i) || !p.rowMatchesR1(i, p.ccR1[cc]) {
+		if e.filled(i) || !p.rowMatchesR1(i, p.ccR1[cc]) {
 			continue
 		}
 		// Pick the first combo that avoids every child predicate for this
@@ -84,13 +124,14 @@ func (p *prob) fillForCC(cc int, need int64, avoid []int) {
 		if chosen < 0 {
 			continue
 		}
-		p.assignCombo(i, chosen)
+		e.assign(i, chosen)
 		assigned++
 	}
 }
 
 // comboAvoids reports whether assigning combo c to row i keeps the row out
-// of every avoided CC's selection (¬σ_c of Algorithm 2).
+// of every avoided CC's selection (¬σ_c of Algorithm 2). It depends only on
+// immutable predicate/combo state, never on the fill state.
 func (p *prob) comboAvoids(i, c int, avoid []int) bool {
 	for _, a := range avoid {
 		if p.rowMatchesR1(i, p.ccR1[a]) && p.comboMatches(c, p.ccR2[a]) {

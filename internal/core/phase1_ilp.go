@@ -149,7 +149,14 @@ func (p *prob) runILP(ccIdx []int, withMarginals bool) error {
 		prob.NumVars = nStructural
 	}
 
-	sol, err := ilp.Solve(prob, p.opt.ILP)
+	// The program decomposes into independent blocks (connected components
+	// of its variable–constraint graph — at least one per disjoint CC
+	// component); with a pool attached, the blocks solve concurrently.
+	var runner ilp.Runner
+	if p.pool != nil {
+		runner = p.pool
+	}
+	sol, err := ilp.SolveBlocks(prob, p.opt.ILP, runner)
 	if err != nil {
 		return fmt.Errorf("core: algorithm 1: %w", err)
 	}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"repro/internal/hasse"
+	"repro/internal/sched"
+)
+
+// runHasseParallel executes the forest's maximal subtrees concurrently.
+// Subtrees in different diagrams have pairwise-disjoint CC predicates, but
+// they can still compete for the same unfilled V_Join rows (disjointness may
+// come from the R2 side alone), so plain fan-out would be order-dependent.
+// Instead each subtree runs speculatively against a snapshot of the fill
+// state, recording its assignments as ordered proposals. Proposals are then
+// merged in canonical subtree order: a subtree whose proposed rows are all
+// still unfilled behaves exactly as it would have sequentially, so its
+// proposals are applied verbatim; a subtree that collided with an earlier
+// merge is discarded and replayed against the live state. The merged result
+// is byte-identical to the serial path in all cases, and in the common case
+// (row-disjoint subtrees, e.g. per-template census CCs) every subtree's
+// work is done off the critical path.
+func (p *prob) runHasseParallel(ccIdx []int, forest *hasse.Forest) {
+	var roots []int
+	for _, d := range forest.Diagrams {
+		for _, m := range d.Maximal {
+			roots = append(roots, m)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	// One shared snapshot for every speculative execution; each task layers
+	// only its own assignments on top.
+	snap := append([]int(nil), p.comboOf...)
+	sched.Ordered(p.pool, len(roots), func(i int) *hasseExec {
+		e := &hasseExec{p: p, base: snap, mine: make(map[int]bool)}
+		e.solveDiagram(ccIdx, forest, roots[i])
+		return e
+	}, func(i int, e *hasseExec) {
+		conflict := false
+		for _, pr := range e.proposals {
+			if p.comboOf[pr.row] >= 0 {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			for _, pr := range e.proposals {
+				p.assignCombo(pr.row, pr.combo)
+			}
+			return
+		}
+		// An earlier subtree claimed one of our rows; the speculative run is
+		// stale. Replay sequentially — identical to the serial schedule.
+		direct := &hasseExec{p: p}
+		direct.solveDiagram(ccIdx, forest, roots[i])
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/hypergraph"
 	"repro/internal/table"
@@ -54,6 +55,48 @@ func (f *freshKeys) mint() table.Value {
 	}
 }
 
+// partition is one phase-II unit of work: the V_Join rows that phase I
+// assigned the same B-value combination, keyed by the combo's encoding.
+type partition struct {
+	key  string
+	rows []int
+}
+
+// partitions groups the filled V_Join rows by their assigned combo and
+// returns the groups in canonical (sorted-key) order plus the unfilled
+// (invalid) rows. Rows carry their combo index from phase I, so discovery
+// is a single O(n) scan with no value re-encoding, and — combo order being
+// key-sorted already — no sort either.
+func (p *prob) partitions() (parts []partition, invalid []int) {
+	if len(p.usedBCols) == 0 {
+		// Every row is trivially complete; one partition under the empty key
+		// (whose backing R2 rows are all of R2).
+		if p.vjoin.Len() == 0 {
+			return nil, nil
+		}
+		rows := make([]int, p.vjoin.Len())
+		for i := range rows {
+			rows[i] = i
+		}
+		return []partition{{key: table.EncodeKey(), rows: rows}}, nil
+	}
+	rowsBy := make([][]int, len(p.combos))
+	for i := 0; i < p.vjoin.Len(); i++ {
+		c := p.comboOf[i]
+		if c < 0 {
+			invalid = append(invalid, i)
+			continue
+		}
+		rowsBy[c] = append(rowsBy[c], i)
+	}
+	for c, rows := range rowsBy {
+		if len(rows) > 0 {
+			parts = append(parts, partition{key: p.comboKeys[c], rows: rows})
+		}
+	}
+	return parts, invalid
+}
+
 func (p *prob) runPhase2() (*phase2, error) {
 	ph := &phase2{
 		p:       p,
@@ -64,20 +107,7 @@ func (p *prob) runPhase2() (*phase2, error) {
 	}
 	ph.r2hat.Name = p.in.R2.Name
 
-	// Split rows into filled partitions and invalid tuples.
-	parts := make(map[string][]int)
-	var invalid []int
-	for i := 0; i < p.vjoin.Len(); i++ {
-		if !p.filled(i) {
-			invalid = append(invalid, i)
-			continue
-		}
-		vals := make([]table.Value, len(p.usedBCols))
-		for j, c := range p.usedBCols {
-			vals[j] = p.vjoin.Value(i, c)
-		}
-		parts[table.EncodeKey(vals...)] = append(parts[table.EncodeKey(vals...)], i)
-	}
+	parts, invalid := p.partitions()
 	p.stat.InvalidTuples = len(invalid)
 
 	if p.opt.RandomFK {
@@ -85,27 +115,16 @@ func (p *prob) runPhase2() (*phase2, error) {
 		return ph, nil
 	}
 
-	switch {
-	case p.opt.NoPartition:
-		if err := ph.colorGlobal(parts); err != nil {
-			return nil, err
-		}
-	case p.opt.Workers < 0 || p.opt.Workers > 1:
-		if err := ph.colorPartitionsParallel(parts, p.opt.Workers); err != nil {
-			return nil, err
-		}
-	default:
-		keys := make([]string, 0, len(parts))
-		for k := range parts {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		p.stat.Partitions = len(keys)
-		for _, k := range keys {
-			if err := ph.colorPartition(k, parts[k]); err != nil {
-				return nil, err
-			}
-		}
+	tColor := time.Now()
+	var err error
+	if p.opt.NoPartition {
+		err = ph.colorGlobal(parts)
+	} else {
+		err = ph.colorPartitions(parts)
+	}
+	p.stat.Coloring = time.Since(tColor)
+	if err != nil {
+		return nil, err
 	}
 	if len(invalid) > 0 {
 		ph.solveInvalidTuples(invalid)
@@ -229,83 +248,17 @@ func (ph *phase2) enumEdges(g *hypergraph.Graph, k int, cands [][]int, rows []in
 	rec(0)
 }
 
-// colorPartition handles one partition: build the conflict hypergraph,
-// list-color it (Algorithm 3), repair skipped vertices with fresh colors,
-// and materialize the corresponding new R̂2 tuples.
-func (ph *phase2) colorPartition(comboKey string, rows []int) error {
-	p := ph.p
-	g := hypergraph.New(len(rows))
-	ph.buildConflicts(g, rows)
-	p.stat.ConflictEdges += g.NumEdges()
-
-	palette := ph.partitionKeys(comboKey)
-	baseIdx := make([]int, len(palette))
-	for i := range baseIdx {
-		baseIdx[i] = i
-	}
-	coloring := hypergraph.NewColoring(len(rows))
-	var skipped []int
-	allowedBase := func(int) []int { return baseIdx }
-	if p.opt.Order == OrderInput {
-		coloring, skipped = g.ColoringInputOrder(coloring, allowedBase)
-	} else {
-		coloring, skipped = g.ColoringLF(coloring, allowedBase)
-	}
-	p.stat.SkippedVertices += len(skipped)
-
-	if len(skipped) > 0 {
-		// Mint |skipped| fresh colors and re-run the coloring over the
-		// skipped vertices (Algorithm 4, lines 11–12).
-		freshIdx := make([]int, len(skipped))
-		for i := range skipped {
-			palette = append(palette, ph.fresh.mint())
-			freshIdx[i] = len(palette) - 1
-		}
-		allowedFresh := func(int) []int { return freshIdx }
-		var left []int
-		if p.opt.Order == OrderInput {
-			coloring, left = g.ColoringInputOrder(coloring, allowedFresh)
-		} else {
-			coloring, left = g.ColoringLF(coloring, allowedFresh)
-		}
-		if len(left) > 0 {
-			return fmt.Errorf("core: phase 2: %d vertices uncolorable with %d fresh colors", len(left), len(skipped))
-		}
-		// Add an R̂2 tuple per fresh color that got used (line 13–14).
-		usedFresh := make(map[int]bool)
-		for _, c := range coloring {
-			if c >= len(palette)-len(skipped) {
-				usedFresh[c] = true
-			}
-		}
-		for _, fi := range freshIdx {
-			if usedFresh[fi] {
-				ph.appendR2Tuple(palette[fi], comboKey)
-			}
-		}
-	}
-	for li, ri := range rows {
-		key := palette[coloring[li]]
-		ph.fk[ri] = key
-		ph.keyRows[key] = append(ph.keyRows[key], ri)
-	}
-	return nil
-}
-
 // colorGlobal is the NoPartition ablation: one conflict hypergraph over all
 // filled tuples with per-vertex candidate lists.
-func (ph *phase2) colorGlobal(parts map[string][]int) error {
+func (ph *phase2) colorGlobal(parts []partition) error {
 	p := ph.p
 	var rows []int
 	comboOf := make(map[int]string)
 	keys := make([]string, 0, len(parts))
-	for k := range parts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		for _, r := range parts[k] {
-			comboOf[r] = k
+	for _, pt := range parts {
+		keys = append(keys, pt.key)
+		for _, r := range pt.rows {
+			comboOf[r] = pt.key
 			rows = append(rows, r)
 		}
 	}
@@ -354,8 +307,10 @@ func (ph *phase2) colorGlobal(parts map[string][]int) error {
 		for _, c := range coloring {
 			used[c] = true
 		}
-		for ck, fis := range freshByCombo {
-			for _, fi := range fis {
+		// Canonical key order, not map order: R̂2 row order must be
+		// deterministic for the same seed.
+		for _, ck := range keys {
+			for _, fi := range freshByCombo[ck] {
 				if used[fi] {
 					ph.appendR2Tuple(palette[fi], ck)
 				}
@@ -512,23 +467,18 @@ func (ph *phase2) solveInvalidTuples(invalid []int) {
 
 // assignRandom is the baselines' phase II: each tuple takes a uniformly
 // random candidate FK; DCs are ignored entirely.
-func (ph *phase2) assignRandom(parts map[string][]int, invalid []int) {
+func (ph *phase2) assignRandom(parts []partition, invalid []int) {
 	p := ph.p
-	keys := make([]string, 0, len(parts))
-	for k := range parts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	p.stat.Partitions = len(keys)
-	for _, ck := range keys {
-		cand := ph.partitionKeys(ck)
-		for _, ri := range parts[ck] {
+	p.stat.Partitions = len(parts)
+	for _, pt := range parts {
+		cand := ph.partitionKeys(pt.key)
+		for _, ri := range pt.rows {
 			var key table.Value
 			if len(cand) > 0 {
 				key = cand[p.rng.Intn(len(cand))]
 			} else {
 				key = ph.fresh.mint()
-				ph.appendR2Tuple(key, ck)
+				ph.appendR2Tuple(key, pt.key)
 			}
 			ph.fk[ri] = key
 			ph.keyRows[key] = append(ph.keyRows[key], ri)

@@ -2,120 +2,113 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
 
 	"repro/internal/hypergraph"
+	"repro/internal/sched"
 	"repro/internal/table"
 )
 
-// colorPartitionsParallel implements the Appendix A.3 optimization: the
-// per-partition conflict hypergraphs are independent (candidate keys are
-// disjoint across partitions), so graph construction and the first
-// list-coloring pass run concurrently across a worker pool. The serial
-// tail — minting fresh keys for skipped vertices and appending tuples to
-// R̂2 — is inherently ordered and stays on the caller's goroutine, keeping
-// results byte-identical to the sequential path.
-func (ph *phase2) colorPartitionsParallel(parts map[string][]int, workers int) error {
+// coloredPart is the order-independent output of one partition's heavy
+// work: the conflict hypergraph, the base palette, and the first
+// list-coloring pass over it.
+type coloredPart struct {
+	graph    *hypergraph.Graph
+	palette  []table.Value
+	coloring hypergraph.Coloring
+	skipped  []int
+}
+
+// colorPartitions runs Algorithm 4 over the partitions, streamed through
+// the shared worker pool (the Appendix A.3 optimization, without the
+// barrier the seed had between partition discovery and coloring): each
+// partition's conflict hypergraph is built and base-colored as a pure
+// function on a worker, while the serial tail — minting fresh keys for
+// skipped vertices, appending tuples to R̂2, recording FKs, all of which
+// touch shared ordered state — consumes results in canonical partition
+// order as they arrive. Later partitions color while earlier ones merge,
+// and the output is byte-identical to the sequential path (a nil pool runs
+// exactly that sequential loop).
+func (ph *phase2) colorPartitions(parts []partition) error {
 	p := ph.p
-	keys := make([]string, 0, len(parts))
-	for k := range parts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	p.stat.Partitions = len(keys)
+	p.stat.Partitions = len(parts)
+	var firstErr error
+	sched.Ordered(p.pool, len(parts), func(i int) coloredPart {
+		return ph.colorPart(parts[i])
+	}, func(i int, r coloredPart) {
+		if firstErr != nil {
+			return
+		}
+		if err := ph.finishPart(parts[i], r); err != nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}
 
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// colorPart builds the conflict hypergraph for one partition and colors it
+// from the partition's base palette (Algorithm 3 over Def. 5.1 conflicts).
+// It reads only immutable solver state and may run on any worker.
+func (ph *phase2) colorPart(pt partition) coloredPart {
+	p := ph.p
+	g := hypergraph.New(len(pt.rows))
+	ph.buildConflicts(g, pt.rows)
+	palette := ph.partitionKeys(pt.key)
+	baseIdx := make([]int, len(palette))
+	for i := range baseIdx {
+		baseIdx[i] = i
 	}
-	if workers > len(keys) {
-		workers = len(keys)
+	allowed := func(int) []int { return baseIdx }
+	coloring := hypergraph.NewColoring(len(pt.rows))
+	var skipped []int
+	if p.opt.Order == OrderInput {
+		coloring, skipped = g.ColoringInputOrder(coloring, allowed)
+	} else {
+		coloring, skipped = g.ColoringLF(coloring, allowed)
 	}
-	if workers < 1 {
-		workers = 1
-	}
+	return coloredPart{graph: g, palette: palette, coloring: coloring, skipped: skipped}
+}
 
-	type partResult struct {
-		graph    *hypergraph.Graph
-		palette  []table.Value
-		coloring hypergraph.Coloring
-		skipped  []int
-	}
-	results := make([]partResult, len(keys))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				rows := parts[keys[i]]
-				g := hypergraph.New(len(rows))
-				ph.buildConflicts(g, rows)
-				palette := ph.partitionKeys(keys[i])
-				idx := make([]int, len(palette))
-				for j := range idx {
-					idx[j] = j
-				}
-				allowed := func(int) []int { return idx }
-				coloring := hypergraph.NewColoring(len(rows))
-				var skipped []int
-				if p.opt.Order == OrderInput {
-					coloring, skipped = g.ColoringInputOrder(coloring, allowed)
-				} else {
-					coloring, skipped = g.ColoringLF(coloring, allowed)
-				}
-				results[i] = partResult{graph: g, palette: palette, coloring: coloring, skipped: skipped}
-			}
-		}()
-	}
-	for i := range keys {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	// Serial tail: fresh colors, R̂2 augmentation, FK recording.
-	for i, k := range keys {
-		r := results[i]
-		p.stat.ConflictEdges += r.graph.NumEdges()
-		p.stat.SkippedVertices += len(r.skipped)
-		palette := r.palette
-		coloring := r.coloring
-		if len(r.skipped) > 0 {
-			freshIdx := make([]int, len(r.skipped))
-			for j := range r.skipped {
-				palette = append(palette, ph.fresh.mint())
-				freshIdx[j] = len(palette) - 1
-			}
-			allowedFresh := func(int) []int { return freshIdx }
-			var left []int
-			if p.opt.Order == OrderInput {
-				coloring, left = r.graph.ColoringInputOrder(coloring, allowedFresh)
-			} else {
-				coloring, left = r.graph.ColoringLF(coloring, allowedFresh)
-			}
-			if len(left) > 0 {
-				return fmt.Errorf("core: phase 2 (parallel): %d vertices uncolorable", len(left))
-			}
-			usedFresh := make(map[int]bool)
-			for _, c := range coloring {
-				if c >= len(palette)-len(r.skipped) {
-					usedFresh[c] = true
-				}
-			}
-			for _, fi := range freshIdx {
-				if usedFresh[fi] {
-					ph.appendR2Tuple(palette[fi], k)
-				}
+// finishPart is the serial tail of one partition: repair skipped vertices
+// with fresh colors, materialize the corresponding new R̂2 tuples
+// (Algorithm 4, lines 11–14), and record the FK assignment.
+func (ph *phase2) finishPart(pt partition, r coloredPart) error {
+	p := ph.p
+	p.stat.ConflictEdges += r.graph.NumEdges()
+	p.stat.SkippedVertices += len(r.skipped)
+	palette := r.palette
+	coloring := r.coloring
+	if len(r.skipped) > 0 {
+		freshIdx := make([]int, len(r.skipped))
+		for i := range r.skipped {
+			palette = append(palette, ph.fresh.mint())
+			freshIdx[i] = len(palette) - 1
+		}
+		allowedFresh := func(int) []int { return freshIdx }
+		var left []int
+		if p.opt.Order == OrderInput {
+			coloring, left = r.graph.ColoringInputOrder(coloring, allowedFresh)
+		} else {
+			coloring, left = r.graph.ColoringLF(coloring, allowedFresh)
+		}
+		if len(left) > 0 {
+			return fmt.Errorf("core: phase 2: %d vertices uncolorable with %d fresh colors", len(left), len(r.skipped))
+		}
+		usedFresh := make(map[int]bool)
+		for _, c := range coloring {
+			if c >= len(palette)-len(r.skipped) {
+				usedFresh[c] = true
 			}
 		}
-		for li, ri := range parts[k] {
-			key := palette[coloring[li]]
-			ph.fk[ri] = key
-			ph.keyRows[key] = append(ph.keyRows[key], ri)
+		for _, fi := range freshIdx {
+			if usedFresh[fi] {
+				ph.appendR2Tuple(palette[fi], pt.key)
+			}
 		}
+	}
+	for li, ri := range pt.rows {
+		key := palette[coloring[li]]
+		ph.fk[ri] = key
+		ph.keyRows[key] = append(ph.keyRows[key], ri)
 	}
 	return nil
 }

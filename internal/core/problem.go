@@ -107,6 +107,10 @@ func newProb(in Input, opt Options, stat *Stats) (*prob, error) {
 		cols = append(cols, s2.Col(s2.MustIndex(c)))
 	}
 	p.vjoin = table.NewRelation("VJoin", table.NewSchema(cols...))
+	p.comboOf = make([]int, in.R1.Len())
+	for i := range p.comboOf {
+		p.comboOf[i] = -1
+	}
 	for i := 0; i < in.R1.Len(); i++ {
 		row := make([]table.Value, 0, len(cols))
 		row = append(row, in.R1.Value(i, in.K1))
@@ -156,21 +160,20 @@ func newProb(in Input, opt Options, stat *Stats) (*prob, error) {
 	return p, nil
 }
 
-// filled reports whether V_Join row i has every usedBCol assigned.
+// filled reports whether V_Join row i has every usedBCol assigned. Rows are
+// only ever filled through assignCombo, so the combo index doubles as the
+// fill flag (rows are trivially complete when no B column is in play).
 func (p *prob) filled(i int) bool {
-	for _, c := range p.usedBCols {
-		if p.vjoin.Value(i, c).IsNull() {
-			return false
-		}
-	}
-	return true
+	return len(p.usedBCols) == 0 || p.comboOf[i] >= 0
 }
 
-// assignCombo writes combo c's values into row i's usedBCols.
+// assignCombo writes combo c's values into row i's usedBCols and records
+// the assignment.
 func (p *prob) assignCombo(i, c int) {
 	for j, col := range p.usedBCols {
 		p.vjoin.Set(i, col, p.combos[c][j])
 	}
+	p.comboOf[i] = c
 }
 
 // comboMatches reports whether combo c satisfies the R2-part predicate

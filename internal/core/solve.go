@@ -6,20 +6,48 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/hasse"
+	"repro/internal/sched"
 	"repro/internal/table"
 )
+
+// poolFor builds the worker pool an Options value asks for: nil (fully
+// sequential) for Workers 0 or 1, a GOMAXPROCS-sized pool for negative
+// Workers, and an exactly-sized pool otherwise. A pool that resolves to a
+// single worker (GOMAXPROCS=1) is collapsed to nil so single-core hosts
+// take the true sequential path instead of paying speculation overhead for
+// zero parallelism.
+func poolFor(opt Options) *sched.Pool {
+	var pool *sched.Pool
+	switch {
+	case opt.Workers < 0:
+		pool = sched.New(0)
+	case opt.Workers > 1:
+		pool = sched.New(opt.Workers)
+	}
+	if pool != nil && pool.Workers() == 1 {
+		return nil
+	}
+	return pool
+}
 
 // Solve runs the two-phase C-Extension solver end to end and returns R̂1
 // (FK filled), R̂2 (possibly augmented), and the final join view. With the
 // default options this is the paper's hybrid; BaselineOptions and
 // BaselineMarginalsOptions reproduce the §6.1 comparison algorithms.
 func Solve(in Input, opt Options) (*Result, error) {
+	return solveOnPool(in, opt, poolFor(opt))
+}
+
+// solveOnPool is Solve against a caller-provided worker pool, shared across
+// the instances of a batch.
+func solveOnPool(in Input, opt Options, pool *sched.Pool) (*Result, error) {
 	var stat Stats
 	t0 := time.Now()
 	p, err := newProb(in, opt, &stat)
 	if err != nil {
 		return nil, err
 	}
+	p.pool = pool
 
 	// ---------- Phase I: complete V_Join from the CCs ----------
 	tPhase1 := time.Now()
@@ -85,13 +113,14 @@ func Solve(in Input, opt Options) (*Result, error) {
 	stat.Phase1 = time.Since(tPhase1)
 
 	// ---------- Phase II: complete R1.FK from V_Join and the DCs ----------
+	// runPhase2 records stat.Coloring itself (graph construction + coloring
+	// only); Phase2 additionally covers invalid-tuple repair, the R̂1
+	// write-back, and the final join.
 	tPhase2 := time.Now()
 	ph, err := p.runPhase2()
 	if err != nil {
 		return nil, err
 	}
-	stat.Coloring = time.Since(tPhase2)
-	stat.Phase2 = time.Since(tPhase2)
 
 	r1hat := in.R1.Clone()
 	for i := 0; i < r1hat.Len(); i++ {
@@ -102,6 +131,7 @@ func Solve(in Input, opt Options) (*Result, error) {
 		return nil, err
 	}
 	vj.Name = "VJoin"
+	stat.Phase2 = time.Since(tPhase2)
 	stat.Total = time.Since(t0)
 	return &Result{R1Hat: r1hat, R2Hat: ph.r2hat, VJoin: vj, Stats: stat}, nil
 }

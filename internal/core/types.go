@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/ilp"
+	"repro/internal/sched"
 	"repro/internal/table"
 )
 
@@ -87,14 +88,21 @@ type Options struct {
 	NoPartition bool
 	// Order selects the coloring vertex order.
 	Order ColorOrder
-	// Workers enables the Appendix A.3 optimization: partitions' conflict
-	// hypergraphs are built and colored concurrently by this many
-	// goroutines. 0 or 1 runs sequentially; negative uses GOMAXPROCS.
-	// Output is identical to the sequential path.
+	// Workers bounds the shared worker pool that parallelizes the whole
+	// pipeline: phase I runs independent Hasse subtrees and per-block ILP
+	// subproblems concurrently, and phase II streams partitions' conflict
+	// hypergraphs into a coloring pool as they are discovered (the Appendix
+	// A.3 optimization). SolveBatch schedules whole instances over the same
+	// pool. 0 or 1 runs sequentially; negative uses GOMAXPROCS. Output is
+	// byte-identical to the sequential path, with one carve-out: a nonzero
+	// ILP.TimeLimit makes any run (sequential included) wall-clock
+	// dependent, so no determinism is promised under it.
 	Workers int
 	// Seed drives all randomized tie-breaking; same seed, same output.
 	Seed int64
-	// ILP bounds the branch-and-bound effort of Algorithm 1.
+	// ILP bounds the branch-and-bound effort of Algorithm 1. MaxNodes is a
+	// per-block budget (the program decomposes into independent blocks);
+	// TimeLimit bounds the whole ILP stage.
 	ILP ilp.Options
 }
 
@@ -116,9 +124,9 @@ type Stats struct {
 	Pairwise  time.Duration // CC pairwise classification
 	Recursion time.Duration // Algorithm 2 over Hasse diagrams
 	ILPTime   time.Duration // Algorithm 1 (build + solve + greedy fill)
-	Coloring  time.Duration // Algorithm 4 conflict graphs + coloring
+	Coloring  time.Duration // Algorithm 4 conflict graphs + coloring only
 	Phase1    time.Duration
-	Phase2    time.Duration
+	Phase2    time.Duration // all of phase II incl. R̂1 write-back and final join
 	Total     time.Duration
 
 	CCsToHasse int // |S1|
@@ -152,6 +160,7 @@ type prob struct {
 	opt  Options
 	rng  *rand.Rand
 	stat *Stats
+	pool *sched.Pool // shared bounded worker pool; nil means sequential
 
 	aCols     []string // R1 non-key attribute columns
 	bCols     []string // R2 non-key attribute columns
@@ -159,6 +168,12 @@ type prob struct {
 	isR2Col   map[string]bool
 
 	vjoin *table.Relation // K1 + aCols + bCols; usedBCols filled by phase I
+
+	// comboOf mirrors the phase-I fill state: the combo index assigned to
+	// each V_Join row, or -1 while the row is unfilled. It makes filled()
+	// an array lookup and lets phase II partition rows without re-encoding
+	// their B values.
+	comboOf []int
 
 	// Active combos of R2 over usedBCols.
 	combos        [][]table.Value

@@ -1,0 +1,131 @@
+package ilp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// twoBlockProblem builds a separable program: vars {0,1} coupled by one
+// soft row each plus a shared capacity, and vars {2,3} likewise, with one
+// termless soft row carrying constant deviation 5.
+func twoBlockProblem() *Problem {
+	p := &Problem{NumVars: 4}
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		p.Cons = append(p.Cons,
+			Constraint{Terms: []Term{{Var: pair[0], Coef: 1}, {Var: pair[1], Coef: 1}}, Sense: LE, RHS: 10},
+			Constraint{Terms: []Term{{Var: pair[0], Coef: 1}}, Sense: EQ, RHS: 4, Soft: true},
+			Constraint{Terms: []Term{{Var: pair[1], Coef: 1}}, Sense: EQ, RHS: 3, Soft: true},
+		)
+	}
+	p.Cons = append(p.Cons, Constraint{Sense: EQ, RHS: 5, Soft: true})
+	return p
+}
+
+func TestSplitFindsIndependentBlocks(t *testing.T) {
+	blocks := Split(twoBlockProblem())
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(blocks))
+	}
+	if got := blocks[0].Vars; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("block 0 vars = %v", got)
+	}
+	if got := blocks[1].Vars; len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("block 1 vars = %v", got)
+	}
+	if len(blocks[2].Vars) != 0 || len(blocks[2].Cons) != 1 || blocks[2].Cons[0] != 6 {
+		t.Errorf("termless block = %+v", blocks[2])
+	}
+	// Every constraint lands in exactly one block.
+	seen := map[int]bool{}
+	for _, b := range blocks {
+		for _, ci := range b.Cons {
+			if seen[ci] {
+				t.Errorf("constraint %d in two blocks", ci)
+			}
+			seen[ci] = true
+		}
+	}
+	if len(seen) != 7 {
+		t.Errorf("%d of 7 constraints covered", len(seen))
+	}
+}
+
+func TestSolveBlocksMatchesJointSolve(t *testing.T) {
+	p := twoBlockProblem()
+	joint, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SolveBlocks(p, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Status != StatusOptimal {
+		t.Fatalf("status = %v", split.Status)
+	}
+	if math.Abs(split.Obj-joint.Obj) > 1e-9 {
+		t.Errorf("objective %v != joint %v", split.Obj, joint.Obj)
+	}
+	// The blocks are uncoupled with unique optima, so X must agree too.
+	for j := range split.X {
+		if split.X[j] != joint.X[j] {
+			t.Errorf("X[%d] = %d, joint %d", j, split.X[j], joint.X[j])
+		}
+	}
+	if err := CheckHard(p, split.X); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveBlocksInfeasibleBlock(t *testing.T) {
+	p := &Problem{NumVars: 2}
+	p.Cons = append(p.Cons,
+		Constraint{Terms: []Term{{Var: 0, Coef: 1}}, Sense: EQ, RHS: 3, Soft: true},
+		Constraint{Terms: []Term{{Var: 1, Coef: 1}}, Sense: GE, RHS: 5},
+		Constraint{Terms: []Term{{Var: 1, Coef: 1}}, Sense: LE, RHS: 2},
+	)
+	sol, err := SolveBlocks(p, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusInfeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestBlockBudgetsProportionalToVars(t *testing.T) {
+	blocks := []Block{
+		{Vars: make([]int, 98)},
+		{Vars: make([]int, 2)},
+		{Vars: nil}, // termless singleton
+	}
+	budgets := blockBudgets(time.Second, blocks)
+	if budgets[0] < 900*time.Millisecond {
+		t.Errorf("dominant block got %v of 1s", budgets[0])
+	}
+	if budgets[1] != 20*time.Millisecond {
+		t.Errorf("small block got %v, want 20ms", budgets[1])
+	}
+	if budgets[2] != time.Millisecond {
+		t.Errorf("termless block got %v, want the 1ms floor", budgets[2])
+	}
+	if got := blockBudgets(0, blocks); got != nil {
+		t.Errorf("no budget should yield nil, got %v", got)
+	}
+}
+
+func TestSolveBlocksEmptyProblem(t *testing.T) {
+	sol, err := SolveBlocks(&Problem{NumVars: 3}, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal || len(sol.X) != 3 {
+		t.Fatalf("sol = %+v", sol)
+	}
+	for j, v := range sol.X {
+		if v != 0 {
+			t.Errorf("X[%d] = %d, want 0", j, v)
+		}
+	}
+}

@@ -51,7 +51,10 @@ type Problem struct {
 	VarCost []float64 // optional per-variable linear cost; may be nil
 }
 
-// Options bound the search effort.
+// Options bound the search effort. Under SolveBlocks, MaxNodes and
+// MaxIters apply per independent block while TimeLimit is apportioned
+// across the blocks in proportion to their variable counts, bounding the
+// whole decomposed solve.
 type Options struct {
 	MaxNodes  int           // branch-and-bound node budget (0 = 10000)
 	MaxIters  int           // simplex pivots per LP (0 = auto)

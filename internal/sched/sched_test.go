@@ -1,0 +1,95 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewClampsWorkers(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Errorf("Workers() = %d, want >= 1", w)
+	}
+	if w := New(-3).Workers(); w < 1 {
+		t.Errorf("Workers() = %d, want >= 1", w)
+	}
+	if w := New(7).Workers(); w != 7 {
+		t.Errorf("Workers() = %d, want 7", w)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		const n = 100
+		var counts [n]int32
+		p.ForEach(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachNilPool(t *testing.T) {
+	var p *Pool
+	sum := 0
+	p.ForEach(5, func(i int) { sum += i })
+	if sum != 10 {
+		t.Errorf("sum = %d, want 10", sum)
+	}
+}
+
+func TestOrderedConsumesInOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		const n = 200
+		var got []int
+		Ordered(p, n, func(i int) int { return i * i }, func(i, v int) {
+			if v != i*i {
+				t.Fatalf("workers=%d: result for %d is %d", workers, i, v)
+			}
+			got = append(got, i)
+		})
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: consumed out of order at %d: %v", workers, i, v)
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: consumed %d of %d", workers, len(got), n)
+		}
+	}
+}
+
+// Nested use must not deadlock: each outer task fans out inner work on the
+// same pool while holding a slot.
+func TestNestedOrderedDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	total := int32(0)
+	Ordered(p, 8, func(i int) int {
+		inner := int32(0)
+		Ordered(p, 8, func(j int) int { return 1 }, func(_, v int) { inner += int32(v) })
+		return int(inner)
+	}, func(_, v int) { atomic.AddInt32(&total, int32(v)) })
+	if total != 64 {
+		t.Fatalf("total = %d, want 64", total)
+	}
+}
+
+func TestNestedForEachDoesNotDeadlock(t *testing.T) {
+	p := New(2)
+	var mu sync.Mutex
+	ran := 0
+	p.ForEach(6, func(i int) {
+		p.ForEach(6, func(j int) {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		})
+	})
+	if ran != 36 {
+		t.Fatalf("ran = %d, want 36", ran)
+	}
+}

@@ -27,6 +27,7 @@
 package linksynth
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/constraint"
@@ -94,8 +95,26 @@ var (
 )
 
 // Solve runs the two-phase C-Extension solver (the paper's hybrid under
-// the zero Options).
+// the zero Options). Options.Workers > 1 (or negative, for GOMAXPROCS)
+// parallelizes both phases on a bounded worker pool with output
+// byte-identical to the sequential path.
 func Solve(in Input, opt Options) (*Result, error) { return core.Solve(in, opt) }
+
+// SolveBatch solves many instances over one shared worker pool sized by
+// opt.Workers. Results align positionally with inputs; a failing instance
+// yields a nil Result and an error annotated with its index in the joined
+// error return, without disturbing the other instances. Each instance's
+// output is byte-identical to a standalone Solve with the same Options.
+func SolveBatch(inputs []Input, opt Options) ([]*Result, error) {
+	return core.SolveBatch(context.Background(), inputs, opt)
+}
+
+// SolveBatchContext is SolveBatch under a context: cancellation is honored
+// at instance boundaries — instances not yet started when ctx is done fail
+// with ctx.Err() in the joined error.
+func SolveBatchContext(ctx context.Context, inputs []Input, opt Options) ([]*Result, error) {
+	return core.SolveBatch(ctx, inputs, opt)
+}
 
 // BaselineOptions configures the plain Arasu-style baseline of §6.1 (ILP
 // without marginal augmentation, random FK assignment, DCs ignored).

@@ -58,6 +58,34 @@ func TestPublicAPISolve(t *testing.T) {
 	}
 }
 
+func TestPublicAPISolveBatch(t *testing.T) {
+	inputs := []Input{apiInput(t), apiInput(t), apiInput(t)}
+	results, err := SolveBatch(inputs, Options{Seed: 1, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(inputs) {
+		t.Fatalf("got %d results for %d inputs", len(results), len(inputs))
+	}
+	want, err := Solve(apiInput(t), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("instance %d: nil result", i)
+		}
+		for r := 0; r < res.R1Hat.Len(); r++ {
+			if res.R1Hat.Value(r, "hid") != want.R1Hat.Value(r, "hid") {
+				t.Errorf("instance %d row %d: batch FK differs from standalone Solve", i, r)
+			}
+		}
+		if f := DCErrorFraction(res.R1Hat, "hid", inputs[i].DCs); f != 0 {
+			t.Errorf("instance %d: DC error %v", i, f)
+		}
+	}
+}
+
 func TestPublicAPIBaselines(t *testing.T) {
 	for _, opt := range []Options{BaselineOptions(4), BaselineMarginalsOptions(4)} {
 		res, err := Solve(apiInput(t), opt)

@@ -8,9 +8,15 @@
 //	benchtab -exp fig8a,fig13 # selected experiments
 //	benchtab -unit 982 -ccs 200 -scales 1,2,5,10   # closer to paper scale
 //	benchtab -batch 8 -workers -1                  # batched multi-instance workload
+//	benchtab -batch 8 -json                        # machine-readable Stats breakdown
+//
+// With -json, output is a single JSON document: per-experiment tables, or —
+// under -batch — the per-instance per-stage Stats breakdown and wall times
+// that feed the BENCH_*.json perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	batch := flag.Int("batch", 0, "solve this many instances via SolveBatch instead of running experiments")
 	workers := flag.Int("workers", -1, "worker pool size for -batch (-1 = GOMAXPROCS, 0/1 = serial)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	flag.Parse()
 
 	if *list {
@@ -44,7 +51,7 @@ func main() {
 		return
 	}
 	if *batch > 0 {
-		runBatch(*batch, *workers, *unit, *ccs, *seed)
+		runBatch(*batch, *workers, *unit, *ccs, *seed, *asJSON)
 		return
 	}
 
@@ -60,10 +67,10 @@ func main() {
 		cfg.NCC = *ccs
 	}
 	if *scales != "" {
-		cfg.Scales = parseInts(*scales)
+		cfg.Scales = parseInts("-scales", *scales)
 	}
 	if *largeScales != "" {
-		cfg.LargeScales = parseInts(*largeScales)
+		cfg.LargeScales = parseInts("-large-scales", *largeScales)
 	}
 
 	want := map[string]bool{}
@@ -72,6 +79,15 @@ func main() {
 			want[strings.TrimSpace(id)] = true
 		}
 	}
+	type expJSON struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Header  []string   `json:"header"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+		Seconds float64    `json:"seconds"`
+	}
+	var jsonOut []expJSON
 	for _, r := range experiments.Runners() {
 		if len(want) > 0 && !want[r.ID] {
 			continue
@@ -79,18 +95,28 @@ func main() {
 		start := time.Now()
 		tab, err := r.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", r.ID, err)
-			os.Exit(1)
+			fatal("experiment %s: %v", r.ID, err)
+		}
+		elapsed := time.Since(start)
+		if *asJSON {
+			jsonOut = append(jsonOut, expJSON{ID: tab.ID, Title: tab.Title,
+				Header: tab.Header, Rows: tab.Rows, Notes: tab.Notes,
+				Seconds: elapsed.Seconds()})
+			continue
 		}
 		fmt.Print(tab.String())
-		fmt.Printf("(%s took %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s took %v)\n\n", r.ID, elapsed.Round(time.Millisecond))
+	}
+	if *asJSON {
+		emitJSON(map[string]any{"experiments": jsonOut})
 	}
 }
 
 // runBatch is the multi-instance workload: n census instances (one seed
 // each) solved by a single SolveBatch call over a shared worker pool, with
-// per-instance quality and a throughput summary.
-func runBatch(n, workers, unit, nCC int, seed int64) {
+// per-instance quality and a throughput summary. Under -json the per-stage
+// Stats breakdown is emitted for the perf trajectory.
+func runBatch(n, workers, unit, nCC int, seed int64, asJSON bool) {
 	if unit <= 0 {
 		unit = 200
 	}
@@ -110,9 +136,51 @@ func runBatch(n, workers, unit, nCC int, seed int64) {
 	results, err := linksynth.SolveBatch(inputs, linksynth.Options{Seed: seed, Workers: workers})
 	elapsed := time.Since(start)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchtab: batch: %v\n", err)
-		os.Exit(1)
+		fatal("batch of %d instances: %v", n, err)
 	}
+
+	if asJSON {
+		type instJSON struct {
+			Instance     int             `json:"instance"`
+			CCErrMedian  float64         `json:"cc_err_median"`
+			CCErrMean    float64         `json:"cc_err_mean"`
+			DCErr        float64         `json:"dc_err"`
+			AddedR2      int             `json:"added_r2"`
+			SolveSeconds float64         `json:"solve_seconds"`
+			Stats        linksynth.Stats `json:"stats"`
+		}
+		out := struct {
+			Instances    int        `json:"instances"`
+			Households   int        `json:"households"`
+			CCs          int        `json:"ccs"`
+			Workers      int        `json:"workers"`
+			Seed         int64      `json:"seed"`
+			TotalSeconds float64    `json:"total_seconds"`
+			PerSecond    float64    `json:"instances_per_second"`
+			Results      []instJSON `json:"results"`
+		}{
+			Instances: n, Households: unit, CCs: nCC, Workers: workers, Seed: seed,
+			TotalSeconds: elapsed.Seconds(),
+			PerSecond:    float64(n) / elapsed.Seconds(),
+		}
+		for i, res := range results {
+			errs := linksynth.CCErrors(res.VJoin, allCCs[i])
+			out.Results = append(out.Results, instJSON{
+				Instance:    i,
+				CCErrMedian: metrics.Median(errs),
+				CCErrMean:   metrics.Mean(errs),
+				DCErr:       linksynth.DCErrorFraction(res.R1Hat, "hid", dcs),
+				AddedR2:     res.Stats.AddedR2Tuples,
+				// Stats.Total is solver time for this instance; wall time for
+				// the whole batch is TotalSeconds.
+				SolveSeconds: res.Stats.Total.Seconds(),
+				Stats:        res.Stats,
+			})
+		}
+		emitJSON(out)
+		return
+	}
+
 	fmt.Printf("batch: %d instances x %d households, %d CCs, workers=%d\n",
 		n, unit, nCC, workers)
 	fmt.Printf("%-10s %-12s %-10s %-10s %s\n", "instance", "CCerr-median", "DCerr", "addedR2", "solve-time")
@@ -127,15 +195,27 @@ func runBatch(n, workers, unit, nCC int, seed int64) {
 		float64(n)/elapsed.Seconds())
 }
 
-func parseInts(s string) []int {
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal("encode JSON: %v", err)
+	}
+}
+
+func parseInts(flagName, s string) []int {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "benchtab: bad scale %q\n", part)
-			os.Exit(1)
+			fatal("%s: bad scale %q (want a comma-separated list of positive integers, e.g. 1,2,5)", flagName, part)
 		}
 		out = append(out, n)
 	}
 	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtab: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -9,8 +9,8 @@
 //	linksynth -r1 Persons.csv -r2 Housing.csv -constraints constraints.txt \
 //	    -k1 pid -k2 hid -fk hid -algo hybrid -out outdir/
 //
-// CSV schemas are inferred from the header plus a probe of each column's
-// first non-empty value (integer if it parses as one, string otherwise).
+// CSV schemas are inferred from the header plus the column contents
+// (integer if every non-empty value parses as one, string otherwise).
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -40,21 +41,35 @@ func main() {
 	out := flag.String("out", ".", "output directory")
 	flag.Parse()
 	if *r1Path == "" || *r2Path == "" {
-		fatal("need -r1 and -r2")
+		fatal("both -r1 and -r2 CSV files are required (see -h)")
 	}
 
 	r1, err := table.ReadCSVFileInferred(*r1Path, "R1")
-	must(err)
+	if err != nil {
+		fatal("read -r1 file %s: %v", *r1Path, err)
+	}
 	r2, err := table.ReadCSVFileInferred(*r2Path, "R2")
-	must(err)
+	if err != nil {
+		fatal("read -r2 file %s: %v", *r2Path, err)
+	}
+
+	// Catch misnamed key columns here, with the file and flag in hand,
+	// instead of letting the solver panic on an unknown column.
+	requireColumn(r1, *k1, "-k1", *r1Path)
+	requireColumn(r1, *fk, "-fk", *r1Path)
+	requireColumn(r2, *k2, "-k2", *r2Path)
 
 	in := linksynth.Input{R1: r1, R2: r2, K1: *k1, K2: *k2, FK: *fk}
 	if *consPath != "" {
 		f, err := os.Open(*consPath)
-		must(err)
+		if err != nil {
+			fatal("open -constraints file %s: %v", *consPath, err)
+		}
 		in.CCs, in.DCs, err = linksynth.ParseConstraints(f)
 		f.Close()
-		must(err)
+		if err != nil {
+			fatal("parse -constraints file %s: %v", *consPath, err)
+		}
 	}
 
 	var opt linksynth.Options
@@ -70,18 +85,22 @@ func main() {
 	case "hasse-only":
 		opt = linksynth.Options{Mode: core.ModeHasseOnly, Seed: *seed}
 	default:
-		fatal("unknown -algo %q", *algo)
+		fatal("unknown -algo %q (want hybrid, baseline, baseline-marginals, ilp-only or hasse-only)", *algo)
 	}
 	opt.Workers = *workers
 
 	start := time.Now()
 	res, err := linksynth.Solve(in, opt)
-	must(err)
+	if err != nil {
+		fatal("solve: %v", err)
+	}
 
-	must(os.MkdirAll(*out, 0o755))
-	must(table.WriteCSVFile(filepath.Join(*out, "R1_hat.csv"), res.R1Hat))
-	must(table.WriteCSVFile(filepath.Join(*out, "R2_hat.csv"), res.R2Hat))
-	must(table.WriteCSVFile(filepath.Join(*out, "VJoin.csv"), res.VJoin))
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("create -out directory %s: %v", *out, err)
+	}
+	writeCSV(filepath.Join(*out, "R1_hat.csv"), res.R1Hat)
+	writeCSV(filepath.Join(*out, "R2_hat.csv"), res.R2Hat)
+	writeCSV(filepath.Join(*out, "VJoin.csv"), res.VJoin)
 
 	errs := metrics.CCErrors(res.VJoin, in.CCs)
 	fmt.Printf("algorithm       %s\n", *algo)
@@ -97,9 +116,16 @@ func main() {
 	fmt.Printf("total           %v (wall %v)\n", res.Stats.Total, time.Since(start))
 }
 
-func must(err error) {
-	if err != nil {
-		fatal("%v", err)
+func requireColumn(r *table.Relation, col, flagName, path string) {
+	if !r.Schema().Has(col) {
+		fatal("%s column %q not found in %s (columns: %s)",
+			flagName, col, path, strings.Join(r.Schema().Names(), ", "))
+	}
+}
+
+func writeCSV(path string, r *table.Relation) {
+	if err := table.WriteCSVFile(path, r); err != nil {
+		fatal("write %s: %v", path, err)
 	}
 }
 

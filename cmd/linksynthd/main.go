@@ -1,0 +1,90 @@
+// Command linksynthd serves the C-Extension solver over HTTP with a
+// content-addressed result cache: identical instances are solved once and
+// served byte-identically from the cache thereafter, including across
+// restarts when -cache-dir is set.
+//
+// Usage:
+//
+//	linksynthd -addr :8080 -workers -1 -cache-dir /var/lib/linksynth \
+//	    -cache-entries 4096 -max-body 64000000
+//
+// Endpoints: POST /v1/solve (JSON or multipart CSV), POST /v1/batch (async,
+// returns a job id), GET /v1/jobs/{id}, DELETE /v1/jobs/{id} (cancel),
+// GET /healthz, GET /metrics. See the repository README for request shapes
+// and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", -1, "solver pool size shared by all requests (-1 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache to this directory (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 1024, "maximum cached results (LRU beyond that)")
+	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes (413 beyond that)")
+	queue := flag.Int("queue", 64, "bound on queued solves and pending async jobs (503 beyond that)")
+	flag.Parse()
+
+	c, err := cache.Open(*cacheDir, *cacheEntries)
+	if err != nil {
+		fatalf("open cache at -cache-dir %q: %v", *cacheDir, err)
+	}
+	defer c.Close()
+	if st := c.Stats(); st.Replayed > 0 {
+		log.Printf("cache: replayed %d entries from %s", st.Replayed, *cacheDir)
+	}
+
+	srv := service.New(service.Config{
+		Cache:      c,
+		Workers:    *workers,
+		MaxBody:    *maxBody,
+		QueueDepth: *queue,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("linksynthd listening on %s (workers=%d, cache-entries=%d, cache-dir=%q)",
+		*addr, *workers, *cacheEntries, *cacheDir)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("listen on -addr %q: %v", *addr, err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "linksynthd: "+format+"\n", args...)
+	os.Exit(1)
+}

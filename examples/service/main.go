@@ -1,0 +1,166 @@
+// The service example is a client walkthrough of the linksynthd HTTP API.
+// It starts an in-process server on a loopback port, then drives it the way
+// an external client would: a synchronous solve, the byte-identical cache
+// hit for the repeated instance, an asynchronous batch job polled to
+// completion, and a look at /metrics.
+//
+// Against a standalone server (`go run ./cmd/linksynthd`), the same
+// requests work verbatim with curl; see the README's "Running the service"
+// section.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/service"
+)
+
+const constraints = `cc owners_chi: count(Rel = 'Owner', Area = 'Chicago') = 2
+cc owners_nyc: count(Rel = 'Owner', Area = 'NYC') = 1
+dc one_owner: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'`
+
+func instance() service.InstanceJSON {
+	return service.InstanceJSON{
+		R1: &service.RelationJSON{
+			Name: "Persons",
+			Columns: []service.ColumnJSON{
+				{Name: "pid", Type: "int"}, {Name: "Age", Type: "int"},
+				{Name: "Rel", Type: "string"}, {Name: "hid", Type: "int"},
+			},
+			Rows: [][]any{
+				{1, 70, "Owner", nil}, {2, 25, "Owner", nil},
+				{3, 24, "Spouse", nil}, {4, 30, "Owner", nil},
+			},
+		},
+		R2: &service.RelationJSON{
+			Name: "Housing",
+			Columns: []service.ColumnJSON{
+				{Name: "hid", Type: "int"}, {Name: "Area", Type: "string"},
+			},
+			Rows: [][]any{{1, "Chicago"}, {2, "Chicago"}, {3, "NYC"}, {4, "NYC"}},
+		},
+		K1: "pid", K2: "hid", FK: "hid",
+		Constraints: constraints,
+	}
+}
+
+func main() {
+	// A real deployment runs `linksynthd`; here the server lives in-process
+	// so the example is self-contained.
+	c, err := cache.Open("", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := service.New(service.Config{Cache: c, Workers: -1})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving on %s\n\n", base)
+
+	// 1. Synchronous solve.
+	req := service.SolveRequest{InstanceJSON: instance(), Options: &service.OptionsJSON{Seed: 1}}
+	body, hdr := post(base+"/v1/solve", req)
+	var sr service.SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /v1/solve        -> cache %s, key %s...\n", hdr, sr.Key[:12])
+	fmt.Printf("  R1Hat FK column: %v\n", column(sr.Result.R1Hat, 3))
+	fmt.Printf("  CC errors %v, DC error %v\n\n", sr.Result.CCErrors, sr.Result.DCError)
+
+	// 2. The identical instance again: served from the cache, byte-identical.
+	body2, hdr2 := post(base+"/v1/solve", req)
+	fmt.Printf("POST /v1/solve again  -> cache %s, byte-identical: %v\n\n", hdr2, bytes.Equal(body, body2))
+
+	// 3. Asynchronous batch job.
+	batch := service.BatchRequest{
+		Instances: []service.InstanceJSON{instance(), perturbed()},
+		Options:   &service.OptionsJSON{Seed: 1},
+	}
+	accept, _ := post(base+"/v1/batch", batch)
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(accept, &job); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("POST /v1/batch        -> %s (%s)\n", job.ID, job.Status)
+	for job.Status != "done" && job.Status != "canceled" {
+		time.Sleep(10 * time.Millisecond)
+		st, _ := get(base + "/v1/jobs/" + job.ID)
+		if err := json.Unmarshal(st, &job); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("GET /v1/jobs/%s   -> %s (first instance was a cache hit)\n\n", job.ID, job.Status)
+
+	// 4. Metrics.
+	metrics, _ := get(base + "/metrics")
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "linksynthd_cache_") || strings.HasPrefix(line, "linksynthd_solver_runs") {
+			fmt.Println(line)
+		}
+	}
+}
+
+// perturbed is instance() with one age changed: a distinct content address.
+func perturbed() service.InstanceJSON {
+	inst := instance()
+	inst.R1.Rows[1][1] = 26
+	return inst
+}
+
+func column(r service.RelationJSON, j int) []any {
+	var out []any
+	for _, row := range r.Rows {
+		out = append(out, row[j])
+	}
+	return out
+}
+
+func post(url string, v any) ([]byte, string) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 && resp.StatusCode != 202 {
+		log.Fatalf("%s: %d: %s", url, resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Linksynth-Cache")
+}
+
+func get(url string) ([]byte, string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return body, resp.Header.Get("X-Linksynth-Cache")
+}

@@ -1,0 +1,257 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func k(s string) Key { return sha256.Sum256([]byte(s)) }
+
+func TestMemoryPutGet(t *testing.T) {
+	c, err := Open("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k("a")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put(k("a"), []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Get(k("a"))
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("get = %q, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	c, _ := Open("", 8)
+	buf := []byte("mutate-me")
+	c.Put(k("a"), buf)
+	buf[0] = 'X'
+	if v, _ := c.Get(k("a")); string(v) != "mutate-me" {
+		t.Errorf("cache shares caller storage: %q", v)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := Open("", 2)
+	c.Put(k("a"), []byte("1"))
+	c.Put(k("b"), []byte("2"))
+	c.Get(k("a")) // a is now more recent than b
+	c.Put(k("c"), []byte("3"))
+	if _, ok := c.Get(k("b")); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.Get(k(key)); !ok {
+			t.Errorf("entry %s evicted out of order", key)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c, _ := Open("", 2)
+	c.Put(k("a"), []byte("old"))
+	c.Put(k("a"), []byte("new"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if v, _ := c.Get(k("a")); string(v) != "new" {
+		t.Errorf("get = %q", v)
+	}
+}
+
+func TestPersistReplay(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(k("a"), []byte("alpha"))
+	c.Put(k("b"), []byte("beta"))
+	c.Put(k("a"), []byte("alpha-v2")) // duplicate key: last wins on replay
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if st := c2.Stats(); st.Replayed != 3 || st.Entries != 2 {
+		t.Fatalf("replay stats = %+v", st)
+	}
+	if v, ok := c2.Get(k("a")); !ok || string(v) != "alpha-v2" {
+		t.Errorf("a = %q, %v (want last-written value)", v, ok)
+	}
+	if v, ok := c2.Get(k("b")); !ok || string(v) != "beta" {
+		t.Errorf("b = %q, %v", v, ok)
+	}
+}
+
+func TestReplayRespectsCapacity(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir, 8)
+	c.Put(k("a"), []byte("1"))
+	c.Put(k("b"), []byte("2"))
+	c.Put(k("c"), []byte("3"))
+	c.Close()
+
+	c2, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Len() != 2 {
+		t.Fatalf("len = %d, want capacity bound 2", c2.Len())
+	}
+	if _, ok := c2.Get(k("a")); ok {
+		t.Error("oldest entry should have been evicted during replay")
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir, 8)
+	c.Put(k("a"), []byte("alpha"))
+	c.Put(k("b"), []byte("beta"))
+	c.Close()
+
+	path := filepath.Join(dir, logName)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a record header plus part of a body.
+	torn := append(append([]byte(nil), clean...), clean[:len(clean)/3]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Replayed != 2 {
+		t.Fatalf("replayed = %d, want the 2 intact records", st.Replayed)
+	}
+	// The torn tail must be gone so new appends extend a clean log.
+	c2.Put(k("c"), []byte("gamma"))
+	c2.Close()
+	c3, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if st := c3.Stats(); st.Replayed != 3 {
+		t.Fatalf("after repair+append replayed = %d, want 3", st.Replayed)
+	}
+	if v, ok := c3.Get(k("c")); !ok || !bytes.Equal(v, []byte("gamma")) {
+		t.Errorf("c = %q, %v", v, ok)
+	}
+}
+
+func TestCorruptMiddleStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir, 8)
+	c.Put(k("a"), []byte("alpha"))
+	c.Put(k("b"), []byte("beta"))
+	c.Close()
+
+	path := filepath.Join(dir, logName)
+	raw, _ := os.ReadFile(path)
+	raw[recHdrLen+32+1] ^= 0xff // flip a bit inside the first record's value
+	os.WriteFile(path, raw, 0o644)
+
+	c2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// CRC failure on record 1 means everything after it is untrusted too.
+	if st := c2.Stats(); st.Replayed != 0 || st.Entries != 0 {
+		t.Fatalf("replay past corrupt record: %+v", st)
+	}
+}
+
+func TestPutTriggersCompaction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 distinct puts at capacity 2: garbage (appended - live) crosses the
+	// maxEntries threshold mid-run and the log is rewritten to the live set.
+	for i := 0; i < 6; i++ {
+		if err := c.Put(k(fmt.Sprintf("k%d", i)), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	c2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st := c2.Stats()
+	if st.Replayed >= 6 {
+		t.Errorf("replayed %d records; compaction never ran", st.Replayed)
+	}
+	// The two live entries at close time survive.
+	for i := 4; i < 6; i++ {
+		if v, ok := c2.Get(k(fmt.Sprintf("k%d", i))); !ok || v[0] != byte(i) {
+			t.Errorf("k%d = %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestOpenCompactsBloatedLog(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Put(k(fmt.Sprintf("k%d", i)), []byte{byte(i)})
+	}
+	c.Close()
+
+	// Reopening with a small capacity makes most replayed records garbage;
+	// Open compacts down to the live set.
+	c2, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Len(); got != 4 {
+		t.Fatalf("live entries = %d, want 4", got)
+	}
+	c2.Close()
+	c3, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if st := c3.Stats(); st.Replayed != 4 {
+		t.Errorf("after compaction replayed = %d, want 4", st.Replayed)
+	}
+	// The four most recent keys survive in LRU order.
+	for i := 16; i < 20; i++ {
+		if v, ok := c3.Get(k(fmt.Sprintf("k%d", i))); !ok || v[0] != byte(i) {
+			t.Errorf("k%d = %v, %v", i, v, ok)
+		}
+	}
+}

@@ -56,6 +56,28 @@ func RenderDC(dc DC) string {
 	return b.String()
 }
 
+// CanonicalConstraints renders both constraint sets as one DSL document
+// with the constraint names elided. Names never influence the solver's
+// output (they only appear in error messages), so this is the canonical
+// text used for content-addressed cache keys: two constraint sets that
+// differ only in naming or in surface formatting render identically.
+// Constraint order and atom order are preserved — both can steer solver
+// tie-breaking, so they are part of instance identity.
+func CanonicalConstraints(ccs []CC, dcs []DC) string {
+	var b strings.Builder
+	for _, cc := range ccs {
+		cc.Name = ""
+		b.WriteString(RenderCC(cc))
+		b.WriteByte('\n')
+	}
+	for _, dc := range dcs {
+		dc.Name = ""
+		b.WriteString(RenderDC(dc))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // WriteConstraints writes a constraint file in the DSL, CCs first; the
 // output round-trips through ParseConstraints.
 func WriteConstraints(w io.Writer, ccs []CC, dcs []DC) error {

@@ -81,3 +81,32 @@ func TestRenderIntUnaryValue(t *testing.T) {
 		t.Errorf("render = %q", s)
 	}
 }
+
+func TestCanonicalConstraintsElidesNames(t *testing.T) {
+	named := CanonicalConstraints(
+		[]CC{mustCC(t, "cc a: count(Rel = 'Owner') = 5")},
+		[]DC{mustDC(t, "dc d1: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'")})
+	anon := CanonicalConstraints(
+		[]CC{mustCC(t, "cc: count(Rel = 'Owner') = 5")},
+		[]DC{mustDC(t, "dc: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'")})
+	if named != anon {
+		t.Errorf("names leaked into canonical form:\n%q\n%q", named, anon)
+	}
+	if strings.Contains(named, "d1") {
+		t.Errorf("canonical form contains a name: %q", named)
+	}
+	other := CanonicalConstraints(
+		[]CC{mustCC(t, "cc: count(Rel = 'Owner') = 6")},
+		[]DC{mustDC(t, "dc: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'")})
+	if named == other {
+		t.Error("different targets rendered identically")
+	}
+	// The canonical text still round-trips through the parser.
+	ccs, dcs, err := ParseConstraints(strings.NewReader(named))
+	if err != nil {
+		t.Fatalf("canonical form does not reparse: %v", err)
+	}
+	if len(ccs) != 1 || len(dcs) != 1 {
+		t.Fatalf("reparse: %d CCs %d DCs", len(ccs), len(dcs))
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"repro/internal/sched"
 )
 
 // SolveBatch solves many C-Extension instances over one shared bounded
@@ -23,10 +25,17 @@ import (
 // and every unstarted instance reports ctx.Err(). Each instance's output
 // is byte-identical to a standalone Solve(inputs[i], opt).
 func SolveBatch(ctx context.Context, inputs []Input, opt Options) ([]*Result, error) {
+	return SolveBatchOn(ctx, inputs, opt, poolFor(opt))
+}
+
+// SolveBatchOn is SolveBatch against a caller-owned worker pool (nil runs
+// fully sequentially), ignoring opt.Workers: servers share one pool across
+// every batch and every single solve so that concurrent callers never
+// oversubscribe the host.
+func SolveBatchOn(ctx context.Context, inputs []Input, opt Options, pool *sched.Pool) ([]*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	pool := poolFor(opt)
 	results := make([]*Result, len(inputs))
 	errs := make([]error, len(inputs))
 	pool.ForEach(len(inputs), func(i int) {

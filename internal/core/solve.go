@@ -38,6 +38,15 @@ func Solve(in Input, opt Options) (*Result, error) {
 	return solveOnPool(in, opt, poolFor(opt))
 }
 
+// SolveOn is Solve against a caller-owned worker pool (nil runs fully
+// sequentially). Long-lived callers — notably the serving layer — create
+// one pool at startup and route every request's solve through it, so the
+// process-wide parallelism stays bounded no matter how many requests are in
+// flight. opt.Workers is ignored; the pool is the parallelism policy.
+func SolveOn(in Input, opt Options, pool *sched.Pool) (*Result, error) {
+	return solveOnPool(in, opt, pool)
+}
+
 // solveOnPool is Solve against a caller-provided worker pool, shared across
 // the instances of a batch.
 func solveOnPool(in Input, opt Options, pool *sched.Pool) (*Result, error) {

@@ -1,0 +1,408 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/table"
+)
+
+// RelationJSON is the wire form of a relation: a named schema plus row-major
+// cells. Cells are JSON numbers (int columns), strings (string columns) or
+// null (missing, e.g. the FK column of R1 before solving).
+type RelationJSON struct {
+	Name    string       `json:"name"`
+	Columns []ColumnJSON `json:"columns"`
+	Rows    [][]any      `json:"rows"`
+}
+
+// ColumnJSON is one schema column; Type is "int" or "string".
+type ColumnJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// OptionsJSON selects the solver configuration for a request. Algo mirrors
+// the CLI's -algo flag; Workers is intentionally absent — parallelism is
+// the server's policy, and the output is byte-identical either way.
+type OptionsJSON struct {
+	Algo string `json:"algo,omitempty"` // hybrid (default) | baseline | baseline-marginals | ilp-only | hasse-only
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// InstanceJSON is one C-Extension instance: both relations inline, the key
+// columns, and the constraint sets in the text DSL.
+type InstanceJSON struct {
+	R1          *RelationJSON `json:"r1"`
+	R2          *RelationJSON `json:"r2"`
+	K1          string        `json:"k1"`
+	K2          string        `json:"k2"`
+	FK          string        `json:"fk"`
+	Constraints string        `json:"constraints,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	InstanceJSON
+	Options *OptionsJSON `json:"options,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: many instances solved
+// asynchronously under one shared Options.
+type BatchRequest struct {
+	Instances []InstanceJSON `json:"instances"`
+	Options   *OptionsJSON   `json:"options,omitempty"`
+}
+
+// ResultJSON is the wire form of a solver result plus the §6.1 quality
+// measures evaluated on it.
+type ResultJSON struct {
+	R1Hat    RelationJSON `json:"r1_hat"`
+	R2Hat    RelationJSON `json:"r2_hat"`
+	VJoin    RelationJSON `json:"vjoin"`
+	Stats    core.Stats   `json:"stats"`
+	CCErrors []float64    `json:"cc_errors"`
+	DCError  float64      `json:"dc_error"`
+}
+
+// SolveResponse is the body of a successful solve: the instance's content
+// address and its result. Cache status travels in the X-Linksynth-Cache
+// header, never in the body, so a cache hit is byte-identical to the cold
+// solve that populated it.
+type SolveResponse struct {
+	Key    string     `json:"key"`
+	Result ResultJSON `json:"result"`
+}
+
+// apiError is a client-visible request failure carrying its HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func colTypeString(t table.Type) string {
+	if t == table.TypeInt {
+		return "int"
+	}
+	return "string"
+}
+
+func encodeRelation(r *table.Relation) RelationJSON {
+	s := r.Schema()
+	out := RelationJSON{Name: r.Name, Columns: make([]ColumnJSON, s.Len()), Rows: make([][]any, r.Len())}
+	for j := 0; j < s.Len(); j++ {
+		c := s.Col(j)
+		out.Columns[j] = ColumnJSON{Name: c.Name, Type: colTypeString(c.Type)}
+	}
+	for i := 0; i < r.Len(); i++ {
+		row := r.Row(i)
+		cells := make([]any, len(row))
+		for j, v := range row {
+			switch v.Kind() {
+			case table.KindInt:
+				cells[j] = v.Int()
+			case table.KindString:
+				cells[j] = v.Str()
+			default:
+				cells[j] = nil
+			}
+		}
+		out.Rows[i] = cells
+	}
+	return out
+}
+
+// decodeRelation converts the wire form back into a relation. Number cells
+// must be integral (the request decoder runs with UseNumber, so no float
+// precision is lost on the way in).
+func decodeRelation(rj *RelationJSON, fallbackName string) (*table.Relation, error) {
+	if rj == nil {
+		return nil, badRequest("missing relation %q", strings.ToLower(fallbackName))
+	}
+	name := rj.Name
+	if name == "" {
+		name = fallbackName
+	}
+	if len(rj.Columns) == 0 {
+		return nil, badRequest("relation %s: no columns", name)
+	}
+	cols := make([]table.Column, len(rj.Columns))
+	for j, c := range rj.Columns {
+		if c.Name == "" {
+			return nil, badRequest("relation %s: column %d has no name", name, j)
+		}
+		switch c.Type {
+		case "int":
+			cols[j] = table.IntCol(c.Name)
+		case "string":
+			cols[j] = table.StrCol(c.Name)
+		default:
+			return nil, badRequest("relation %s: column %q: unknown type %q (want \"int\" or \"string\")", name, c.Name, c.Type)
+		}
+	}
+	rel := table.NewRelation(name, table.NewSchema(cols...))
+	for i, row := range rj.Rows {
+		if len(row) != len(cols) {
+			return nil, badRequest("relation %s: row %d has %d cells, schema has %d columns", name, i, len(row), len(cols))
+		}
+		vals := make([]table.Value, len(row))
+		for j, cell := range row {
+			v, err := decodeValue(cell)
+			if err != nil {
+				return nil, badRequest("relation %s: row %d, column %q: %v", name, i, cols[j].Name, err)
+			}
+			vals[j] = v
+		}
+		if err := rel.Append(vals...); err != nil {
+			return nil, badRequest("relation %s: row %d: %v", name, i, err)
+		}
+	}
+	return rel, nil
+}
+
+func decodeValue(cell any) (table.Value, error) {
+	switch c := cell.(type) {
+	case nil:
+		return table.Null(), nil
+	case string:
+		return table.String(c), nil
+	case json.Number:
+		n, err := c.Int64()
+		if err != nil {
+			return table.Null(), fmt.Errorf("non-integer number %v", c)
+		}
+		return table.Int(n), nil
+	case float64:
+		// Reached only when the payload bypassed UseNumber (programmatic use).
+		n := int64(c)
+		if float64(n) != c {
+			return table.Null(), fmt.Errorf("non-integer number %v", c)
+		}
+		return table.Int(n), nil
+	default:
+		return table.Null(), fmt.Errorf("unsupported cell type %T", cell)
+	}
+}
+
+func (o *OptionsJSON) toOptions() (core.Options, error) {
+	if o == nil {
+		return core.Options{Seed: 1}, nil
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	switch o.Algo {
+	case "", "hybrid":
+		return core.Options{Seed: seed}, nil
+	case "baseline":
+		return core.BaselineOptions(seed), nil
+	case "baseline-marginals":
+		return core.BaselineMarginalsOptions(seed), nil
+	case "ilp-only":
+		return core.Options{Mode: core.ModeILPOnly, Seed: seed}, nil
+	case "hasse-only":
+		return core.Options{Mode: core.ModeHasseOnly, Seed: seed}, nil
+	default:
+		return core.Options{}, badRequest("unknown algo %q (want hybrid, baseline, baseline-marginals, ilp-only or hasse-only)", o.Algo)
+	}
+}
+
+// toInput validates the instance and assembles the solver input: both
+// relations present, key/FK columns named and existing in their schemas,
+// and the constraint DSL parsed.
+func (ij *InstanceJSON) toInput() (core.Input, error) {
+	r1, err := decodeRelation(ij.R1, "R1")
+	if err != nil {
+		return core.Input{}, err
+	}
+	r2, err := decodeRelation(ij.R2, "R2")
+	if err != nil {
+		return core.Input{}, err
+	}
+	return assembleInput(r1, r2, ij.K1, ij.K2, ij.FK, ij.Constraints)
+}
+
+func assembleInput(r1, r2 *table.Relation, k1, k2, fk, consDSL string) (core.Input, error) {
+	if k1 == "" || k2 == "" || fk == "" {
+		return core.Input{}, badRequest("k1, k2 and fk are required")
+	}
+	if !r1.Schema().Has(k1) {
+		return core.Input{}, badRequest("k1 column %q not in %s (columns: %s)",
+			k1, r1.Name, strings.Join(r1.Schema().Names(), ", "))
+	}
+	if !r1.Schema().Has(fk) {
+		return core.Input{}, badRequest("fk column %q not in %s (columns: %s)",
+			fk, r1.Name, strings.Join(r1.Schema().Names(), ", "))
+	}
+	if !r2.Schema().Has(k2) {
+		return core.Input{}, badRequest("k2 column %q not in %s (columns: %s)",
+			k2, r2.Name, strings.Join(r2.Schema().Names(), ", "))
+	}
+	in := core.Input{R1: r1, R2: r2, K1: k1, K2: k2, FK: fk}
+	if consDSL != "" {
+		ccs, dcs, err := constraint.ParseConstraints(strings.NewReader(consDSL))
+		if err != nil {
+			return core.Input{}, badRequest("constraints: %v", err)
+		}
+		in.CCs, in.DCs = ccs, dcs
+	}
+	return in, nil
+}
+
+// encodeSolveBody renders the canonical response body for a solved
+// instance. The same instance always produces the same bytes, which is what
+// the cache stores and what makes hits byte-identical to cold solves.
+func encodeSolveBody(keyHex string, in core.Input, res *core.Result) ([]byte, error) {
+	body := SolveResponse{
+		Key: keyHex,
+		Result: ResultJSON{
+			R1Hat:    encodeRelation(res.R1Hat),
+			R2Hat:    encodeRelation(res.R2Hat),
+			VJoin:    encodeRelation(res.VJoin),
+			Stats:    res.Stats,
+			CCErrors: metrics.CCErrors(res.VJoin, in.CCs),
+			DCError:  metrics.DCErrorFraction(res.R1Hat, in.FK, in.DCs),
+		},
+	}
+	return json.Marshal(body)
+}
+
+// parseSolveRequest decodes POST /v1/solve in either of its two shapes:
+// application/json (SolveRequest) or multipart/form-data with CSV relation
+// parts. Multipart parts: files "r1" and "r2" (CSV, schema inferred while
+// streaming), fields "k1"/"k2"/"fk", optional "constraints" (DSL text,
+// field or file) and optional "options" (OptionsJSON).
+func parseSolveRequest(r *http.Request) (core.Input, core.Options, error) {
+	ct := r.Header.Get("Content-Type")
+	mediaType, params, err := mime.ParseMediaType(ct)
+	if ct != "" && err != nil {
+		return core.Input{}, core.Options{}, badRequest("bad Content-Type %q: %v", ct, err)
+	}
+	if mediaType == "multipart/form-data" {
+		return parseMultipartSolve(r, params["boundary"])
+	}
+	var req SolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		return core.Input{}, core.Options{}, decodeErr(err)
+	}
+	in, err := req.InstanceJSON.toInput()
+	if err != nil {
+		return core.Input{}, core.Options{}, err
+	}
+	opt, err := req.Options.toOptions()
+	if err != nil {
+		return core.Input{}, core.Options{}, err
+	}
+	return in, opt, nil
+}
+
+func parseMultipartSolve(r *http.Request, boundary string) (core.Input, core.Options, error) {
+	if boundary == "" {
+		return core.Input{}, core.Options{}, badRequest("multipart request has no boundary")
+	}
+	mr := multipart.NewReader(r.Body, boundary)
+	var (
+		r1, r2   *table.Relation
+		fields   = map[string]string{}
+		optsJSON *OptionsJSON
+	)
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return core.Input{}, core.Options{}, decodeErr(err)
+		}
+		name := part.FormName()
+		switch name {
+		case "r1", "r2":
+			// The CSV is parsed straight off the part stream; the schema is
+			// inferred from the header row and the column contents.
+			rel, err := table.ReadCSVInferred(part, strings.ToUpper(name))
+			if err != nil {
+				return core.Input{}, core.Options{}, wrapPartErr(name, err)
+			}
+			if name == "r1" {
+				r1 = rel
+			} else {
+				r2 = rel
+			}
+		case "k1", "k2", "fk", "constraints":
+			b, err := io.ReadAll(part)
+			if err != nil {
+				return core.Input{}, core.Options{}, wrapPartErr(name, err)
+			}
+			fields[name] = strings.TrimSpace(string(b))
+		case "options":
+			var o OptionsJSON
+			dec := json.NewDecoder(part)
+			dec.UseNumber()
+			if err := dec.Decode(&o); err != nil {
+				return core.Input{}, core.Options{}, wrapPartErr(name, err)
+			}
+			optsJSON = &o
+		default:
+			return core.Input{}, core.Options{}, badRequest("unknown multipart field %q", name)
+		}
+		part.Close()
+	}
+	if r1 == nil || r2 == nil {
+		return core.Input{}, core.Options{}, badRequest("multipart request needs both r1 and r2 CSV parts")
+	}
+	in, err := assembleInput(r1, r2, fields["k1"], fields["k2"], fields["fk"], fields["constraints"])
+	if err != nil {
+		return core.Input{}, core.Options{}, err
+	}
+	opt, err := optsJSON.toOptions()
+	if err != nil {
+		return core.Input{}, core.Options{}, err
+	}
+	return in, opt, nil
+}
+
+// wrapPartErr attributes a multipart decode failure to its part, keeping
+// body-size overruns recognizable for the 413 mapping.
+func wrapPartErr(part string, err error) error {
+	if isTooLarge(err) {
+		return err
+	}
+	return badRequest("part %q: %v", part, err)
+}
+
+// decodeErr maps a body decode failure to the right API error: 413 when the
+// MaxBytesReader tripped, 400 otherwise.
+func decodeErr(err error) error {
+	if isTooLarge(err) {
+		return err
+	}
+	return badRequest("decode request: %v", err)
+}
+
+func isTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return true
+	}
+	// multipart and csv readers may swallow the typed error; the message
+	// survives.
+	return err != nil && strings.Contains(err.Error(), "request body too large")
+}

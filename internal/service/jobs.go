@@ -1,0 +1,316 @@
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+)
+
+// Job lifecycle: queued -> running -> done | canceled. A job whose request
+// fails validation is never created (the POST gets a 400 instead), and
+// per-instance solver failures are reported inside a done job's results
+// rather than failing the whole job.
+const (
+	jobQueued   = "queued"
+	jobRunning  = "running"
+	jobDone     = "done"
+	jobCanceled = "canceled"
+)
+
+type jobInstance struct {
+	in  core.Input
+	key cache.Key
+}
+
+type job struct {
+	id        string
+	status    string // guarded by Server.mu
+	instances []jobInstance
+	opt       core.Options
+	results   []json.RawMessage // per instance: SolveResponse or {"error": ...}
+	ctx       context.Context
+	cancel    context.CancelFunc
+}
+
+// jobStatusJSON is the wire form of GET /v1/jobs/{id}.
+type jobStatusJSON struct {
+	ID        string            `json:"id"`
+	Status    string            `json:"status"`
+	Instances int               `json:"instances"`
+	Results   []json.RawMessage `json:"results,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req BatchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		writeRequestError(w, decodeErr(err))
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeError(w, http.StatusBadRequest, "batch request has no instances")
+		return
+	}
+	opt, err := req.Options.toOptions()
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	instances := make([]jobInstance, len(req.Instances))
+	for i := range req.Instances {
+		in, err := req.Instances[i].toInput()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "instance %d: %v", i, err)
+			return
+		}
+		key, err := core.Fingerprint(in, opt)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "instance %d: fingerprint: %v", i, err)
+			return
+		}
+		instances[i] = jobInstance{in: in, key: key}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.jobSeq++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.jobSeq),
+		status:    jobQueued,
+		instances: instances,
+		opt:       opt,
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	select {
+	case s.jobQueue <- j:
+		s.jobs[j.id] = j
+	default:
+		s.mu.Unlock()
+		cancel()
+		s.rejectedBusy.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "job queue full (depth %d)", s.queueDepth)
+		return
+	}
+	s.mu.Unlock()
+	s.jobsAccepted.Add(1)
+	writeJSON(w, http.StatusAccepted, jobStatusJSON{ID: j.id, Status: jobQueued, Instances: len(instances)})
+}
+
+// jobLoop runs queued jobs one after another; each job's instances fan out
+// over the shared solver pool, so a single job already saturates the
+// configured parallelism and running jobs serially keeps total load bounded.
+func (s *Server) jobLoop() {
+	for {
+		select {
+		case <-s.shutdown:
+			return
+		case j := <-s.jobQueue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status != jobQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.status = jobRunning
+	s.mu.Unlock()
+
+	results := make([]json.RawMessage, len(j.instances))
+
+	// Serve what the cache already has and dedupe the rest: identical
+	// instances inside one batch solve once.
+	keyIdx := make(map[cache.Key][]int) // distinct missing key -> instance indices
+	var order []cache.Key
+	for i, inst := range j.instances {
+		if body, ok := s.cache.Get(inst.key); ok {
+			results[i] = body
+			continue
+		}
+		if _, seen := keyIdx[inst.key]; !seen {
+			order = append(order, inst.key)
+		}
+		keyIdx[inst.key] = append(keyIdx[inst.key], i)
+	}
+
+	// Partition the distinct keys: keys another request is already solving
+	// are followed through the same resolve() path a sync request uses
+	// (inherits its coalescing and cancellation-retry semantics); the rest
+	// are led by this job, registered in the inflight map so concurrent
+	// sync requests coalesce onto the job's solve in turn.
+	var lead, follow []cache.Key
+	flights := make(map[cache.Key]*flight)
+	for _, k := range order {
+		f, isLead := s.tryLead(k)
+		if isLead {
+			flights[k] = f
+			lead = append(lead, k)
+		} else {
+			follow = append(follow, k)
+		}
+	}
+
+	// finish settles one led key everywhere: the shared flight (waking
+	// followers), the inflight map, and this job's result slots.
+	finish := func(k cache.Key, body []byte, err error) {
+		s.settle(k, flights[k], body, err)
+		for _, i := range keyIdx[k] {
+			if err != nil {
+				results[i] = errResult("%v", err)
+			} else {
+				results[i] = body
+			}
+		}
+	}
+
+	if len(lead) > 0 {
+		if err := j.ctx.Err(); err != nil {
+			for _, k := range lead {
+				finish(k, nil, err)
+			}
+		} else if err := s.acquire(j.ctx); err != nil {
+			for _, k := range lead {
+				finish(k, nil, err)
+			}
+		} else {
+			inputs := make([]core.Input, len(lead))
+			for b, k := range lead {
+				inputs[b] = j.instances[keyIdx[k][0]].in
+			}
+			s.solveRuns.Add(uint64(len(lead)))
+			rs, err := core.SolveBatchOn(j.ctx, inputs, j.opt, s.pool)
+			s.release()
+			msgs := batchErrMessages(err)
+			for b, k := range lead {
+				if rs[b] == nil {
+					s.solveErrors.Add(1)
+					// Preserve the typed cancellation chain: sync followers
+					// of this flight decide retry-vs-fail with errors.Is.
+					var ierr error
+					if ctxErr := j.ctx.Err(); ctxErr != nil {
+						ierr = fmt.Errorf("batch instance %d: %w", b, ctxErr)
+					} else if m, ok := msgs[b]; ok {
+						ierr = errors.New(m)
+					} else {
+						ierr = errors.New("solve failed")
+					}
+					finish(k, nil, ierr)
+					continue
+				}
+				i0 := keyIdx[k][0]
+				body, encErr := encodeSolveBody(hex.EncodeToString(k[:]), j.instances[i0].in, rs[b])
+				if encErr != nil {
+					finish(k, nil, fmt.Errorf("encode result: %w", encErr))
+					continue
+				}
+				s.storeResult(k, body)
+				finish(k, body, nil)
+			}
+		}
+	}
+
+	for _, k := range follow {
+		body, _, err := s.resolve(j.ctx, k, j.instances[keyIdx[k][0]].in, j.opt)
+		for _, i := range keyIdx[k] {
+			if err != nil {
+				results[i] = errResult("%v", err)
+			} else {
+				results[i] = body
+			}
+		}
+	}
+
+	s.mu.Lock()
+	j.results = results
+	if j.ctx.Err() != nil {
+		j.status = jobCanceled
+		s.jobsCanceled.Add(1)
+	} else {
+		j.status = jobDone
+		s.jobsDone.Add(1)
+	}
+	s.retireLocked(j)
+	s.mu.Unlock()
+	j.cancel() // release the context's resources once the job settles
+}
+
+// batchErrMessages recovers per-instance messages from SolveBatch's joined
+// error: each line is annotated with its index in the batch.
+func batchErrMessages(err error) map[int]string {
+	if err == nil {
+		return nil
+	}
+	out := make(map[int]string)
+	for _, line := range strings.Split(err.Error(), "\n") {
+		var idx int
+		if n, _ := fmt.Sscanf(line, "core: batch instance %d:", &idx); n == 1 {
+			out[idx] = line
+		}
+	}
+	return out
+}
+
+func errResult(format string, args ...any) json.RawMessage {
+	b, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
+	return b
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	resp := jobStatusJSON{ID: j.id, Status: j.status, Instances: len(j.instances)}
+	if j.status == jobDone || j.status == jobCanceled {
+		resp.Results = j.results
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	switch j.status {
+	case jobDone, jobCanceled:
+		status := j.status
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "job %q already %s", id, status)
+		return
+	case jobQueued:
+		j.status = jobCanceled
+		s.jobsCanceled.Add(1)
+		s.retireLocked(j)
+	}
+	j.cancel() // running jobs stop at the next instance boundary
+	status := j.status
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, jobStatusJSON{ID: j.id, Status: status, Instances: len(j.instances)})
+}

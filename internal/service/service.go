@@ -1,0 +1,433 @@
+// Package service is the linksynthd serving layer: an HTTP JSON API over
+// the C-Extension solver with a content-addressed result cache.
+//
+// Endpoints:
+//
+//	POST /v1/solve     solve one instance synchronously (JSON or multipart CSV)
+//	POST /v1/batch     enqueue an async multi-instance job; returns a job id
+//	GET  /v1/jobs/{id} job status and, once finished, per-instance results
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus-style counters
+//
+// Every solve is content-addressed through core.Fingerprint: identical
+// instances — across clients, across restarts when a cache dir is
+// configured — are solved once and served from the cache byte-identically
+// thereafter. Concurrent requests for the same instance coalesce onto a
+// single solver run. All solver work multiplexes over one shared
+// internal/sched pool, with a bounded admission queue in front of it, so N
+// concurrent clients never oversubscribe the host.
+package service
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Cache is the content-addressed result store; required.
+	Cache *cache.Cache
+	// Workers sizes the shared solver pool (<= 0 selects GOMAXPROCS). It
+	// also bounds how many solver runs execute concurrently.
+	Workers int
+	// MaxBody caps request body bytes (<= 0 selects 32 MiB). Oversized
+	// requests fail with 413.
+	MaxBody int64
+	// QueueDepth bounds both the solve admission queue and the async job
+	// queue (<= 0 selects 64). Requests beyond the bound fail with 503
+	// rather than pile up.
+	QueueDepth int
+}
+
+// Server implements http.Handler for the linksynthd API.
+type Server struct {
+	cache      *cache.Cache
+	pool       *sched.Pool
+	nWorkers   int
+	maxBody    int64
+	queueDepth int
+	start      time.Time
+
+	solveSem chan struct{} // admission: bounds concurrently executing solver runs
+	waiting  atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[cache.Key]*flight
+	jobs     map[string]*job
+	finished []string // retired job ids, oldest first; bounds registry growth
+	jobSeq   uint64
+	jobQueue chan *job
+	shutdown chan struct{}
+	closed   bool
+
+	solveRuns     atomic.Uint64
+	solveErrors   atomic.Uint64
+	cachePutFails atomic.Uint64
+	coalesced     atomic.Uint64
+	rejectedBusy  atomic.Uint64
+	requests      atomic.Uint64
+	jobsAccepted  atomic.Uint64
+	jobsDone      atomic.Uint64
+	jobsCanceled  atomic.Uint64
+}
+
+// flight is one in-progress solve that followers of the same key wait on.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+var errBusy = errors.New("service: solve queue full")
+
+// New builds a Server and starts its job runner. Call Close to stop it.
+func New(cfg Config) *Server {
+	if cfg.Cache == nil {
+		panic("service: Config.Cache is required")
+	}
+	pool := sched.New(cfg.Workers)
+	n := pool.Workers()
+	if n == 1 {
+		pool = nil // take the solver's true sequential path
+	}
+	maxBody := cfg.MaxBody
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	s := &Server{
+		cache:      cfg.Cache,
+		pool:       pool,
+		nWorkers:   n,
+		maxBody:    maxBody,
+		queueDepth: depth,
+		start:      time.Now(),
+		solveSem:   make(chan struct{}, n),
+		inflight:   make(map[cache.Key]*flight),
+		jobs:       make(map[string]*job),
+		jobQueue:   make(chan *job, depth),
+		shutdown:   make(chan struct{}),
+	}
+	go s.jobLoop()
+	return s
+}
+
+// Close stops the job runner and cancels every unfinished job. The cache is
+// caller-owned and stays open.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.shutdown)
+	for _, j := range s.jobs {
+		j.cancel()
+	}
+	s.mu.Unlock()
+}
+
+// ServeHTTP routes the API. Routing is deliberately manual (method checks
+// plus a prefix match for /v1/jobs/) so behavior does not depend on
+// http.ServeMux pattern semantics.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	switch {
+	case r.URL.Path == "/healthz":
+		if !wantMethod(w, r, http.MethodGet) {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	case r.URL.Path == "/metrics":
+		if !wantMethod(w, r, http.MethodGet) {
+			return
+		}
+		s.handleMetrics(w)
+	case r.URL.Path == "/v1/solve":
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		s.handleSolve(w, r)
+	case r.URL.Path == "/v1/batch":
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		s.handleBatch(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+		if id == "" || strings.Contains(id, "/") {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			s.handleJobGet(w, id)
+		case http.MethodDelete:
+			s.handleJobCancel(w, id)
+		default:
+			w.Header().Set("Allow", "GET, DELETE")
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		}
+	default:
+		writeError(w, http.StatusNotFound, "no such endpoint %s", r.URL.Path)
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	in, opt, err := parseSolveRequest(r)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	key, err := core.Fingerprint(in, opt)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "fingerprint: %v", err)
+		return
+	}
+	body, status, err := s.resolve(r.Context(), key, in, opt)
+	if err != nil {
+		writeResolveError(w, err)
+		return
+	}
+	keyHex := hex.EncodeToString(key[:])
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Linksynth-Cache", status)
+	w.Header().Set("ETag", `"`+keyHex+`"`)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// resolve returns the response body for an instance, consulting the cache,
+// coalescing concurrent identical requests onto one solver run, and solving
+// on a miss. The second return is the cache disposition: "hit", "miss"
+// (this request ran the solver) or "coalesced" (another in-flight request
+// ran it).
+func (s *Server) resolve(ctx context.Context, key cache.Key, in core.Input, opt core.Options) ([]byte, string, error) {
+	if body, ok := s.cache.Get(key); ok {
+		return body, "hit", nil
+	}
+	for {
+		f, lead := s.tryLead(key)
+		if !lead {
+			select {
+			case <-f.done:
+				if f.err != nil {
+					// The leader failed; don't inherit its error blindly —
+					// transient failures (cancellation) shouldn't poison
+					// followers. Retry the whole resolution.
+					if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+						continue
+					}
+					return nil, "", f.err
+				}
+				s.coalesced.Add(1)
+				return f.body, "coalesced", nil
+			case <-ctx.Done():
+				return nil, "", ctx.Err()
+			case <-s.shutdown:
+				return nil, "", errBusy
+			}
+		}
+		body, err := s.solveAndStore(ctx, key, in, opt)
+		s.settle(key, f, body, err)
+		if err != nil {
+			return nil, "", err
+		}
+		return body, "miss", nil
+	}
+}
+
+// tryLead returns the in-flight solve for key if one exists (lead=false:
+// the caller should follow it), or registers and returns a fresh flight the
+// caller must complete with settle (lead=true). It is the single point of
+// singleflight registration for both the sync and the job path.
+func (s *Server) tryLead(key cache.Key) (f *flight, lead bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.inflight[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	return f, true
+}
+
+// settle completes a led flight: followers wake with the body or error, and
+// the key leaves the inflight map (any later request re-resolves, hitting
+// the cache on success).
+func (s *Server) settle(key cache.Key, f *flight, body []byte, err error) {
+	f.body, f.err = body, err
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// solveAndStore runs the solver under admission control and caches the
+// encoded response body.
+func (s *Server) solveAndStore(ctx context.Context, key cache.Key, in core.Input, opt core.Options) ([]byte, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	s.solveRuns.Add(1)
+	res, err := core.SolveOn(in, opt, s.pool)
+	if err != nil {
+		s.solveErrors.Add(1)
+		return nil, err
+	}
+	body, err := encodeSolveBody(hex.EncodeToString(key[:]), in, res)
+	if err != nil {
+		return nil, err
+	}
+	s.storeResult(key, body)
+	return body, nil
+}
+
+// storeResult caches a response body. A failed durable append still leaves
+// the entry readable in memory; the failure is only visible operationally,
+// via the linksynthd_cache_put_errors_total counter.
+func (s *Server) storeResult(key cache.Key, body []byte) {
+	if err := s.cache.Put(key, body); err != nil {
+		s.cachePutFails.Add(1)
+	}
+}
+
+// acquire claims a solver slot, queueing up to queueDepth waiters; beyond
+// that the server sheds load with errBusy instead of building an unbounded
+// backlog.
+func (s *Server) acquire(ctx context.Context) error {
+	if int(s.waiting.Add(1)) > s.queueDepth+s.nWorkers {
+		s.waiting.Add(-1)
+		s.rejectedBusy.Add(1)
+		return errBusy
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.solveSem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.shutdown:
+		return errBusy
+	}
+}
+
+func (s *Server) release() { <-s.solveSem }
+
+// retireLocked records a job as finished and expires the oldest finished
+// jobs beyond the retention bound, so long-lived servers do not accumulate
+// every job's results forever. Finished jobs stay pollable until 4x the
+// queue depth of newer jobs have finished after them. Caller holds s.mu.
+func (s *Server) retireLocked(j *job) {
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > 4*s.queueDepth {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter) {
+	cs := s.cache.Stats()
+	s.mu.Lock()
+	nJobs := len(s.jobs)
+	queued := len(s.jobQueue)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	counter := func(name string, v uint64, help string) {
+		fmt.Fprintf(&b, "# HELP linksynthd_%s %s\n# TYPE linksynthd_%s counter\nlinksynthd_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name string, v int64, help string) {
+		fmt.Fprintf(&b, "# HELP linksynthd_%s %s\n# TYPE linksynthd_%s gauge\nlinksynthd_%s %d\n", name, help, name, name, v)
+	}
+	counter("requests_total", s.requests.Load(), "HTTP requests received")
+	counter("cache_hits_total", cs.Hits, "result cache hits")
+	counter("cache_misses_total", cs.Misses, "result cache misses")
+	counter("cache_evictions_total", cs.Evictions, "LRU evictions")
+	gauge("cache_entries", int64(cs.Entries), "live cache entries")
+	gauge("cache_replayed_entries", int64(cs.Replayed), "entries recovered from the append-only log at startup")
+	counter("solver_runs_total", s.solveRuns.Load(), "instances actually solved (cache misses)")
+	counter("solver_errors_total", s.solveErrors.Load(), "solver runs that failed")
+	counter("cache_put_errors_total", s.cachePutFails.Load(), "results that could not be appended to the durable log")
+	counter("coalesced_requests_total", s.coalesced.Load(), "requests served by another request's in-flight solve")
+	counter("rejected_total", s.rejectedBusy.Load(), "requests shed because the solve queue was full")
+	counter("jobs_accepted_total", s.jobsAccepted.Load(), "async jobs accepted")
+	counter("jobs_done_total", s.jobsDone.Load(), "async jobs finished")
+	counter("jobs_canceled_total", s.jobsCanceled.Load(), "async jobs canceled")
+	gauge("jobs_known", int64(nJobs), "jobs retained in the registry")
+	gauge("job_queue_depth", int64(queued), "jobs waiting to run")
+	gauge("workers", int64(s.nWorkers), "solver pool size")
+	gauge("uptime_seconds", int64(time.Since(s.start).Seconds()), "seconds since start")
+	w.Write([]byte(b.String()))
+}
+
+func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(b)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeRequestError maps request parse/validation failures onto statuses:
+// 413 for an over-limit body, the carried status for apiErrors, 400 for the
+// rest.
+func writeRequestError(w http.ResponseWriter, err error) {
+	var ae *apiError
+	switch {
+	case isTooLarge(err):
+		writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds limit")
+	case errors.As(err, &ae):
+		writeError(w, ae.status, "%s", ae.msg)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// writeResolveError maps solve-path failures: 503 for load shedding, 499-ish
+// client cancellation reported as 503, and 422 for instances the solver
+// rejects or cannot complete.
+func writeResolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errBusy):
+		writeError(w, http.StatusServiceUnavailable, "server busy: solve queue full")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "request canceled before a solver slot freed up")
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
+	}
+}

@@ -1,0 +1,478 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+)
+
+const testConstraints = `cc cc1: count(Rel = 'Owner', Area = 'Chicago') = 2
+cc cc2: count(Rel = 'Owner', Area = 'NYC') = 1
+dc oo: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'`
+
+// testInstance returns the JSON wire form of a small solvable instance.
+// bump perturbs one R1 age so callers can mint distinct instances.
+func testInstance(bump int64) InstanceJSON {
+	r1 := &RelationJSON{
+		Name: "Persons",
+		Columns: []ColumnJSON{
+			{Name: "pid", Type: "int"}, {Name: "Age", Type: "int"},
+			{Name: "Rel", Type: "string"}, {Name: "hid", Type: "int"},
+		},
+		Rows: [][]any{
+			{1, 70 + bump, "Owner", nil},
+			{2, 25, "Owner", nil},
+			{3, 24, "Spouse", nil},
+			{4, 30, "Owner", nil},
+		},
+	}
+	r2 := &RelationJSON{
+		Name: "Housing",
+		Columns: []ColumnJSON{
+			{Name: "hid", Type: "int"}, {Name: "Area", Type: "string"},
+		},
+		Rows: [][]any{
+			{1, "Chicago"}, {2, "Chicago"}, {3, "NYC"}, {4, "NYC"},
+		},
+	}
+	return InstanceJSON{R1: r1, R2: r2, K1: "pid", K2: "hid", FK: "hid", Constraints: testConstraints}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Cache == nil {
+		c, err := cache.Open("", 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cache = c
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readBody(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func metricValue(t *testing.T, url, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(readBody(t, resp))
+	for _, line := range strings.Split(body, "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, "linksynthd_"+name+" %d", &v); n == 1 {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+func TestSolveRoundTripAndCacheHitIsByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	req := SolveRequest{InstanceJSON: testInstance(0), Options: &OptionsJSON{Seed: 1}}
+	resp := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	if got := resp.Header.Get("X-Linksynth-Cache"); got != "miss" {
+		t.Errorf("first solve cache header = %q, want miss", got)
+	}
+	cold := readBody(t, resp)
+
+	var sr SolveResponse
+	if err := json.Unmarshal(cold, &sr); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if len(sr.Key) != 64 {
+		t.Errorf("key = %q, want 64 hex chars", sr.Key)
+	}
+	if sr.Result.DCError != 0 {
+		t.Errorf("DC error = %v, want 0 (solver guarantee)", sr.Result.DCError)
+	}
+	if len(sr.Result.R1Hat.Rows) != 4 {
+		t.Fatalf("r1_hat has %d rows", len(sr.Result.R1Hat.Rows))
+	}
+	for i, row := range sr.Result.R1Hat.Rows {
+		if row[3] == nil {
+			t.Errorf("r1_hat row %d: FK still null", i)
+		}
+	}
+
+	// The determinism contract: a cache hit returns the byte-identical body.
+	resp2 := postJSON(t, ts.URL+"/v1/solve", req)
+	if got := resp2.Header.Get("X-Linksynth-Cache"); got != "hit" {
+		t.Errorf("second solve cache header = %q, want hit", got)
+	}
+	warm := readBody(t, resp2)
+	if !bytes.Equal(cold, warm) {
+		t.Error("cache hit body differs from cold solve body")
+	}
+	if runs := metricValue(t, ts.URL, "solver_runs_total"); runs != 1 {
+		t.Errorf("solver runs = %d, want 1", runs)
+	}
+}
+
+func TestMalformedDSLIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	inst := testInstance(0)
+	inst.Constraints = "cc broken: count(Rel ==== 'Owner') = 2"
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: inst})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "constraints") {
+		t.Errorf("error does not mention constraints: %s", body)
+	}
+}
+
+func TestUnknownKeyColumnIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	inst := testInstance(0)
+	inst.K1 = "nope"
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: inst})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "nope") {
+		t.Errorf("error does not name the offending column: %s", body)
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBody: 256})
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(0)})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+}
+
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	req := SolveRequest{InstanceJSON: testInstance(1), Options: &OptionsJSON{Seed: 1}}
+
+	const n = 4
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := json.Marshal(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(b))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+	// The acceptance bar: concurrent identical requests share ONE solver run.
+	if runs := metricValue(t, ts.URL, "solver_runs_total"); runs != 1 {
+		t.Errorf("solver runs = %d, want 1 for %d concurrent identical requests", runs, n)
+	}
+}
+
+func TestWarmCacheDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := SolveRequest{InstanceJSON: testInstance(2), Options: &OptionsJSON{Seed: 1}}
+
+	c1, err := cache.Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{Cache: c1})
+	ts1 := httptest.NewServer(s1)
+	resp := postJSON(t, ts1.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	cold := readBody(t, resp)
+	ts1.Close()
+	s1.Close()
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process against the same -cache-dir serves the instance
+	// without re-solving.
+	c2, err := cache.Open(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c2.Close() })
+	s2 := New(Config{Cache: c2})
+	ts2 := httptest.NewServer(s2)
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+
+	resp2 := postJSON(t, ts2.URL+"/v1/solve", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: status %d: %s", resp2.StatusCode, readBody(t, resp2))
+	}
+	if got := resp2.Header.Get("X-Linksynth-Cache"); got != "hit" {
+		t.Errorf("warm restart cache header = %q, want hit", got)
+	}
+	warm := readBody(t, resp2)
+	if !bytes.Equal(cold, warm) {
+		t.Error("restarted server's body differs from the original solve")
+	}
+	if runs := metricValue(t, ts2.URL, "solver_runs_total"); runs != 0 {
+		t.Errorf("restarted server ran the solver %d times, want 0", runs)
+	}
+}
+
+func TestMultipartCSVSolve(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	r1, _ := mw.CreateFormFile("r1", "persons.csv")
+	io.WriteString(r1, "pid,Age,Rel,hid\n1,70,Owner,\n2,25,Owner,\n3,24,Spouse,\n4,30,Owner,\n")
+	r2, _ := mw.CreateFormFile("r2", "housing.csv")
+	io.WriteString(r2, "hid,Area\n1,Chicago\n2,Chicago\n3,NYC\n4,NYC\n")
+	mw.WriteField("k1", "pid")
+	mw.WriteField("k2", "hid")
+	mw.WriteField("fk", "hid")
+	mw.WriteField("constraints", testConstraints)
+	mw.WriteField("options", `{"seed": 1}`)
+	mw.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/solve", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Result.DCError != 0 {
+		t.Errorf("DC error = %v, want 0", sr.Result.DCError)
+	}
+	// The CSV path is content-addressed like the JSON path.
+	if c := metricValue(t, ts.URL, "cache_entries"); c != 1 {
+		t.Errorf("cache entries = %d, want 1", c)
+	}
+}
+
+func TestBatchJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	req := BatchRequest{
+		Instances: []InstanceJSON{testInstance(3), testInstance(4)},
+		Options:   &OptionsJSON{Seed: 1},
+	}
+	resp := postJSON(t, ts.URL+"/v1/batch", req)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202: %s", resp.StatusCode, body)
+	}
+	var js jobStatusJSON
+	if err := json.Unmarshal(body, &js); err != nil {
+		t.Fatal(err)
+	}
+	if js.ID == "" || js.Instances != 2 {
+		t.Fatalf("job accept = %+v", js)
+	}
+
+	deadlineOk := false
+	for i := 0; i < 400; i++ {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + js.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := readBody(t, resp)
+		if err := json.Unmarshal(b, &js); err != nil {
+			t.Fatalf("poll decode: %v: %s", err, b)
+		}
+		if js.Status == jobDone {
+			deadlineOk = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !deadlineOk {
+		t.Fatalf("job never finished; last status %q", js.Status)
+	}
+	if len(js.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(js.Results))
+	}
+	for i, raw := range js.Results {
+		var sr SolveResponse
+		if err := json.Unmarshal(raw, &sr); err != nil || sr.Key == "" {
+			t.Errorf("result %d not a SolveResponse: %v: %s", i, err, raw)
+		}
+	}
+
+	// A second identical batch is served fully from cache.
+	runsBefore := metricValue(t, ts.URL, "solver_runs_total")
+	resp = postJSON(t, ts.URL+"/v1/batch", req)
+	if err := json.Unmarshal(readBody(t, resp), &js); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		resp, _ := http.Get(ts.URL + "/v1/jobs/" + js.ID)
+		json.Unmarshal(readBody(t, resp), &js)
+		if js.Status == jobDone {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if js.Status != jobDone {
+		t.Fatalf("second job stuck in %q", js.Status)
+	}
+	if runsAfter := metricValue(t, ts.URL, "solver_runs_total"); runsAfter != runsBefore {
+		t.Errorf("second identical batch ran the solver (%d -> %d runs)", runsBefore, runsAfter)
+	}
+}
+
+func TestJobNotFoundAnd405(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/solve status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Errorf("healthz = %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestBatchDeduplicatesIdenticalInstances(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	// Two copies of one instance in a single batch: one solver run, two
+	// identical results.
+	req := BatchRequest{
+		Instances: []InstanceJSON{testInstance(5), testInstance(5)},
+		Options:   &OptionsJSON{Seed: 1},
+	}
+	resp := postJSON(t, ts.URL+"/v1/batch", req)
+	var js jobStatusJSON
+	if err := json.Unmarshal(readBody(t, resp), &js); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400 && js.Status != jobDone; i++ {
+		resp, _ := http.Get(ts.URL + "/v1/jobs/" + js.ID)
+		json.Unmarshal(readBody(t, resp), &js)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if js.Status != jobDone {
+		t.Fatalf("job stuck in %q", js.Status)
+	}
+	if len(js.Results) != 2 || !bytes.Equal(js.Results[0], js.Results[1]) {
+		t.Fatalf("duplicate instances got different results")
+	}
+	if runs := metricValue(t, ts.URL, "solver_runs_total"); runs != 1 {
+		t.Errorf("solver runs = %d, want 1 for a batch of two identical instances", runs)
+	}
+}
+
+func TestFinishedJobsExpireBeyondRetention(t *testing.T) {
+	_, ts := newTestServer(t, Config{QueueDepth: 1}) // retention = 4 finished jobs
+	req := BatchRequest{Instances: []InstanceJSON{testInstance(6)}}
+	var first string
+	for n := 0; n < 6; n++ {
+		resp := postJSON(t, ts.URL+"/v1/batch", req)
+		var js jobStatusJSON
+		if err := json.Unmarshal(readBody(t, resp), &js); err != nil {
+			t.Fatal(err)
+		}
+		if first == "" {
+			first = js.ID
+		}
+		for i := 0; i < 400 && js.Status != jobDone; i++ {
+			resp, _ := http.Get(ts.URL + "/v1/jobs/" + js.ID)
+			json.Unmarshal(readBody(t, resp), &js)
+			time.Sleep(5 * time.Millisecond)
+		}
+		if js.Status != jobDone {
+			t.Fatalf("job %d stuck in %q", n, js.Status)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest finished job still pollable (status %d), want 404 after retention", resp.StatusCode)
+	}
+}

@@ -10,10 +10,12 @@ import (
 )
 
 // ReadCSVInferred reads a relation from CSV without a declared schema: the
-// header supplies the column names and each column's type is inferred by
-// probing the first non-empty value in that column (integer if it parses as
-// one, string otherwise). Columns with no non-empty value anywhere — e.g. a
-// fully missing FK column — default to int.
+// header supplies the column names, and a column's type is integer iff
+// every non-empty value in it parses as one (string otherwise), so a
+// column like "1, 2, N/A" degrades to string instead of failing mid-parse.
+// Columns with no non-empty value anywhere — e.g. a fully missing FK
+// column — default to int. The reader works on any stream, not just files:
+// the serving layer feeds it multipart upload parts directly.
 func ReadCSVInferred(rd io.Reader, name string) (*Relation, error) {
 	cr := csv.NewReader(rd)
 	header, err := cr.Read()
@@ -41,8 +43,8 @@ func ReadCSVInferred(rd io.Reader, name string) (*Relation, error) {
 			}
 			if _, err := strconv.ParseInt(f, 10, 64); err != nil {
 				t = TypeString
+				break
 			}
-			break
 		}
 		cols[j] = Column{Name: strings.TrimSpace(h), Type: t}
 	}

@@ -112,8 +112,22 @@ func TestReadCSVInferredErrors(t *testing.T) {
 	if _, err := ReadCSVInferred(strings.NewReader("a,b\n1\n"), "t"); err == nil {
 		t.Error("ragged row accepted")
 	}
-	// Mixed int/string after the probe: parse error surfaces.
-	if _, err := ReadCSVInferred(strings.NewReader("a\n1\nxyz\n"), "t"); err == nil {
-		t.Error("type clash accepted")
+}
+
+// Inference scans the whole column: one non-integer value anywhere makes
+// the column a string column instead of failing mid-parse on it.
+func TestReadCSVInferredMixedColumnDegradesToString(t *testing.T) {
+	r, err := ReadCSVInferred(strings.NewReader("a,b\n1,5\nxyz,6\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema().Col(0).Type != TypeString {
+		t.Errorf("a type = %v, want string (row 2 is not an int)", r.Schema().Col(0).Type)
+	}
+	if r.Schema().Col(1).Type != TypeInt {
+		t.Errorf("b type = %v, want int", r.Schema().Col(1).Type)
+	}
+	if r.Value(0, "a") != String("1") || r.Value(1, "a") != String("xyz") {
+		t.Errorf("a values = %v, %v", r.Value(0, "a"), r.Value(1, "a"))
 	}
 }

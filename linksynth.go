@@ -116,6 +116,13 @@ func SolveBatchContext(ctx context.Context, inputs []Input, opt Options) ([]*Res
 	return core.SolveBatch(ctx, inputs, opt)
 }
 
+// Fingerprint returns the SHA-256 content address of an instance: two
+// (Input, Options) pairs share a key iff the solver is guaranteed to
+// produce the byte-identical Result for both (Options.Workers and
+// constraint names are excluded — neither changes the output). It is the
+// cache key of the linksynthd serving layer.
+func Fingerprint(in Input, opt Options) ([32]byte, error) { return core.Fingerprint(in, opt) }
+
 // BaselineOptions configures the plain Arasu-style baseline of §6.1 (ILP
 // without marginal augmentation, random FK assignment, DCs ignored).
 func BaselineOptions(seed int64) Options { return core.BaselineOptions(seed) }

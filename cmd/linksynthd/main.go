@@ -8,10 +8,18 @@
 //	linksynthd -addr :8080 -workers -1 -cache-dir /var/lib/linksynth \
 //	    -cache-entries 4096 -max-body 64000000
 //
+// Scaling out: give every node the same -peers list and its own -advertise
+// URL and the nodes form a shared-nothing sharded cluster — each instance's
+// fingerprint hashes to one owning node, non-owners forward to it, and
+// batch jobs scatter across the owners:
+//
+//	linksynthd -addr :8081 -advertise http://10.0.0.1:8081 \
+//	    -peers http://10.0.0.1:8081,http://10.0.0.2:8081,http://10.0.0.3:8081
+//
 // Endpoints: POST /v1/solve (JSON or multipart CSV), POST /v1/batch (async,
-// returns a job id), GET /v1/jobs/{id}, DELETE /v1/jobs/{id} (cancel),
-// GET /healthz, GET /metrics. See the repository README for request shapes
-// and curl examples.
+// returns a job id), GET /v1/jobs (list), GET /v1/jobs/{id},
+// DELETE /v1/jobs/{id} (cancel), GET /healthz, GET /metrics. See the
+// repository README for request shapes and curl examples.
 package main
 
 import (
@@ -23,10 +31,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -37,6 +47,9 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 1024, "maximum cached results (LRU beyond that)")
 	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes (413 beyond that)")
 	queue := flag.Int("queue", 64, "bound on queued solves and pending async jobs (503 beyond that)")
+	peers := flag.String("peers", "", "comma-separated seed list of cluster node URLs (empty = single-node)")
+	advertise := flag.String("advertise", "", "this node's URL as peers reach it (required with -peers)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer /healthz probing period")
 	flag.Parse()
 
 	c, err := cache.Open(*cacheDir, *cacheEntries)
@@ -48,11 +61,36 @@ func main() {
 		log.Printf("cache: replayed %d entries from %s", st.Replayed, *cacheDir)
 	}
 
+	var clu *cluster.Cluster
+	if *peers != "" {
+		if *advertise == "" {
+			fatalf("-peers requires -advertise (this node's URL as peers reach it)")
+		}
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		clu, err = cluster.New(cluster.Config{
+			Self:          *advertise,
+			Peers:         list,
+			ProbeInterval: *probeInterval,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		clu.Start()
+		defer clu.Close()
+		log.Printf("cluster: node %s with %d peers (probe every %s)", clu.Self(), len(clu.Nodes())-1, *probeInterval)
+	}
+
 	srv := service.New(service.Config{
 		Cache:      c,
 		Workers:    *workers,
 		MaxBody:    *maxBody,
 		QueueDepth: *queue,
+		Cluster:    clu,
 	})
 	defer srv.Close()
 

@@ -1,0 +1,219 @@
+// The cluster example walks through linksynthd's shared-nothing sharding
+// with three in-process nodes on loopback ports. Each node owns the key
+// range its fingerprints rendezvous-hash to: a solve posted to any node is
+// forwarded to the owner, batches scatter sub-jobs across the owners, and
+// a killed node's keys fail over to local solving on the survivors.
+//
+// A real deployment runs one `linksynthd` process per node with the same
+// -peers list and a per-node -advertise URL; see the README's "Scaling
+// out" section.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/service"
+)
+
+const constraints = `cc owners_chi: count(Rel = 'Owner', Area = 'Chicago') = 2
+cc owners_nyc: count(Rel = 'Owner', Area = 'NYC') = 1
+dc one_owner: deny t1.Rel = 'Owner' & t2.Rel = 'Owner'`
+
+// instance mints a small solvable instance; distinct bumps have distinct
+// fingerprints and therefore, usually, distinct owning nodes.
+func instance(bump int64) service.InstanceJSON {
+	return service.InstanceJSON{
+		R1: &service.RelationJSON{
+			Name: "Persons",
+			Columns: []service.ColumnJSON{
+				{Name: "pid", Type: "int"}, {Name: "Age", Type: "int"},
+				{Name: "Rel", Type: "string"}, {Name: "hid", Type: "int"},
+			},
+			Rows: [][]any{
+				{1, 70 + bump, "Owner", nil}, {2, 25, "Owner", nil},
+				{3, 24, "Spouse", nil}, {4, 30, "Owner", nil},
+			},
+		},
+		R2: &service.RelationJSON{
+			Name: "Housing",
+			Columns: []service.ColumnJSON{
+				{Name: "hid", Type: "int"}, {Name: "Area", Type: "string"},
+			},
+			Rows: [][]any{{1, "Chicago"}, {2, "Chicago"}, {3, "NYC"}, {4, "NYC"}},
+		},
+		K1: "pid", K2: "hid", FK: "hid",
+		Constraints: constraints,
+	}
+}
+
+type node struct {
+	url string
+	srv *service.Server
+	ln  net.Listener
+	hs  *http.Server
+}
+
+func main() {
+	// Three nodes: listeners first (so every URL is known), then a cluster
+	// view and a server per node, all sharing the same peer list.
+	const n = 3
+	nodes := make([]*node, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = &node{ln: ln, url: "http://" + ln.Addr().String()}
+		urls[i] = nodes[i].url
+	}
+	for i, nd := range nodes {
+		c, err := cache.Open("", 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clu, err := cluster.New(cluster.Config{
+			Self:          nd.url,
+			Peers:         urls,
+			ProbeInterval: 200 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		clu.Start()
+		nd.srv = service.New(service.Config{Cache: c, Workers: -1, Cluster: clu})
+		nd.hs = &http.Server{Handler: nd.srv}
+		go nd.hs.Serve(nd.ln)
+		fmt.Printf("node %d listening on %s\n", i, nd.url)
+	}
+	fmt.Println()
+
+	// 1. The same solve posted to every node: each non-owner forwards to
+	// the owner, so all three answers are byte-identical and the cluster
+	// runs the solver exactly once.
+	req := service.SolveRequest{InstanceJSON: instance(0), Options: &service.OptionsJSON{Seed: 1}}
+	var first []byte
+	for i, nd := range nodes {
+		body, hdr := post(nd.url+"/v1/solve", req)
+		identical := first == nil || bytes.Equal(first, body)
+		if first == nil {
+			first = body
+		}
+		fmt.Printf("POST node%d/v1/solve  -> cache %-9s served by %-27s byte-identical: %v\n",
+			i, hdr.Get("X-Linksynth-Cache"), hdr.Get("X-Linksynth-Node"), identical)
+	}
+	fmt.Printf("cluster-wide solver runs: %d (one owner solved; the others forwarded)\n\n", totalRuns(nodes))
+
+	// 2. A batch posted to node 0 scatters across the owners: each
+	// instance is solved on — and cached by — the node that owns its
+	// fingerprint.
+	batch := service.BatchRequest{
+		Instances: []service.InstanceJSON{instance(1), instance(2), instance(3), instance(4)},
+		Options:   &service.OptionsJSON{Seed: 1},
+	}
+	accept, _ := post(nodes[0].url+"/v1/batch", batch)
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(accept, &job); err != nil {
+		log.Fatal(err)
+	}
+	for job.Status != "done" && job.Status != "canceled" {
+		time.Sleep(10 * time.Millisecond)
+		st, _ := get(nodes[0].url + "/v1/jobs/" + job.ID)
+		if err := json.Unmarshal(st, &job); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("POST node0/v1/batch  -> %s %s; per-node cache entries after scatter:\n", job.ID, job.Status)
+	for i, nd := range nodes {
+		fmt.Printf("  node %d: %s\n", i, metricLine(nd.url, "linksynthd_cache_entries"))
+	}
+	fmt.Println()
+
+	// 3. Kill node 2: its key range fails over to the survivors. The same
+	// request that node 2 owned still answers — solved locally by whichever
+	// node receives it.
+	victim := nodes[2]
+	victim.hs.Close()
+	fmt.Printf("killed node 2 (%s)\n", victim.url)
+	for _, inst := range batch.Instances {
+		body, hdr := post(nodes[0].url+"/v1/solve", service.SolveRequest{InstanceJSON: inst, Options: batch.Options})
+		_ = body
+		fmt.Printf("POST node0/v1/solve  -> cache %-9s served by %s\n",
+			hdr.Get("X-Linksynth-Cache"), hdr.Get("X-Linksynth-Node"))
+	}
+	fmt.Println()
+
+	// 4. The cluster's own view of the failure.
+	hz, _ := get(nodes[0].url + "/healthz")
+	fmt.Printf("GET node0/healthz    -> %s\n", hz)
+	for _, name := range []string{"linksynthd_cluster_peers_up", "linksynthd_cluster_forwarded_total", "linksynthd_cluster_forward_fallbacks_total"} {
+		fmt.Printf("  %s\n", metricLine(nodes[0].url, name))
+	}
+}
+
+func totalRuns(nodes []*node) int {
+	total := 0
+	for _, nd := range nodes {
+		line := metricLine(nd.url, "linksynthd_solver_runs_total")
+		var v int
+		fmt.Sscanf(line, "linksynthd_solver_runs_total %d", &v)
+		total += v
+	}
+	return total
+}
+
+func metricLine(url, name string) string {
+	body, _ := get(url + "/metrics")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return line
+		}
+	}
+	return name + " ?"
+}
+
+func post(url string, v any) ([]byte, http.Header) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 && resp.StatusCode != 202 {
+		log.Fatalf("%s: %d: %s", url, resp.StatusCode, body)
+	}
+	return body, resp.Header
+}
+
+func get(url string) ([]byte, http.Header) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return body, resp.Header
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HopHeader marks a request that already crossed one node boundary. A node
+// receiving it must answer locally, never re-forward: with every member
+// routing by the same hash the first hop always lands on the owner, and if
+// two nodes' liveness views briefly disagree the guard turns a potential
+// forwarding loop into one extra local solve — degraded, never wrong.
+const HopHeader = "X-Linksynth-Hop"
+
+// ForwardResult is the owner's verbatim answer to a relayed request.
+type ForwardResult struct {
+	StatusCode int
+	Header     http.Header
+	Body       []byte
+}
+
+// ForwardSolve relays a /v1/solve request body to the owning node and
+// returns its response, whatever the status — the caller decides which
+// statuses to pass through and which to fall back on. A transport-level
+// failure (connect refused, timeout, mid-body death) marks the owner down
+// and returns an error; the caller should then solve locally.
+func (c *Cluster) ForwardSolve(ctx context.Context, owner, contentType string, body []byte) (*ForwardResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: forward to %s: %w", owner, err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	req.Header.Set(HopHeader, "1")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.observeTransportErr(owner, err)
+		return nil, fmt.Errorf("cluster: forward to %s: %w", owner, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.observeTransportErr(owner, err)
+		return nil, fmt.Errorf("cluster: forward to %s: read response: %w", owner, err)
+	}
+	return &ForwardResult{StatusCode: resp.StatusCode, Header: resp.Header, Body: b}, nil
+}

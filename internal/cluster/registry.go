@@ -1,0 +1,325 @@
+// Package cluster turns a set of linksynthd nodes into a shared-nothing
+// sharded service. Each instance's content address (core.Fingerprint) maps
+// to exactly one owning node via rendezvous hashing over the live node set;
+// non-owners forward requests to the owner, so each node's cache is
+// authoritative for its key range and the cluster as a whole solves every
+// distinct instance at most once.
+//
+// The package is deliberately HTTP-shaped and service-agnostic: a Cluster
+// knows node URLs, liveness, ownership and how to relay /v1/solve and
+// /v1/batch calls, but nothing about solver internals. The serving layer
+// (internal/service) decides when to route, when to fall back to local
+// solving, and how to merge scattered batch results.
+//
+// Membership is a static seed list (-peers) — there is no gossip or
+// consensus. Liveness is observed two ways: a background prober hits each
+// peer's /healthz on a fixed interval, and the forwarding path reports
+// transport failures immediately (MarkDown), so a dead owner stops
+// attracting traffic before the next probe tick. A node that cannot reach a
+// peer simply takes over that peer's keys locally: correctness never
+// depends on agreement, because results are content-addressed — any node's
+// answer for a key is byte-identical.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config assembles a Cluster.
+type Config struct {
+	// Self is this node's advertise URL (how peers reach it); required.
+	Self string
+	// Peers is the static seed list of node URLs. It may or may not
+	// include Self; Self is filtered out either way.
+	Peers []string
+	// ProbeInterval is the /healthz probing period (<= 0 selects 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (<= 0 selects 1s).
+	ProbeTimeout time.Duration
+	// PollInterval is the scatter-gather job polling period
+	// (<= 0 selects 25ms).
+	PollInterval time.Duration
+	// Client is the HTTP client for forwarding and probing (nil selects a
+	// dedicated client without an overall timeout: probes and gather polls
+	// carry their own per-call deadlines, and a forwarded solve must be
+	// allowed to run as long as the caller's request context does).
+	Client *http.Client
+}
+
+// PeerStatus is one peer's observed state, for /healthz and /metrics.
+type PeerStatus struct {
+	URL       string    `json:"url"`
+	Up        bool      `json:"up"`
+	Failures  int       `json:"failures,omitempty"` // consecutive probe failures
+	LastError string    `json:"last_error,omitempty"`
+	LastProbe time.Time `json:"-"`
+}
+
+type peer struct {
+	url       string
+	up        bool
+	failures  int
+	lastErr   string
+	lastProbe time.Time
+}
+
+// Cluster is the node-local view of the shard group: this node's identity,
+// every peer's URL and up/down state, and the client used to reach them.
+// Safe for concurrent use.
+type Cluster struct {
+	self          string
+	client        *http.Client
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	pollInterval  time.Duration
+
+	mu    sync.Mutex
+	peers map[string]*peer
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	probes      atomic.Uint64
+	transitions atomic.Uint64
+}
+
+// New builds a Cluster from the seed list. Every peer starts optimistically
+// up — a cold cluster routes immediately and the first probe (or the first
+// failed forward) corrects the view. Call Start to begin background
+// probing, and Close to stop it.
+func New(cfg Config) (*Cluster, error) {
+	self, err := normalizeURL(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: advertise URL: %w", err)
+	}
+	c := &Cluster{
+		self:          self,
+		client:        cfg.Client,
+		probeInterval: cfg.ProbeInterval,
+		probeTimeout:  cfg.ProbeTimeout,
+		pollInterval:  cfg.PollInterval,
+		peers:         make(map[string]*peer),
+		stop:          make(chan struct{}),
+	}
+	if c.probeInterval <= 0 {
+		c.probeInterval = 2 * time.Second
+	}
+	if c.probeTimeout <= 0 {
+		c.probeTimeout = time.Second
+	}
+	if c.pollInterval <= 0 {
+		c.pollInterval = 25 * time.Millisecond
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	for _, raw := range cfg.Peers {
+		u, err := normalizeURL(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %q: %w", raw, err)
+		}
+		if u == self {
+			continue
+		}
+		c.peers[u] = &peer{url: u, up: true}
+	}
+	return c, nil
+}
+
+// normalizeURL canonicalizes a node URL so the same node spelled two ways
+// ("localhost:8081/" vs "http://localhost:8081") hashes identically on
+// every cluster member.
+func normalizeURL(raw string) (string, error) {
+	u := strings.TrimRight(strings.TrimSpace(raw), "/")
+	if u == "" {
+		return "", fmt.Errorf("empty URL")
+	}
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u, nil
+}
+
+// Self returns this node's advertise URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Nodes returns every known node URL (self included), sorted.
+func (c *Cluster) Nodes() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.peers)+1)
+	out = append(out, c.self)
+	for u := range c.peers {
+		out = append(out, u)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// UpNodes returns the candidate owner set: self plus every peer currently
+// believed up, sorted.
+func (c *Cluster) UpNodes() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.peers)+1)
+	out = append(out, c.self)
+	for u, p := range c.peers {
+		if p.up {
+			out = append(out, u)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns every peer's observed state, sorted by URL.
+func (c *Cluster) Snapshot() []PeerStatus {
+	c.mu.Lock()
+	out := make([]PeerStatus, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, PeerStatus{
+			URL: p.url, Up: p.up, Failures: p.failures,
+			LastError: p.lastErr, LastProbe: p.lastProbe,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Probes returns how many individual peer probes have run.
+func (c *Cluster) Probes() uint64 { return c.probes.Load() }
+
+// Transitions returns how many up<->down state changes have been observed.
+func (c *Cluster) Transitions() uint64 { return c.transitions.Load() }
+
+// observeTransportErr reports a failed request to a peer, marking it down
+// unless the failure was the caller's own cancellation — a client that
+// hangs up mid-forward (or a deleted parent job aborting its polls) says
+// nothing about the peer's health, and must not evict a healthy owner
+// from the ring.
+func (c *Cluster) observeTransportErr(url string, err error) {
+	if errors.Is(err, context.Canceled) {
+		return
+	}
+	c.MarkDown(url, err)
+}
+
+// MarkDown records an observed failure reaching a peer (e.g. a forward
+// that died in transport), taking it out of the owner set immediately
+// instead of waiting for the next probe tick. Probes bring it back.
+func (c *Cluster) MarkDown(url string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[url]
+	if !ok {
+		return
+	}
+	if p.up {
+		p.up = false
+		c.transitions.Add(1)
+	}
+	p.failures++
+	if err != nil {
+		p.lastErr = err.Error()
+	}
+}
+
+// Start launches the background probe loop. Safe to skip in tests that
+// drive ProbeNow directly.
+func (c *Cluster) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.probeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.ProbeNow(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops background probing. It does not touch in-flight forwards.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// ProbeNow probes every peer's /healthz once, concurrently, and updates
+// up/down state: one successful probe marks a peer up, one failed probe
+// marks it down (the static seed list is small and probing is cheap, so no
+// hysteresis — a flapping peer costs only misrouted-then-corrected
+// forwards, never wrong results).
+func (c *Cluster) ProbeNow(ctx context.Context) {
+	c.mu.Lock()
+	targets := make([]string, 0, len(c.peers))
+	for u := range c.peers {
+		targets = append(targets, u)
+	}
+	c.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, u := range targets {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			err := c.probeOne(ctx, u)
+			c.probes.Add(1)
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			p, ok := c.peers[u]
+			if !ok {
+				return
+			}
+			p.lastProbe = time.Now()
+			if err == nil {
+				if !p.up {
+					c.transitions.Add(1)
+				}
+				p.up = true
+				p.failures = 0
+				p.lastErr = ""
+				return
+			}
+			if p.up {
+				c.transitions.Add(1)
+			}
+			p.up = false
+			p.failures++
+			p.lastErr = err.Error()
+		}(u)
+	}
+	wg.Wait()
+}
+
+func (c *Cluster) probeOne(ctx context.Context, url string) error {
+	ctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewNormalizesAndFiltersSelf(t *testing.T) {
+	c, err := New(Config{
+		Self:  "localhost:8081/",
+		Peers: []string{"http://localhost:8081", "localhost:8082", " http://localhost:8083/ "},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Self() != "http://localhost:8081" {
+		t.Errorf("Self = %q", c.Self())
+	}
+	want := []string{"http://localhost:8081", "http://localhost:8082", "http://localhost:8083"}
+	got := c.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("Nodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNewRejectsEmptyURLs(t *testing.T) {
+	if _, err := New(Config{Self: ""}); err == nil {
+		t.Error("empty advertise URL accepted")
+	}
+	if _, err := New(Config{Self: "http://a:1", Peers: []string{"  "}}); err == nil {
+		t.Error("blank peer URL accepted")
+	}
+}
+
+func TestProbeTracksLiveness(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %s, want /healthz", r.URL.Path)
+		}
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(Config{Self: "http://self:1", Peers: []string{ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProbeNow(context.Background())
+	if up := c.UpNodes(); len(up) != 2 {
+		t.Fatalf("healthy peer not up: %v", up)
+	}
+
+	healthy.Store(false)
+	c.ProbeNow(context.Background())
+	if up := c.UpNodes(); len(up) != 1 || up[0] != "http://self:1" {
+		t.Fatalf("unhealthy peer still up: %v", up)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0].Up || snap[0].Failures == 0 || snap[0].LastError == "" {
+		t.Errorf("snapshot after failure = %+v", snap)
+	}
+
+	// Recovery: the next successful probe brings it back.
+	healthy.Store(true)
+	c.ProbeNow(context.Background())
+	if up := c.UpNodes(); len(up) != 2 {
+		t.Fatalf("recovered peer not up: %v", up)
+	}
+	if c.Probes() != 3 {
+		t.Errorf("probes = %d, want 3", c.Probes())
+	}
+	if c.Transitions() != 2 {
+		t.Errorf("transitions = %d, want 2 (up->down->up)", c.Transitions())
+	}
+}
+
+func TestProbeMarksUnreachablePeerDown(t *testing.T) {
+	// A listener that was closed: connection refused.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	dead := ts.URL
+	ts.Close()
+
+	c, err := New(Config{Self: "http://self:1", Peers: []string{dead}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ProbeNow(context.Background())
+	if up := c.UpNodes(); len(up) != 1 {
+		t.Fatalf("unreachable peer still up: %v", up)
+	}
+}
+
+func TestMarkDownTakesEffectImmediately(t *testing.T) {
+	c, err := New(Config{Self: "http://a:1", Peers: []string{"http://b:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.UpNodes()) != 2 {
+		t.Fatal("peers should start optimistically up")
+	}
+	c.MarkDown("http://b:1", errors.New("connect refused"))
+	if up := c.UpNodes(); len(up) != 1 || up[0] != "http://a:1" {
+		t.Fatalf("marked-down peer still in owner set: %v", up)
+	}
+	// Unknown URLs are ignored, not invented.
+	c.MarkDown("http://nobody:1", nil)
+	if len(c.Nodes()) != 2 {
+		t.Error("MarkDown invented a node")
+	}
+}
+
+// A caller hanging up mid-forward says nothing about the peer's health:
+// the canceled request must not evict the peer from the owner set.
+func TestCanceledForwardDoesNotMarkPeerDown(t *testing.T) {
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-unblock // hold until the caller has given up
+	}))
+	defer ts.Close()
+	defer close(unblock)
+
+	c, err := New(Config{Self: "http://self:1", Peers: []string{ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-started
+		cancel()
+	}()
+	if _, err := c.ForwardSolve(ctx, ts.URL, "application/json", []byte("{}")); err == nil {
+		t.Fatal("canceled forward reported success")
+	}
+	if up := c.UpNodes(); len(up) != 2 {
+		t.Fatalf("peer marked down by the caller's own cancellation: %v", up)
+	}
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+)
+
+// Owner picks the owning node for a content address among nodes via
+// rendezvous (highest-random-weight) hashing: every node scores
+// SHA-256(node || 0x00 || key) and the highest score wins. Rendezvous
+// hashing needs no coordinated ring state — any two nodes with the same
+// candidate set agree on every key's owner, and when a node leaves only the
+// keys it owned move (spread evenly across survivors), so a peer death
+// never reshuffles keys between surviving nodes' caches.
+//
+// Nodes must be the same canonical strings on every cluster member
+// (normalizeURL guarantees that for Cluster). An empty candidate set
+// returns "".
+func Owner(key [32]byte, nodes []string) string {
+	var (
+		best      string
+		bestScore [sha256.Size]byte
+		have      bool
+	)
+	h := sha256.New()
+	for _, n := range nodes {
+		h.Reset()
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+		h.Write(key[:])
+		var score [sha256.Size]byte
+		h.Sum(score[:0])
+		switch c := bytes.Compare(score[:], bestScore[:]); {
+		case !have, c > 0, c == 0 && n < best:
+			best, bestScore, have = n, score, true
+		}
+	}
+	return best
+}
+
+// OwnerOf resolves a key's owner among the currently-up nodes and reports
+// whether that owner is this node. Down peers are excluded, so their key
+// ranges redistribute to the survivors; when every peer is down the node
+// owns everything (single-node degradation).
+func (c *Cluster) OwnerOf(key [32]byte) (url string, self bool) {
+	url = Owner(key, c.UpNodes())
+	return url, url == c.self
+}

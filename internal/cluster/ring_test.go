@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func testKey(i int) [32]byte {
+	return sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+}
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	shuffled := []string{"http://c:1", "http://a:1", "http://b:1"}
+	for i := 0; i < 64; i++ {
+		k := testKey(i)
+		o1 := Owner(k, nodes)
+		o2 := Owner(k, shuffled)
+		if o1 != o2 {
+			t.Fatalf("key %d: owner depends on candidate order: %q vs %q", i, o1, o2)
+		}
+		if o1 == "" {
+			t.Fatalf("key %d: no owner", i)
+		}
+	}
+	if Owner(testKey(0), nil) != "" {
+		t.Error("empty candidate set should own nothing")
+	}
+}
+
+func TestOwnerSpreadsKeys(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	counts := map[string]int{}
+	const n = 600
+	for i := 0; i < n; i++ {
+		counts[Owner(testKey(i), nodes)]++
+	}
+	for _, node := range nodes {
+		if c := counts[node]; c < n/6 {
+			t.Errorf("node %s owns only %d of %d keys — hash is badly skewed", node, c, n)
+		}
+	}
+}
+
+// The rendezvous property the cache design leans on: removing a node moves
+// only that node's keys; every key owned by a survivor keeps its owner, so
+// peer death never invalidates surviving nodes' authoritative ranges.
+func TestOwnerMinimalMovementOnNodeLoss(t *testing.T) {
+	all := []string{"http://a:1", "http://b:1", "http://c:1"}
+	without := []string{"http://a:1", "http://c:1"}
+	for i := 0; i < 256; i++ {
+		k := testKey(i)
+		before := Owner(k, all)
+		after := Owner(k, without)
+		if before != "http://b:1" && after != before {
+			t.Fatalf("key %d moved from surviving owner %q to %q when an unrelated node left", i, before, after)
+		}
+		if before == "http://b:1" && after == "http://b:1" {
+			t.Fatalf("key %d still owned by the removed node", i)
+		}
+	}
+}
+
+func TestOwnerOfUsesLiveView(t *testing.T) {
+	c, err := New(Config{Self: "http://a:1", Peers: []string{"http://b:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key owned by the peer, then kill the peer: ownership must
+	// collapse onto self.
+	var k [32]byte
+	found := false
+	for i := 0; i < 256; i++ {
+		k = testKey(i)
+		if owner, self := c.OwnerOf(k); !self && owner == "http://b:1" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no key owned by the peer in 256 tries")
+	}
+	c.MarkDown("http://b:1", fmt.Errorf("test"))
+	if owner, self := c.OwnerOf(k); !self || owner != "http://a:1" {
+		t.Errorf("after peer death OwnerOf = (%q, %v), want self", owner, self)
+	}
+}
+
+func TestSplitByOwnerCoversEveryIndexOnce(t *testing.T) {
+	c, err := New(Config{Self: "http://a:1", Peers: []string{"http://b:1", "http://c:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([][32]byte, 100)
+	for i := range keys {
+		keys[i] = testKey(i)
+	}
+	groups := c.SplitByOwner(keys)
+	seen := make([]bool, len(keys))
+	for gi, g := range groups {
+		if g.Self != (g.Owner == c.Self()) {
+			t.Errorf("group %d: Self flag disagrees with owner %q", gi, g.Owner)
+		}
+		if gi == 0 && !g.Self && anySelf(groups) {
+			t.Errorf("local group is not first: %+v", groups)
+		}
+		for _, i := range g.Indices {
+			if seen[i] {
+				t.Fatalf("index %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d assigned to no group", i)
+		}
+	}
+}
+
+func anySelf(groups []Group) bool {
+	for _, g := range groups {
+		if g.Self {
+			return true
+		}
+	}
+	return false
+}

@@ -7,9 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/core"
 )
 
@@ -31,6 +34,7 @@ type jobInstance struct {
 
 type job struct {
 	id        string
+	seq       uint64 // creation order, for stable /v1/jobs listings
 	status    string // guarded by Server.mu
 	instances []jobInstance
 	opt       core.Options
@@ -80,6 +84,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		instances[i] = jobInstance{in: in, key: key}
 	}
 
+	// In a cluster, a batch that is not already a forwarded sub-batch is
+	// scattered: instances split by owning node, remote groups fan out as
+	// hop-guarded sub-jobs, and this node gathers the results under the
+	// parent job id. A batch whose instances all hash locally (and any
+	// batch on a single-node server) takes the plain local path.
+	var groups []cluster.Group
+	if s.clu != nil && r.Header.Get(cluster.HopHeader) == "" {
+		keys := make([][32]byte, len(instances))
+		for i := range instances {
+			keys[i] = instances[i].key
+		}
+		groups = s.clu.SplitByOwner(keys)
+		if len(groups) == 1 && groups[0].Self {
+			groups = nil
+		}
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	if s.closed {
@@ -91,11 +112,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.jobSeq++
 	j := &job{
 		id:        fmt.Sprintf("job-%d", s.jobSeq),
+		seq:       s.jobSeq,
 		status:    jobQueued,
 		instances: instances,
 		opt:       opt,
 		ctx:       ctx,
 		cancel:    cancel,
+	}
+	if groups != nil {
+		// Scatter-gather jobs coordinate in their own goroutine instead of
+		// the serial job loop: a gatherer spends its time polling peers,
+		// and parking it in the loop could deadlock two nodes whose parent
+		// jobs each wait on a sub-job queued behind the other's parent.
+		select {
+		case s.gatherSem <- struct{}{}:
+			s.jobs[j.id] = j
+		default:
+			s.mu.Unlock()
+			cancel()
+			s.rejectedBusy.Add(1)
+			writeBusy(w, "job queue full (depth %d)", s.queueDepth)
+			return
+		}
+		s.mu.Unlock()
+		s.jobsAccepted.Add(1)
+		s.scatterJobs.Add(1)
+		go s.runGatherJob(j, &req, groups)
+		writeJSON(w, http.StatusAccepted, jobStatusJSON{ID: j.id, Status: jobQueued, Instances: len(instances)})
+		return
 	}
 	select {
 	case s.jobQueue <- j:
@@ -104,7 +148,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		cancel()
 		s.rejectedBusy.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "job queue full (depth %d)", s.queueDepth)
+		writeBusy(w, "job queue full (depth %d)", s.queueDepth)
 		return
 	}
 	s.mu.Unlock()
@@ -136,12 +180,25 @@ func (s *Server) runJob(j *job) {
 	s.mu.Unlock()
 
 	results := make([]json.RawMessage, len(j.instances))
+	idxs := make([]int, len(j.instances))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	s.solveInstances(j, idxs, results)
+	s.finishJob(j, results)
+}
 
+// solveInstances solves the given subset of a job's instances, writing each
+// result (or error) into its slot of results. Safe for concurrent calls on
+// disjoint index sets — the gather path solves the local group while
+// falling back on failed remote groups. Caller owns results slot writes.
+func (s *Server) solveInstances(j *job, idxs []int, results []json.RawMessage) {
 	// Serve what the cache already has and dedupe the rest: identical
 	// instances inside one batch solve once.
 	keyIdx := make(map[cache.Key][]int) // distinct missing key -> instance indices
 	var order []cache.Key
-	for i, inst := range j.instances {
+	for _, i := range idxs {
+		inst := j.instances[i]
 		if body, ok := s.cache.Get(inst.key); ok {
 			results[i] = body
 			continue
@@ -238,7 +295,10 @@ func (s *Server) runJob(j *job) {
 			}
 		}
 	}
+}
 
+// finishJob publishes a job's results and retires it.
+func (s *Server) finishJob(j *job, results []json.RawMessage) {
 	s.mu.Lock()
 	j.results = results
 	if j.ctx.Err() != nil {
@@ -251,6 +311,80 @@ func (s *Server) runJob(j *job) {
 	s.retireLocked(j)
 	s.mu.Unlock()
 	j.cancel() // release the context's resources once the job settles
+}
+
+// runGatherJob coordinates a scattered batch: every group proceeds
+// concurrently — the local group solves here, each remote group rides a
+// sub-job on its owning node — and the parent job finishes when all groups
+// have results. A remote group whose owner fails (submit rejected, node
+// died mid-job, short reply) degrades to local solving, so the batch
+// completes with correct results as long as this node survives; results
+// are content-addressed, so a re-solve is byte-identical to what the lost
+// peer would have returned.
+func (s *Server) runGatherJob(j *job, req *BatchRequest, groups []cluster.Group) {
+	defer func() { <-s.gatherSem }()
+	s.mu.Lock()
+	if j.status != jobQueued { // canceled before coordination began
+		s.mu.Unlock()
+		return
+	}
+	j.status = jobRunning
+	s.mu.Unlock()
+
+	results := make([]json.RawMessage, len(j.instances))
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g cluster.Group) {
+			defer wg.Done()
+			if g.Self {
+				s.solveInstances(j, g.Indices, results)
+				return
+			}
+			if err := s.gatherRemote(j, req, g, results); err != nil {
+				if j.ctx.Err() != nil {
+					for _, i := range g.Indices {
+						results[i] = errResult("%v", j.ctx.Err())
+					}
+					return
+				}
+				s.gatherFallbacks.Add(1)
+				s.solveInstances(j, g.Indices, results)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.finishJob(j, results)
+}
+
+// gatherRemote runs one remote group end to end: re-marshal the group's
+// instances as a sub-batch, submit it to the owner with the hop guard, poll
+// the sub-job to completion, and place its results into the parent's slots.
+func (s *Server) gatherRemote(j *job, req *BatchRequest, g cluster.Group, results []json.RawMessage) error {
+	sub := BatchRequest{Instances: make([]InstanceJSON, len(g.Indices)), Options: req.Options}
+	for bi, i := range g.Indices {
+		sub.Instances[bi] = req.Instances[i]
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return fmt.Errorf("encode sub-batch: %w", err)
+	}
+	id, err := s.clu.SubmitBatch(j.ctx, g.Owner, body)
+	if err != nil {
+		return err
+	}
+	subResults, err := s.clu.WaitJob(j.ctx, g.Owner, id)
+	if err != nil {
+		s.clu.CancelJob(g.Owner, id) // best-effort: don't orphan the sub-job
+		return err
+	}
+	if len(subResults) != len(g.Indices) {
+		return fmt.Errorf("owner %s returned %d results for %d instances", g.Owner, len(subResults), len(g.Indices))
+	}
+	for bi, i := range g.Indices {
+		results[i] = subResults[bi]
+	}
+	return nil
 }
 
 // batchErrMessages recovers per-instance messages from SolveBatch's joined
@@ -272,6 +406,29 @@ func batchErrMessages(err error) map[int]string {
 func errResult(format string, args ...any) json.RawMessage {
 	b, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
 	return b
+}
+
+// handleJobList answers GET /v1/jobs: every job still in the registry
+// (queued, running, and finished jobs inside the retention window), oldest
+// first, as status summaries without result bodies — poll /v1/jobs/{id}
+// for those.
+func (s *Server) handleJobList(w http.ResponseWriter) {
+	type row struct {
+		seq uint64
+		js  jobStatusJSON
+	}
+	s.mu.Lock()
+	rows := make([]row, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		rows = append(rows, row{j.seq, jobStatusJSON{ID: j.id, Status: j.status, Instances: len(j.instances)}})
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, k int) bool { return rows[i].seq < rows[k].seq })
+	list := make([]jobStatusJSON, len(rows))
+	for i, r := range rows {
+		list[i] = r.js
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list, "count": len(list)})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, id string) {

@@ -20,11 +20,13 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/sched"
 )
@@ -50,19 +53,26 @@ type Config struct {
 	// queue (<= 0 selects 64). Requests beyond the bound fail with 503
 	// rather than pile up.
 	QueueDepth int
+	// Cluster, when non-nil, shards the service: solves whose fingerprint
+	// hashes to another node are forwarded there (falling back to local
+	// solving when the owner is down), and batch jobs scatter sub-jobs to
+	// the owning nodes and gather their results. Nil runs single-node.
+	Cluster *cluster.Cluster
 }
 
 // Server implements http.Handler for the linksynthd API.
 type Server struct {
 	cache      *cache.Cache
 	pool       *sched.Pool
+	clu        *cluster.Cluster // nil = single-node
 	nWorkers   int
 	maxBody    int64
 	queueDepth int
 	start      time.Time
 
-	solveSem chan struct{} // admission: bounds concurrently executing solver runs
-	waiting  atomic.Int64
+	solveSem  chan struct{} // admission: bounds concurrently executing solver runs
+	waiting   atomic.Int64
+	gatherSem chan struct{} // bounds concurrently coordinating scatter-gather jobs
 
 	mu       sync.Mutex
 	inflight map[cache.Key]*flight
@@ -82,6 +92,12 @@ type Server struct {
 	jobsAccepted  atomic.Uint64
 	jobsDone      atomic.Uint64
 	jobsCanceled  atomic.Uint64
+
+	forwarded        atomic.Uint64 // solves relayed to their owning node
+	forwardFallbacks atomic.Uint64 // forwards that failed; solved locally instead
+	hopServed        atomic.Uint64 // hop-guarded requests answered locally
+	scatterJobs      atomic.Uint64 // batch jobs that scattered sub-jobs to peers
+	gatherFallbacks  atomic.Uint64 // scattered groups re-solved locally after a peer failure
 }
 
 // flight is one in-progress solve that followers of the same key wait on.
@@ -114,11 +130,13 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cache:      cfg.Cache,
 		pool:       pool,
+		clu:        cfg.Cluster,
 		nWorkers:   n,
 		maxBody:    maxBody,
 		queueDepth: depth,
 		start:      time.Now(),
 		solveSem:   make(chan struct{}, n),
+		gatherSem:  make(chan struct{}, depth),
 		inflight:   make(map[cache.Key]*flight),
 		jobs:       make(map[string]*job),
 		jobQueue:   make(chan *job, depth),
@@ -154,7 +172,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if !wantMethod(w, r, http.MethodGet) {
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+		s.handleHealthz(w)
 	case r.URL.Path == "/metrics":
 		if !wantMethod(w, r, http.MethodGet) {
 			return
@@ -170,6 +188,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleBatch(w, r)
+	case r.URL.Path == "/v1/jobs":
+		if !wantMethod(w, r, http.MethodGet) {
+			return
+		}
+		s.handleJobList(w)
 	case strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		if id == "" || strings.Contains(id, "/") {
@@ -192,6 +215,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+
+	// In a cluster this request may belong to another node, and forwarding
+	// relays the original bytes verbatim — so buffer the body before
+	// parsing. A hop-guarded request is always answered locally.
+	hopped := r.Header.Get(cluster.HopHeader) != ""
+	var raw []byte
+	if s.clu != nil && !hopped {
+		var err error
+		raw, err = io.ReadAll(r.Body)
+		if err != nil {
+			writeRequestError(w, err)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(raw))
+	}
+
 	in, opt, err := parseSolveRequest(r)
 	if err != nil {
 		writeRequestError(w, err)
@@ -202,17 +241,76 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "fingerprint: %v", err)
 		return
 	}
+	if s.clu != nil && hopped {
+		s.hopServed.Add(1)
+	}
+	if s.clu != nil && !hopped {
+		// The local cache answers first: it is authoritative for keys this
+		// node owns and byte-identical for any key it happens to hold
+		// (fallback solves populate it), so skipping the hop is always safe.
+		if body, ok := s.cache.Get(key); ok {
+			s.writeSolveBody(w, key, "hit", body)
+			return
+		}
+		if owner, self := s.clu.OwnerOf(key); !self {
+			if s.forwardSolve(w, r, owner, raw) {
+				return
+			}
+			// The owner is unreachable: degrade to solving locally rather
+			// than failing the request.
+		}
+		// The miss is already recorded by the Get above.
+		body, status, err := s.resolveMiss(r.Context(), key, in, opt)
+		if err != nil {
+			writeResolveError(w, err)
+			return
+		}
+		s.writeSolveBody(w, key, status, body)
+		return
+	}
 	body, status, err := s.resolve(r.Context(), key, in, opt)
 	if err != nil {
 		writeResolveError(w, err)
 		return
 	}
+	s.writeSolveBody(w, key, status, body)
+}
+
+// writeSolveBody writes the canonical solve response. The body bytes are
+// identical on every node of a cluster for a given key; only headers (cache
+// disposition, serving node) vary.
+func (s *Server) writeSolveBody(w http.ResponseWriter, key cache.Key, status string, body []byte) {
 	keyHex := hex.EncodeToString(key[:])
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Linksynth-Cache", status)
 	w.Header().Set("ETag", `"`+keyHex+`"`)
+	if s.clu != nil {
+		w.Header().Set("X-Linksynth-Node", s.clu.Self())
+	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+}
+
+// forwardSolve relays the buffered request to the owning node and, on an
+// authoritative answer, copies it through. It returns false when the caller
+// should fall back to solving locally: transport failure (owner marked
+// down) or a 5xx from an owner that is up but overloaded — shedding to the
+// non-owner keeps capacity usable at the cost of a duplicate cache entry.
+func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner string, raw []byte) bool {
+	res, err := s.clu.ForwardSolve(r.Context(), owner, r.Header.Get("Content-Type"), raw)
+	if err != nil || res.StatusCode >= http.StatusInternalServerError {
+		s.forwardFallbacks.Add(1)
+		return false
+	}
+	s.forwarded.Add(1)
+	for _, h := range []string{"Content-Type", "X-Linksynth-Cache", "X-Linksynth-Node", "ETag", "Retry-After"} {
+		if v := res.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(res.StatusCode)
+	w.Write(res.Body)
+	return true
 }
 
 // resolve returns the response body for an instance, consulting the cache,
@@ -224,6 +322,13 @@ func (s *Server) resolve(ctx context.Context, key cache.Key, in core.Input, opt 
 	if body, ok := s.cache.Get(key); ok {
 		return body, "hit", nil
 	}
+	return s.resolveMiss(ctx, key, in, opt)
+}
+
+// resolveMiss is resolve after a recorded cache miss: the cluster solve
+// path checks the cache itself (before routing) and must not count the
+// same lookup twice.
+func (s *Server) resolveMiss(ctx context.Context, key cache.Key, in core.Input, opt core.Options) ([]byte, string, error) {
 	for {
 		f, lead := s.tryLead(key)
 		if !lead {
@@ -345,6 +450,17 @@ func (s *Server) retireLocked(j *job) {
 	}
 }
 
+// handleHealthz reports liveness and, in a cluster, this node's identity
+// and its view of every peer — the same endpoint the peers' probers hit.
+func (s *Server) handleHealthz(w http.ResponseWriter) {
+	resp := map[string]any{"status": "ok"}
+	if s.clu != nil {
+		resp["node"] = s.clu.Self()
+		resp["peers"] = s.clu.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter) {
 	cs := s.cache.Stats()
 	s.mu.Lock()
@@ -377,6 +493,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 	gauge("job_queue_depth", int64(queued), "jobs waiting to run")
 	gauge("workers", int64(s.nWorkers), "solver pool size")
 	gauge("uptime_seconds", int64(time.Since(s.start).Seconds()), "seconds since start")
+	if s.clu != nil {
+		peers := s.clu.Snapshot()
+		up := 0
+		for _, p := range peers {
+			if p.Up {
+				up++
+			}
+		}
+		gauge("cluster_peers_known", int64(len(peers)), "peers in the static seed list")
+		gauge("cluster_peers_up", int64(up), "peers currently believed up")
+		counter("cluster_probes_total", s.clu.Probes(), "individual peer health probes run")
+		counter("cluster_transitions_total", s.clu.Transitions(), "peer up/down state changes observed")
+		counter("cluster_forwarded_total", s.forwarded.Load(), "solves relayed to their owning node")
+		counter("cluster_forward_fallbacks_total", s.forwardFallbacks.Load(), "forwards that failed and were solved locally")
+		counter("cluster_hop_served_total", s.hopServed.Load(), "hop-guarded requests answered locally")
+		counter("cluster_scatter_jobs_total", s.scatterJobs.Load(), "batch jobs scattered across the cluster")
+		counter("cluster_gather_fallbacks_total", s.gatherFallbacks.Load(), "scattered groups re-solved locally after a peer failure")
+	}
 	w.Write([]byte(b.String()))
 }
 
@@ -403,6 +537,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeBusy is the admission-rejection response: 503 with a Retry-After
+// hint so well-behaved clients back off instead of hammering a full queue.
+func writeBusy(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
 // writeRequestError maps request parse/validation failures onto statuses:
 // 413 for an over-limit body, the carried status for apiErrors, 400 for the
 // rest.
@@ -424,9 +565,9 @@ func writeRequestError(w http.ResponseWriter, err error) {
 func writeResolveError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errBusy):
-		writeError(w, http.StatusServiceUnavailable, "server busy: solve queue full")
+		writeBusy(w, "server busy: solve queue full")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusServiceUnavailable, "request canceled before a solver slot freed up")
+		writeBusy(w, "request canceled before a solver slot freed up")
 	default:
 		writeError(w, http.StatusUnprocessableEntity, "solve: %v", err)
 	}

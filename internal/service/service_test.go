@@ -445,6 +445,125 @@ func TestBatchDeduplicatesIdenticalInstances(t *testing.T) {
 	}
 }
 
+// Load shedding is a protocol, not just an error: a full admission queue
+// answers 503 with a Retry-After hint so clients back off politely.
+func TestBusyRejectionHasRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	// Occupy the only solver slot, then park two distinct requests in the
+	// admission queue (capacity queueDepth+nWorkers = 2); the next request
+	// must be shed.
+	s.solveSem <- struct{}{}
+	var wg sync.WaitGroup
+	for i := int64(0); i < 2; i++ {
+		wg.Add(1)
+		go func(bump int64) {
+			defer wg.Done()
+			b, _ := json.Marshal(SolveRequest{InstanceJSON: testInstance(40 + bump)})
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(b))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	waitersReady := false
+	for i := 0; i < 1000; i++ {
+		if s.waiting.Load() == 2 {
+			waitersReady = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !waitersReady {
+		t.Fatalf("admission queue never filled (waiting=%d)", s.waiting.Load())
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(49)})
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" {
+		t.Error("503 rejection missing Retry-After header")
+	}
+
+	<-s.solveSem // release the slot; parked requests drain
+	wg.Wait()
+}
+
+func TestJobListEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	type listJSON struct {
+		Jobs  []jobStatusJSON `json:"jobs"`
+		Count int             `json:"count"`
+	}
+	var list listJSON
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(readBody(t, resp), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 0 || len(list.Jobs) != 0 {
+		t.Fatalf("fresh server job list = %+v", list)
+	}
+
+	var ids []string
+	for n := int64(0); n < 2; n++ {
+		resp := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Instances: []InstanceJSON{testInstance(50 + n)}})
+		var js jobStatusJSON
+		if err := json.Unmarshal(readBody(t, resp), &js); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, js.ID)
+	}
+
+	done := false
+	for i := 0; i < 400 && !done; i++ {
+		resp, err := http.Get(ts.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(readBody(t, resp), &list); err != nil {
+			t.Fatal(err)
+		}
+		done = list.Count == 2
+		for _, j := range list.Jobs {
+			if j.Status != jobDone {
+				done = false
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !done {
+		t.Fatalf("job list never settled: %+v", list)
+	}
+	for i, j := range list.Jobs {
+		if j.ID != ids[i] {
+			t.Errorf("job list order: position %d = %s, want %s (creation order)", i, j.ID, ids[i])
+		}
+		if j.Instances != 1 {
+			t.Errorf("job %s instances = %d, want 1", j.ID, j.Instances)
+		}
+		if len(j.Results) != 0 {
+			t.Errorf("job list leaked result bodies for %s", j.ID)
+		}
+	}
+
+	// The collection endpoint is read-only.
+	postResp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, postResp)
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/jobs status = %d, want 405", postResp.StatusCode)
+	}
+}
+
 func TestFinishedJobsExpireBeyondRetention(t *testing.T) {
 	_, ts := newTestServer(t, Config{QueueDepth: 1}) // retention = 4 finished jobs
 	req := BatchRequest{Instances: []InstanceJSON{testInstance(6)}}

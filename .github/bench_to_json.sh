@@ -1,0 +1,24 @@
+#!/bin/sh
+# Converts `go test -bench -benchmem` output on stdin into a JSON document
+# on stdout: {"benchmarks":[{name, iterations, ns_per_op, bytes_per_op,
+# allocs_per_op, extra:{metric:value,...}}, ...]}. Used by the CI bench-smoke
+# job to publish BENCH_solver.json.
+exec awk '
+BEGIN { print "{\"benchmarks\": [" }
+/^Benchmark/ {
+  name = $1; iters = $2
+  ns = "null"; bytes = "null"; allocs = "null"; extra = ""
+  for (i = 3; i <= NF; i++) {
+    if ($i == "ns/op")        ns = $(i-1)
+    else if ($i == "B/op")    bytes = $(i-1)
+    else if ($i == "allocs/op") allocs = $(i-1)
+    else if ($i !~ /^[0-9.eE+-]+$/ && $(i-1) ~ /^[0-9.eE+-]+$/) {
+      gsub(/"/, "", $i)
+      extra = extra (extra == "" ? "" : ",") "\"" $i "\":" $(i-1)
+    }
+  }
+  printf "%s  {\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s,\"extra\":{%s}}", sep, name, iters, ns, bytes, allocs, extra
+  sep = ",\n"
+}
+END { print "\n]}" }
+'

@@ -9,6 +9,7 @@
 //	benchtab -unit 982 -ccs 200 -scales 1,2,5,10   # closer to paper scale
 //	benchtab -batch 8 -workers -1                  # batched multi-instance workload
 //	benchtab -batch 8 -json                        # machine-readable Stats breakdown
+//	benchtab -batch 8 -cpuprofile cpu.pprof -memprofile mem.pprof  # profile the run
 //
 // With -json, output is a single JSON document: per-experiment tables, or —
 // under -batch — the per-instance per-stage Stats breakdown and wall times
@@ -20,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -42,7 +45,41 @@ func main() {
 	batch := flag.Int("batch", 0, "solve this many instances via SolveBatch instead of running experiments")
 	workers := flag.Int("workers", -1, "worker pool size for -batch (-1 = GOMAXPROCS, 0/1 = serial)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		stopCPUProfile = func() {
+			stopCPUProfile = nil
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer flushProfiles()
+	}
+	if *memProfile != "" {
+		writeMemProfile = func() {
+			writeMemProfile = nil
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtab: -memprofile: %v\n", err)
+			}
+		}
+		defer flushProfiles()
+	}
 
 	if *list {
 		for _, r := range experiments.Runners() {
@@ -215,7 +252,27 @@ func parseInts(flagName, s string) []int {
 	return out
 }
 
+// Profile teardown hooks; flushed both on normal return and from fatal, so
+// a failing run — the one most worth diagnosing — still yields usable
+// profiles. Each hook nils itself to stay idempotent.
+var (
+	stopCPUProfile  func()
+	writeMemProfile func()
+)
+
+func flushProfiles() {
+	// Heap snapshot first: stopping the CPU profile is cheap and the heap
+	// state is most useful before teardown frees anything.
+	if writeMemProfile != nil {
+		writeMemProfile()
+	}
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+	}
+}
+
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchtab: "+format+"\n", args...)
+	flushProfiles()
 	os.Exit(1)
 }

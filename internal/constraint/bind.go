@@ -1,0 +1,172 @@
+package constraint
+
+import "repro/internal/table"
+
+// This file holds the bound (schema-resolved) forms of the two constraint
+// classes. Binding resolves every column reference to a schema position
+// once, pre-groups DC unary atoms by tuple variable, and precomputes the
+// variable-symmetry flag, so the per-row and per-pair hot loops in the
+// solver and the metrics are slice indexing plus value compares.
+
+// BoundCC is a CC bound to one schema: every disjunct's predicate with
+// column indexes resolved. Produce one with CC.Bind.
+type BoundCC struct {
+	disjuncts []table.BoundPredicate
+}
+
+// Bind resolves the CC's predicates against s.
+func (cc CC) Bind(s *table.Schema) BoundCC {
+	ds := cc.Disjuncts()
+	b := BoundCC{disjuncts: make([]table.BoundPredicate, len(ds))}
+	for i, d := range ds {
+		b.disjuncts[i] = d.Bind(s)
+	}
+	return b
+}
+
+// MatchRow reports whether a row satisfies any disjunct; it is equivalent
+// to CC.MatchRow under the bound schema.
+func (b *BoundCC) MatchRow(row []table.Value) bool {
+	for i := range b.disjuncts {
+		if b.disjuncts[i].Eval(row) {
+			return true
+		}
+	}
+	return false
+}
+
+// boundUnary is a UnaryAtom with its column resolved (-1 when the column is
+// absent from the schema, which makes the atom — and any assignment using
+// its variable — unsatisfiable, matching UnaryAtom evaluation on a schema
+// without the column).
+type boundUnary struct {
+	col int
+	op  table.Op
+	val table.Value
+}
+
+// boundBinary mirrors BinaryAtom with resolved columns.
+type boundBinary struct {
+	lvar, lcol int
+	op         table.Op
+	rvar, rcol int
+	offset     int64
+}
+
+// BoundDC is a DC bound to one schema: unary atoms grouped per tuple
+// variable with resolved columns, binary atoms resolved, and the pair
+// symmetry of Algorithm 4's edge enumeration precomputed. Produce one with
+// DC.Bind.
+type BoundDC struct {
+	K int
+	// unaryOK[v] is false when variable v has an atom over a column absent
+	// from the schema (no row can match it).
+	unaryOK     []bool
+	unaryByVar  [][]boundUnary
+	binary      []boundBinary
+	binaryOK    bool // every binary atom's columns resolved
+	Symmetric01 bool // VarsSymmetric(0, 1), precomputed
+}
+
+// Bind resolves the DC against s.
+func (dc DC) Bind(s *table.Schema) BoundDC {
+	b := BoundDC{
+		K:          dc.K,
+		unaryOK:    make([]bool, dc.K),
+		unaryByVar: make([][]boundUnary, dc.K),
+		binaryOK:   true,
+	}
+	for v := range b.unaryOK {
+		b.unaryOK[v] = true
+	}
+	for _, a := range dc.Unary {
+		j, ok := s.Index(a.Col)
+		if !ok {
+			b.unaryOK[a.Var] = false
+			continue
+		}
+		b.unaryByVar[a.Var] = append(b.unaryByVar[a.Var], boundUnary{col: j, op: a.Op, val: a.Val})
+	}
+	for _, a := range dc.Binary {
+		jl, okL := s.Index(a.LCol)
+		jr, okR := s.Index(a.RCol)
+		if !okL || !okR {
+			b.binaryOK = false
+			continue
+		}
+		b.binary = append(b.binary, boundBinary{
+			lvar: a.LVar, lcol: jl, op: a.Op, rvar: a.RVar, rcol: jr, offset: a.Offset})
+	}
+	if dc.K >= 2 {
+		b.Symmetric01 = dc.VarsSymmetric(0, 1)
+	}
+	return b
+}
+
+// UnaryMatch reports whether row satisfies every unary atom of variable v;
+// equivalent to DC.UnaryMatch under the bound schema.
+func (b *BoundDC) UnaryMatch(v int, row []table.Value) bool {
+	if !b.unaryOK[v] {
+		return false
+	}
+	for i := range b.unaryByVar[v] {
+		a := &b.unaryByVar[v][i]
+		if !a.op.Apply(row[a.col], a.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// HoldsBinary evaluates only the binary atoms for the ordered assignment
+// rows[i] ↦ t_{i+1}. It is the leaf check for enumerators that have already
+// filtered candidates per variable with UnaryMatch: under that precondition
+// it agrees with DC.Holds.
+func (b *BoundDC) HoldsBinary(rows ...[]table.Value) bool {
+	if !b.binaryOK {
+		return false
+	}
+	for i := range b.binary {
+		a := &b.binary[i]
+		rv := rows[a.rvar][a.rcol]
+		if a.offset != 0 {
+			if rv.Kind() != table.KindInt {
+				return false
+			}
+			rv = table.Int(rv.Int() + a.offset)
+		}
+		if !a.op.Apply(rows[a.lvar][a.lcol], rv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds evaluates the full explicit predicate (unary and binary atoms) for
+// the ordered assignment; equivalent to DC.Holds under the bound schema.
+func (b *BoundDC) Holds(rows ...[]table.Value) bool {
+	if len(rows) != b.K {
+		return false
+	}
+	for v := 0; v < b.K; v++ {
+		if !b.unaryOK[v] {
+			return false
+		}
+		for i := range b.unaryByVar[v] {
+			a := &b.unaryByVar[v][i]
+			if !a.op.Apply(rows[v][a.col], a.val) {
+				return false
+			}
+		}
+	}
+	return b.HoldsBinary(rows...)
+}
+
+// BindDCs binds a DC set against one schema.
+func BindDCs(dcs []DC, s *table.Schema) []BoundDC {
+	out := make([]BoundDC, len(dcs))
+	for i, dc := range dcs {
+		out[i] = dc.Bind(s)
+	}
+	return out
+}

@@ -56,11 +56,13 @@ func (cc CC) MatchRow(s *table.Schema, row []table.Value) bool {
 }
 
 // CountIn returns the number of rows of r satisfying the CC's selection.
+// The predicate is bound to r's schema once, so the row loop does no
+// column-name lookups.
 func (cc CC) CountIn(r *table.Relation) int64 {
 	n := int64(0)
-	s := r.Schema()
+	b := cc.Bind(r.Schema())
 	for i := 0; i < r.Len(); i++ {
-		if cc.MatchRow(s, r.Row(i)) {
+		if b.MatchRow(r.Row(i)) {
 			n++
 		}
 	}

@@ -1,5 +1,7 @@
 package constraint
 
+import "sort"
+
 // Relationship is the outcome of comparing two CCs under Definitions
 // 4.2–4.4 of the paper.
 type Relationship uint8
@@ -39,35 +41,71 @@ func (r Relationship) String() string {
 	}
 }
 
+// normCC is a CC's predicate compiled for pairwise classification: the
+// per-column ranges of Normalize flattened into a name-sorted slice with the
+// R1/R2 split precomputed. Every pairwise operation is then a linear merge
+// over two sorted slices with zero allocations, so classifying a CC set
+// normalizes each predicate once instead of once per pair.
+type normCC struct {
+	ok    bool // conjunctive and range-representable
+	empty bool
+	cols  []normCol
+}
+
+type normCol struct {
+	name string
+	isR2 bool
+	r    ColRange
+}
+
+func normalizeCC(cc CC, isR2 func(col string) bool) normCC {
+	// Disjunctive CCs are not range-representable per column; route them to
+	// the ILP by classifying conservatively.
+	if cc.IsDisjunctive() {
+		return normCC{}
+	}
+	ranges, ok := Normalize(cc.Pred)
+	if !ok {
+		return normCC{}
+	}
+	n := normCC{ok: true, cols: make([]normCol, 0, len(ranges))}
+	for c, r := range ranges {
+		if r.Empty {
+			n.empty = true
+		}
+		n.cols = append(n.cols, normCol{name: c, isR2: isR2(c), r: r})
+	}
+	sort.Slice(n.cols, func(a, b int) bool { return n.cols[a].name < n.cols[b].name })
+	return n
+}
+
 // Classify compares two CCs. isR2 identifies columns that belong to R2 (the
 // dimension relation); everything else is treated as an R1 attribute.
 // Predicates that cannot be normalized into per-column ranges are labeled
 // intersecting, the conservative choice (they go to the ILP path).
 func Classify(a, b CC, isR2 func(col string) bool) Relationship {
-	// Disjunctive CCs are not range-representable per column; route them to
-	// the ILP by classifying conservatively.
-	if a.IsDisjunctive() || b.IsDisjunctive() {
-		return RelIntersecting
-	}
-	ra, okA := Normalize(a.Pred)
-	rb, okB := Normalize(b.Pred)
-	if !okA || !okB {
+	na, nb := normalizeCC(a, isR2), normalizeCC(b, isR2)
+	return classifyNorm(&na, &nb)
+}
+
+func classifyNorm(a, b *normCC) Relationship {
+	if !a.ok || !b.ok {
 		return RelIntersecting
 	}
 	// A CC whose predicate admits no tuple competes with nothing.
-	if IsEmptyPred(ra) || IsEmptyPred(rb) {
+	if a.empty || b.empty {
 		return RelDisjoint
 	}
 
-	r1Disjoint := partsDisjoint(ra, rb, func(c string) bool { return !isR2(c) })
-	r1Identical := partsIdentical(ra, rb, func(c string) bool { return !isR2(c) })
-	r2Disjoint := partsDisjoint(ra, rb, isR2)
+	r1Disjoint := partsDisjoint(a.cols, b.cols, false)
+	r1Identical := partsIdentical(a.cols, b.cols, false)
+	r2Disjoint := partsDisjoint(a.cols, b.cols, true)
 	if r1Disjoint || (r1Identical && r2Disjoint) {
 		return RelDisjoint
 	}
 
-	bInA := contains(ra, rb) // b ⊆ a: attrs(a) ⊆ attrs(b), ranges of b ⊆ ranges of a
-	aInB := contains(rb, ra)
+	bInA := contains(a.cols, b.cols) // b ⊆ a: attrs(a) ⊆ attrs(b), ranges of b ⊆ ranges of a
+	aInB := contains(b.cols, a.cols)
 	switch {
 	case bInA && aInB:
 		return RelEqual
@@ -80,15 +118,23 @@ func Classify(a, b CC, isR2 func(col string) bool) Relationship {
 	}
 }
 
-// partsDisjoint reports whether some column in the given part (selected by
-// keep) is constrained by both predicates to disjoint ranges.
-func partsDisjoint(ra, rb map[string]ColRange, keep func(string) bool) bool {
-	for c, x := range ra {
-		if !keep(c) {
-			continue
-		}
-		if y, ok := rb[c]; ok && x.Disjoint(y) {
-			return true
+// partsDisjoint reports whether some column of the selected part (R2 when
+// wantR2, R1 otherwise) is constrained by both predicates to disjoint
+// ranges. Both column lists are name-sorted, so this is a merge scan.
+func partsDisjoint(a, b []normCol, wantR2 bool) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].name < b[j].name:
+			i++
+		case a[i].name > b[j].name:
+			j++
+		default:
+			if a[i].isR2 == wantR2 && a[i].r.Disjoint(b[j].r) {
+				return true
+			}
+			i++
+			j++
 		}
 	}
 	return false
@@ -96,36 +142,55 @@ func partsDisjoint(ra, rb map[string]ColRange, keep func(string) bool) bool {
 
 // partsIdentical reports whether both predicates constrain exactly the same
 // columns of the part to exactly the same ranges.
-func partsIdentical(ra, rb map[string]ColRange, keep func(string) bool) bool {
-	na, nb := 0, 0
-	for c, x := range ra {
-		if !keep(c) {
-			continue
+func partsIdentical(a, b []normCol, wantR2 bool) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].name < b[j].name:
+			if a[i].isR2 == wantR2 {
+				return false
+			}
+			i++
+		case a[i].name > b[j].name:
+			if b[j].isR2 == wantR2 {
+				return false
+			}
+			j++
+		default:
+			if a[i].isR2 == wantR2 && !a[i].r.EqualRange(b[j].r) {
+				return false
+			}
+			i++
+			j++
 		}
-		na++
-		y, ok := rb[c]
-		if !ok || !x.EqualRange(y) {
+	}
+	for ; i < len(a); i++ {
+		if a[i].isR2 == wantR2 {
 			return false
 		}
 	}
-	for c := range rb {
-		if keep(c) {
-			nb++
+	for ; j < len(b); j++ {
+		if b[j].isR2 == wantR2 {
+			return false
 		}
 	}
-	return na == nb
+	return true
 }
 
 // contains reports whether the predicate normalized as "inner" is contained
 // in the one normalized as "outer" per Def. 4.3: every column constrained
 // by outer is also constrained by inner (inner uses a superset of
 // attributes), and on those columns inner's range is a subset of outer's.
-func contains(outer, inner map[string]ColRange) bool {
-	for c, ro := range outer {
-		ri, ok := inner[c]
-		if !ok || !ri.Subset(ro) {
+func contains(outer, inner []normCol) bool {
+	j := 0
+	for i := range outer {
+		for j < len(inner) && inner[j].name < outer[i].name {
+			j++
+		}
+		if j >= len(inner) || inner[j].name != outer[i].name || !inner[j].r.Subset(outer[i].r) {
 			return false
 		}
+		j++
 	}
 	return true
 }
@@ -133,9 +198,14 @@ func contains(outer, inner map[string]ColRange) bool {
 // ClassifyAll computes the full pairwise relationship matrix for a CC set.
 // The result is symmetric up to orientation: m[i][j] == RelAContainsB iff
 // m[j][i] == RelBContainsA. This is the "pairwise comparison" stage whose
-// runtime Figure 13 reports.
+// runtime Figure 13 reports. Each CC's predicate is normalized once, so the
+// quadratic pair loop does no allocation.
 func ClassifyAll(ccs []CC, isR2 func(col string) bool) [][]Relationship {
 	n := len(ccs)
+	norm := make([]normCC, n)
+	for i, cc := range ccs {
+		norm[i] = normalizeCC(cc, isR2)
+	}
 	m := make([][]Relationship, n)
 	for i := range m {
 		m[i] = make([]Relationship, n)
@@ -143,7 +213,7 @@ func ClassifyAll(ccs []CC, isR2 func(col string) bool) [][]Relationship {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			r := Classify(ccs[i], ccs[j], isR2)
+			r := classifyNorm(&norm[i], &norm[j])
 			m[i][j] = r
 			m[j][i] = flip(r)
 		}

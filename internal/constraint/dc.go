@@ -143,7 +143,9 @@ func (dc DC) UnaryMatch(v int, s *table.Schema, row []Value) bool {
 
 // VarsSymmetric reports whether swapping two variables leaves the atom set
 // unchanged; used to halve edge enumeration for symmetric DCs like
-// "no two owners share a home".
+// "no two owners share a home". The comparison is structural (atom structs
+// are comparable), so classification allocates nothing beyond two small
+// match masks.
 func (dc DC) VarsSymmetric(u, v int) bool {
 	swap := func(x int) int {
 		switch x {
@@ -155,33 +157,44 @@ func (dc DC) VarsSymmetric(u, v int) bool {
 			return x
 		}
 	}
-	un := make(map[string]int)
+	// Multiset equality: every swapped unary atom must match a distinct
+	// original atom.
+	usedU := make([]bool, len(dc.Unary))
 	for _, a := range dc.Unary {
-		un[UnaryAtom{Var: swap(a.Var), Col: a.Col, Op: a.Op, Val: a.Val}.String()]++
-		un[a.String()]--
-	}
-	for _, n := range un {
-		if n != 0 {
+		sw := UnaryAtom{Var: swap(a.Var), Col: a.Col, Op: a.Op, Val: a.Val}
+		found := false
+		for j, b := range dc.Unary {
+			if !usedU[j] && b == sw {
+				usedU[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}
 	// Atoms with a symmetric operator and no offset (a = b, a != b) are
 	// canonicalized with the smaller variable first so that t1.A = t2.A and
 	// t2.A = t1.A compare equal.
-	canon := func(a BinaryAtom) string {
+	canon := func(a BinaryAtom) BinaryAtom {
 		if a.Offset == 0 && (a.Op == table.OpEq || a.Op == table.OpNe) && a.LVar > a.RVar {
-			a = BinaryAtom{LVar: a.RVar, LCol: a.RCol, Op: a.Op, RVar: a.LVar, RCol: a.LCol}
+			return BinaryAtom{LVar: a.RVar, LCol: a.RCol, Op: a.Op, RVar: a.LVar, RCol: a.LCol}
 		}
-		return a.String()
+		return a
 	}
-	bn := make(map[string]int)
+	usedB := make([]bool, len(dc.Binary))
 	for _, a := range dc.Binary {
-		sw := BinaryAtom{LVar: swap(a.LVar), LCol: a.LCol, Op: a.Op, RVar: swap(a.RVar), RCol: a.RCol, Offset: a.Offset}
-		bn[canon(sw)]++
-		bn[canon(a)]--
-	}
-	for _, n := range bn {
-		if n != 0 {
+		sw := canon(BinaryAtom{LVar: swap(a.LVar), LCol: a.LCol, Op: a.Op, RVar: swap(a.RVar), RCol: a.RCol, Offset: a.Offset})
+		found := false
+		for j, b := range dc.Binary {
+			if !usedB[j] && canon(b) == sw {
+				usedB[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}

@@ -6,19 +6,44 @@ package core
 type ccCounter struct {
 	p      *prob
 	counts []int64
+	// rowOK caches, for the row passed to prepare, whether each CC
+	// disjunct's R1 part holds — so ranking that row against every combo is
+	// pure table lookups.
+	rowOK [][]bool
 }
 
-// newCCCounter counts every filled row against every CC.
+// newCCCounter counts every filled row against every CC. Rather than the
+// old every-row×every-CC scan, each disjunct's R1 part selects its rows
+// through the columnar index (posting-list driven for equality atoms) and
+// the R2 part reduces to the precomputed per-combo boolean; a filled row's
+// usedBCols hold exactly its combo's values, so the split is exact.
+//
+// The counter only exists while invalid tuples are being repaired, which
+// requires usedBCols to be non-empty (with no B columns in play every row
+// is trivially complete and phase II never gets here).
 func newCCCounter(p *prob) *ccCounter {
 	c := &ccCounter{p: p, counts: make([]int64, len(p.in.CCs))}
-	s := p.vjoin.Schema()
-	for i := 0; i < p.vjoin.Len(); i++ {
-		if !p.filled(i) {
-			continue
+	var mark []int // dedup across disjuncts, epoch-stamped per CC
+	epoch := 0
+	for j := range p.in.CCs {
+		disjuncts := p.ccR1b[j]
+		if len(disjuncts) > 1 && mark == nil {
+			mark = make([]int, p.vjoin.Len())
 		}
-		row := p.vjoin.Row(i)
-		for j, cc := range p.in.CCs {
-			if cc.MatchRow(s, row) {
+		epoch++
+		for d := range disjuncts {
+			cm := p.ccComboMatch[j][d]
+			for _, i := range p.colView.Select(disjuncts[d]) {
+				if len(disjuncts) > 1 && mark[i] == epoch {
+					continue
+				}
+				co := p.comboOf[i]
+				if co < 0 || !cm[co] {
+					continue // unfilled, or combo outside the R2 part
+				}
+				if len(disjuncts) > 1 {
+					mark[i] = epoch
+				}
 				c.counts[j]++
 			}
 		}
@@ -40,12 +65,41 @@ func errOf(count, target int64) float64 {
 	return float64(d) / float64(den)
 }
 
+// prepare caches row i's R1-part matches for every CC disjunct. delta and
+// commit refer to the prepared row; the cache stays valid because R1 parts
+// only touch immutable columns.
+func (ct *ccCounter) prepare(i int) {
+	if ct.rowOK == nil {
+		ct.rowOK = make([][]bool, len(ct.p.in.CCs))
+		for j := range ct.rowOK {
+			ct.rowOK[j] = make([]bool, len(ct.p.ccR1b[j]))
+		}
+	}
+	for j := range ct.p.ccR1b {
+		for d := range ct.p.ccR1b[j] {
+			ct.rowOK[j][d] = ct.p.ccR1b[j][d].Eval(i)
+		}
+	}
+}
+
+// matches reports whether the prepared row paired with combo c would
+// contribute to CC j's count: some disjunct's R1 part holds on the row and
+// its R2 part holds on the combo.
+func (ct *ccCounter) matches(j, c int) bool {
+	for d, ok := range ct.rowOK[j] {
+		if ok && ct.p.ccComboMatch[j][d][c] {
+			return true
+		}
+	}
+	return false
+}
+
 // delta returns the total CC error change caused by assigning combo c to
-// the currently-unfilled row i.
-func (ct *ccCounter) delta(i, c int) float64 {
+// the prepared (currently-unfilled) row.
+func (ct *ccCounter) delta(c int) float64 {
 	d := 0.0
 	for j := range ct.p.in.CCs {
-		if !ct.p.ccMatchesPair(j, i, c) {
+		if !ct.matches(j, c) {
 			continue
 		}
 		t := ct.p.in.CCs[j].Target
@@ -54,10 +108,10 @@ func (ct *ccCounter) delta(i, c int) float64 {
 	return d
 }
 
-// commit records that row i now carries combo c.
-func (ct *ccCounter) commit(i, c int) {
+// commit records that the prepared row now carries combo c.
+func (ct *ccCounter) commit(c int) {
 	for j := range ct.p.in.CCs {
-		if ct.p.ccMatchesPair(j, i, c) {
+		if ct.matches(j, c) {
 			ct.counts[j]++
 		}
 	}

@@ -84,7 +84,9 @@ func (e *hasseExec) solveDiagram(ccIdx []int, forest *hasse.Forest, node int) {
 
 // fillForCC assigns up to need unfilled V_Join tuples a combo that
 // satisfies CC cc's R2 part, choosing tuples satisfying its R1 part, while
-// avoiding the full predicates of the listed CCs.
+// avoiding the full predicates of the listed CCs. Candidate tuples come
+// from the columnar index (posting-list driven for equality atoms) in
+// ascending row order — the same visit order as a full scan.
 func (e *hasseExec) fillForCC(cc int, need int64, avoid []int) {
 	p := e.p
 	if need <= 0 {
@@ -93,7 +95,7 @@ func (e *hasseExec) fillForCC(cc int, need int64, avoid []int) {
 	// Candidate combos for this CC, fixed order for determinism.
 	var combosOK []int
 	for c := range p.combos {
-		if !p.comboMatches(c, p.ccR2[cc]) {
+		if !p.ccComboMatch[cc][0][c] {
 			continue
 		}
 		combosOK = append(combosOK, c)
@@ -106,9 +108,9 @@ func (e *hasseExec) fillForCC(cc int, need int64, avoid []int) {
 	}
 	assigned := int64(0)
 	comboCursor := 0
-	for i := 0; i < p.vjoin.Len() && assigned < need; i++ {
-		if e.filled(i) || !p.rowMatchesR1(i, p.ccR1[cc]) {
-			continue
+	p.colView.SelectFunc(p.ccR1b[cc][0], func(i int) bool {
+		if e.filled(i) {
+			return true
 		}
 		// Pick the first combo that avoids every child predicate for this
 		// tuple, starting from a rotating cursor to spread assignments.
@@ -122,11 +124,12 @@ func (e *hasseExec) fillForCC(cc int, need int64, avoid []int) {
 			}
 		}
 		if chosen < 0 {
-			continue
+			return true
 		}
 		e.assign(i, chosen)
 		assigned++
-	}
+		return assigned < need
+	})
 }
 
 // comboAvoids reports whether assigning combo c to row i keeps the row out
@@ -134,7 +137,7 @@ func (e *hasseExec) fillForCC(cc int, need int64, avoid []int) {
 // immutable predicate/combo state, never on the fill state.
 func (p *prob) comboAvoids(i, c int, avoid []int) bool {
 	for _, a := range avoid {
-		if p.rowMatchesR1(i, p.ccR1[a]) && p.comboMatches(c, p.ccR2[a]) {
+		if p.ccR1b[a][0].Eval(i) && p.ccComboMatch[a][0][c] {
 			return false
 		}
 	}

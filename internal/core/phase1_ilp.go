@@ -81,12 +81,12 @@ func (p *prob) runILP(ccIdx []int, withMarginals bool) error {
 		for d := range p.ccR1s[cc] {
 			var matchBins []int
 			for b := range bins {
-				if p.rowMatchesR1(bins[b].rep, p.ccR1s[cc][d]) {
+				if p.ccR1b[cc][d].Eval(bins[b].rep) {
 					matchBins = append(matchBins, b)
 				}
 			}
 			for c := range p.combos {
-				if !p.comboMatches(c, p.ccR2s[cc][d]) {
+				if !p.ccComboMatch[cc][d][c] {
 					continue
 				}
 				for _, b := range matchBins {

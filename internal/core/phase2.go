@@ -18,6 +18,13 @@ type phase2 struct {
 	fk      []table.Value
 	keyRows map[table.Value][]int // FK value -> V_Join rows assigned so far
 	fresh   *freshKeys
+
+	// Scratch buffers for the invalid-tuple path (conflictsWithGroup runs
+	// once per (tuple, key, DC) probe; rebuilding these per call dominated
+	// its allocation profile). Only the serial tail uses them.
+	poolBuf   []int
+	assignBuf []int
+	tuplesBuf [][]table.Value
 }
 
 // freshKeys mints primary-key values that do not collide with R2's keys.
@@ -56,10 +63,11 @@ func (f *freshKeys) mint() table.Value {
 }
 
 // partition is one phase-II unit of work: the V_Join rows that phase I
-// assigned the same B-value combination, keyed by the combo's encoding.
+// assigned the same B-value combination, identified by the combo id
+// (-1 for the trivial partition when R2 has no active combos).
 type partition struct {
-	key  string
-	rows []int
+	combo int
+	rows  []int
 }
 
 // partitions groups the filled V_Join rows by their assigned combo and
@@ -69,8 +77,8 @@ type partition struct {
 // key-sorted already — no sort either.
 func (p *prob) partitions() (parts []partition, invalid []int) {
 	if len(p.usedBCols) == 0 {
-		// Every row is trivially complete; one partition under the empty key
-		// (whose backing R2 rows are all of R2).
+		// Every row is trivially complete; one partition under the empty
+		// combo (whose backing R2 rows are all of R2).
 		if p.vjoin.Len() == 0 {
 			return nil, nil
 		}
@@ -78,7 +86,11 @@ func (p *prob) partitions() (parts []partition, invalid []int) {
 		for i := range rows {
 			rows[i] = i
 		}
-		return []partition{{key: table.EncodeKey(), rows: rows}}, nil
+		c0 := -1
+		if c, ok := p.comboByKey[table.EncodeKey()]; ok {
+			c0 = c
+		}
+		return []partition{{combo: c0, rows: rows}}, nil
 	}
 	rowsBy := make([][]int, len(p.combos))
 	for i := 0; i < p.vjoin.Len(); i++ {
@@ -91,7 +103,7 @@ func (p *prob) partitions() (parts []partition, invalid []int) {
 	}
 	for c, rows := range rowsBy {
 		if len(rows) > 0 {
-			parts = append(parts, partition{key: p.comboKeys[c], rows: rows})
+			parts = append(parts, partition{combo: c, rows: rows})
 		}
 	}
 	return parts, invalid
@@ -114,6 +126,7 @@ func (p *prob) runPhase2() (*phase2, error) {
 		ph.assignRandom(parts, invalid)
 		return ph, nil
 	}
+	p.ensureDCCand()
 
 	tColor := time.Now()
 	var err error
@@ -134,63 +147,76 @@ func (p *prob) runPhase2() (*phase2, error) {
 
 // partitionKeys returns the candidate FK values for a partition: the keys
 // of R̂2 rows whose usedBCols match the partition combo (L in Algorithm 4).
-func (ph *phase2) partitionKeys(comboKey string) []table.Value {
-	rows := ph.p.r2RowsByCombo[comboKey]
-	keys := make([]table.Value, 0, len(rows))
-	for _, r := range rows {
-		keys = append(keys, ph.p.in.R2.Value(r, ph.p.in.K2))
+// The list was computed and sorted once during problem setup; callers must
+// not mutate it in place.
+func (ph *phase2) partitionKeys(combo int) []table.Value {
+	if combo < 0 {
+		return nil
 	}
-	sort.Slice(keys, func(a, b int) bool { return table.Less(keys[a], keys[b]) })
-	return keys
+	return ph.p.keysByCombo[combo]
 }
 
 // buildConflicts adds, for every DC, an edge per tuple set of the partition
 // that satisfies the DC's explicit predicate (Def. 5.1). rows holds V_Join
-// row indices; edges use local indices into rows.
+// row indices; edges use local indices into rows. Candidate lists come from
+// the precomputed per-(DC, variable) unary-filter bitsets, and the pair
+// loops evaluate only the bound binary atoms (the unary part is already
+// guaranteed by candidate membership).
 func (ph *phase2) buildConflicts(g *hypergraph.Graph, rows []int) {
 	p := ph.p
-	s := p.vjoin.Schema()
-	for _, dc := range p.in.DCs {
-		// Per-variable candidate lists via the unary filters.
+	for di := range p.boundDCs {
+		dc := &p.boundDCs[di]
+		// Per-variable candidate lists via the unary filters, exact-sized
+		// from a counting pass over the bitsets.
 		cands := make([][]int, dc.K)
 		for v := 0; v < dc.K; v++ {
-			for li, ri := range rows {
-				if dc.UnaryMatch(v, s, p.vjoin.Row(ri)) {
-					cands[v] = append(cands[v], li)
+			bits := p.dcCand[di][v]
+			cnt := 0
+			for _, ri := range rows {
+				if bits[ri] {
+					cnt++
 				}
 			}
+			list := make([]int, 0, cnt)
+			for li, ri := range rows {
+				if bits[ri] {
+					list = append(list, li)
+				}
+			}
+			cands[v] = list
 		}
 		switch dc.K {
 		case 2:
+			spec := p.in.DCs[di]
 			switch {
-			case len(dc.Binary) == 0:
+			case len(spec.Binary) == 0:
 				// Pure-unary pair DC (e.g. "no two owners share a home"):
 				// the unary filters already decide everything, so the edge
 				// set is the complete bipartite graph over the candidate
 				// lists (a clique when symmetric). No per-pair evaluation.
-				if dc.VarsSymmetric(0, 1) {
+				if dc.Symmetric01 {
 					for ai, a := range cands[0] {
 						for _, b := range cands[0][ai+1:] {
-							g.AddEdge(a, b)
+							g.AddPair(a, b)
 						}
 					}
 				} else {
 					for _, a := range cands[0] {
 						for _, b := range cands[1] {
 							if a != b {
-								g.AddEdge(a, b)
+								g.AddPair(a, b)
 							}
 						}
 					}
 				}
-			case len(dc.Binary) == 1 && sweepable(dc.Binary[0], s):
-				ph.sweepEdges(g, dc, cands, rows)
+			case len(spec.Binary) == 1 && sweepable(spec.Binary[0], p.vjoin.Schema()):
+				ph.sweepEdges(g, spec.Binary[0], cands, rows)
 			default:
-				if dc.VarsSymmetric(0, 1) {
+				if dc.Symmetric01 {
 					for ai, a := range cands[0] {
 						for _, b := range cands[0][ai+1:] {
-							if dc.Holds(s, p.vjoin.Row(rows[a]), p.vjoin.Row(rows[b])) {
-								g.AddEdge(a, b)
+							if dc.HoldsBinary(p.vjoin.Row(rows[a]), p.vjoin.Row(rows[b])) {
+								g.AddPair(a, b)
 							}
 						}
 					}
@@ -200,20 +226,20 @@ func (ph *phase2) buildConflicts(g *hypergraph.Graph, rows []int) {
 							if a == b {
 								continue
 							}
-							if dc.Holds(s, p.vjoin.Row(rows[a]), p.vjoin.Row(rows[b])) {
-								g.AddEdge(a, b)
+							if dc.HoldsBinary(p.vjoin.Row(rows[a]), p.vjoin.Row(rows[b])) {
+								g.AddPair(a, b)
 							}
 						}
 					}
 				}
 			}
 		default:
-			ph.enumEdges(g, dc.K, cands, rows, func(assign []int) bool {
-				tuples := make([][]table.Value, dc.K)
+			tuples := make([][]table.Value, dc.K)
+			ph.enumEdges(g, dc.K, cands, func(assign []int) bool {
 				for v, li := range assign {
 					tuples[v] = p.vjoin.Row(rows[li])
 				}
-				return dc.Holds(s, tuples...)
+				return dc.HoldsBinary(tuples...)
 			})
 		}
 	}
@@ -221,7 +247,7 @@ func (ph *phase2) buildConflicts(g *hypergraph.Graph, rows []int) {
 
 // enumEdges enumerates ordered assignments of distinct partition tuples to
 // the K variables of a DC, adding an edge for each satisfying set.
-func (ph *phase2) enumEdges(g *hypergraph.Graph, k int, cands [][]int, rows []int, holds func([]int) bool) {
+func (ph *phase2) enumEdges(g *hypergraph.Graph, k int, cands [][]int, holds func([]int) bool) {
 	assign := make([]int, k)
 	var rec func(v int)
 	rec = func(v int) {
@@ -253,13 +279,11 @@ func (ph *phase2) enumEdges(g *hypergraph.Graph, k int, cands [][]int, rows []in
 func (ph *phase2) colorGlobal(parts []partition) error {
 	p := ph.p
 	var rows []int
-	comboOf := make(map[int]string)
-	keys := make([]string, 0, len(parts))
+	var rowCombo []int // combo id per local vertex, aligned with rows
 	for _, pt := range parts {
-		keys = append(keys, pt.key)
 		for _, r := range pt.rows {
-			comboOf[r] = pt.key
 			rows = append(rows, r)
+			rowCombo = append(rowCombo, pt.combo)
 		}
 	}
 	p.stat.Partitions = 1
@@ -270,14 +294,14 @@ func (ph *phase2) colorGlobal(parts []partition) error {
 	// Global palette: all keys, indexed; per-vertex allowed lists pick the
 	// keys matching the vertex's combo.
 	var palette []table.Value
-	idxByCombo := make(map[string][]int)
-	for _, k := range keys {
-		for _, kv := range ph.partitionKeys(k) {
-			idxByCombo[k] = append(idxByCombo[k], len(palette))
+	idxByCombo := make(map[int][]int)
+	for _, pt := range parts {
+		for _, kv := range ph.partitionKeys(pt.combo) {
+			idxByCombo[pt.combo] = append(idxByCombo[pt.combo], len(palette))
 			palette = append(palette, kv)
 		}
 	}
-	allowed := func(v int) []int { return idxByCombo[comboOf[rows[v]]] }
+	allowed := func(v int) []int { return idxByCombo[rowCombo[v]] }
 	coloring := hypergraph.NewColoring(len(rows))
 	var skipped []int
 	if p.opt.Order == OrderInput {
@@ -287,13 +311,13 @@ func (ph *phase2) colorGlobal(parts []partition) error {
 	}
 	p.stat.SkippedVertices += len(skipped)
 	if len(skipped) > 0 {
-		freshByCombo := make(map[string][]int)
+		freshByCombo := make(map[int][]int)
 		for _, v := range skipped {
-			ck := comboOf[rows[v]]
+			ck := rowCombo[v]
 			palette = append(palette, ph.fresh.mint())
 			freshByCombo[ck] = append(freshByCombo[ck], len(palette)-1)
 		}
-		allowedFresh := func(v int) []int { return freshByCombo[comboOf[rows[v]]] }
+		allowedFresh := func(v int) []int { return freshByCombo[rowCombo[v]] }
 		var left []int
 		if p.opt.Order == OrderInput {
 			coloring, left = g.ColoringInputOrder(coloring, allowedFresh)
@@ -307,12 +331,12 @@ func (ph *phase2) colorGlobal(parts []partition) error {
 		for _, c := range coloring {
 			used[c] = true
 		}
-		// Canonical key order, not map order: R̂2 row order must be
+		// Canonical combo order, not map order: R̂2 row order must be
 		// deterministic for the same seed.
-		for _, ck := range keys {
-			for _, fi := range freshByCombo[ck] {
+		for _, pt := range parts {
+			for _, fi := range freshByCombo[pt.combo] {
 				if used[fi] {
-					ph.appendR2Tuple(palette[fi], ck)
+					ph.appendR2Tuple(palette[fi], pt.combo)
 				}
 			}
 		}
@@ -328,24 +352,25 @@ func (ph *phase2) colorGlobal(parts []partition) error {
 // appendR2Tuple adds a fresh household to R̂2: the minted key, the
 // partition's usedBCols values, and the remaining B columns copied from an
 // existing row of the same combo (or null when the combo has no backing
-// row, which cannot happen for active combos).
-func (ph *phase2) appendR2Tuple(key table.Value, comboKey string) {
+// row, which cannot happen for active combos). combo is -1 when there is no
+// active combo to copy from.
+func (ph *phase2) appendR2Tuple(key table.Value, combo int) {
 	p := ph.p
 	row := make([]table.Value, ph.r2hat.Schema().Len())
 	for i := range row {
 		row[i] = table.Null()
 	}
 	row[ph.r2hat.Schema().MustIndex(p.in.K2)] = key
-	if backing := p.r2RowsByCombo[comboKey]; len(backing) > 0 {
-		src := p.in.R2.Row(backing[0])
-		for _, c := range p.bCols {
-			j := ph.r2hat.Schema().MustIndex(c)
-			row[j] = src[p.in.R2.Schema().MustIndex(c)]
+	if combo >= 0 {
+		if backing := p.r2RowsBy[combo]; len(backing) > 0 {
+			src := p.in.R2.Row(backing[0])
+			for _, c := range p.bCols {
+				j := ph.r2hat.Schema().MustIndex(c)
+				row[j] = src[p.in.R2.Schema().MustIndex(c)]
+			}
 		}
-	}
-	if ci, ok := p.comboByKey[comboKey]; ok {
 		for j, c := range p.usedBCols {
-			row[ph.r2hat.Schema().MustIndex(c)] = p.combos[ci][j]
+			row[ph.r2hat.Schema().MustIndex(c)] = p.combos[combo][j]
 		}
 	}
 	ph.r2hat.MustAppend(row...)
@@ -353,27 +378,35 @@ func (ph *phase2) appendR2Tuple(key table.Value, comboKey string) {
 }
 
 // conflictsWithGroup reports whether adding V_Join row t to the set of rows
-// already holding one FK value would violate any DC.
+// already holding one FK value would violate any DC. The candidate pool and
+// assignment run out of phase2-owned scratch buffers; unary filtering is a
+// bitset lookup and the leaf check evaluates only the bound binary atoms.
 func (ph *phase2) conflictsWithGroup(t int, group []int) bool {
 	p := ph.p
-	s := p.vjoin.Schema()
-	pool := append(append([]int(nil), group...), t)
-	for _, dc := range p.in.DCs {
+	ph.poolBuf = append(append(ph.poolBuf[:0], group...), t)
+	pool := ph.poolBuf
+	for di := range p.boundDCs {
+		dc := &p.boundDCs[di]
 		if len(pool) < dc.K {
 			continue
 		}
-		assign := make([]int, dc.K)
+		if cap(ph.assignBuf) < dc.K {
+			ph.assignBuf = make([]int, dc.K)
+			ph.tuplesBuf = make([][]table.Value, dc.K)
+		}
+		assign := ph.assignBuf[:dc.K]
+		tuples := ph.tuplesBuf[:dc.K]
+		cand := p.dcCand[di]
 		var rec func(v int, usedT bool) bool
 		rec = func(v int, usedT bool) bool {
 			if v == dc.K {
 				if !usedT {
 					return false // only new violations involving t matter
 				}
-				tuples := make([][]table.Value, dc.K)
 				for i, r := range assign {
 					tuples[i] = p.vjoin.Row(r)
 				}
-				return dc.Holds(s, tuples...)
+				return dc.HoldsBinary(tuples...)
 			}
 			for _, r := range pool {
 				dup := false
@@ -386,7 +419,7 @@ func (ph *phase2) conflictsWithGroup(t int, group []int) bool {
 				if dup {
 					continue
 				}
-				if !dc.UnaryMatch(v, s, p.vjoin.Row(r)) {
+				if !cand[v][r] {
 					continue
 				}
 				assign[v] = r
@@ -411,14 +444,17 @@ func (ph *phase2) solveInvalidTuples(invalid []int) {
 	counter := newCCCounter(p)
 	const maxKeysTried = 256
 	for _, t := range invalid {
-		// Rank combos by CC-error delta; unused combos have delta 0.
+		// Rank combos by CC-error delta; unused combos have delta 0. The
+		// counter caches t's per-disjunct R1 matches once, so each combo's
+		// delta is table lookups.
+		counter.prepare(t)
 		type cand struct {
 			combo int
 			delta float64
 		}
 		cands := make([]cand, 0, len(p.combos))
 		for c := range p.combos {
-			cands = append(cands, cand{combo: c, delta: counter.delta(t, c)})
+			cands = append(cands, cand{combo: c, delta: counter.delta(c)})
 		}
 		sort.SliceStable(cands, func(a, b int) bool { return cands[a].delta < cands[b].delta })
 
@@ -429,7 +465,7 @@ func (ph *phase2) solveInvalidTuples(invalid []int) {
 				break // only consider minimum-error combos for existing keys
 			}
 			tried := 0
-			for _, r2row := range p.r2RowsByCombo[p.comboKeys[cd.combo]] {
+			for _, r2row := range p.r2RowsBy[cd.combo] {
 				if tried >= maxKeysTried {
 					break
 				}
@@ -448,17 +484,16 @@ func (ph *phase2) solveInvalidTuples(invalid []int) {
 		}
 		if assignedKey.IsNull() {
 			// Fresh household with the minimum-error combo.
-			chosenCombo = cands[0].combo
-			assignedKey = ph.fresh.mint()
-			if len(p.comboKeys) > 0 {
-				ph.appendR2Tuple(assignedKey, p.comboKeys[chosenCombo])
-			} else {
-				ph.appendR2Tuple(assignedKey, table.EncodeKey())
+			chosenCombo = -1
+			if len(cands) > 0 {
+				chosenCombo = cands[0].combo
 			}
+			assignedKey = ph.fresh.mint()
+			ph.appendR2Tuple(assignedKey, chosenCombo)
 		}
 		if chosenCombo >= 0 && len(p.usedBCols) > 0 {
 			p.assignCombo(t, chosenCombo)
-			counter.commit(t, chosenCombo)
+			counter.commit(chosenCombo)
 		}
 		ph.fk[t] = assignedKey
 		ph.keyRows[assignedKey] = append(ph.keyRows[assignedKey], t)
@@ -471,14 +506,14 @@ func (ph *phase2) assignRandom(parts []partition, invalid []int) {
 	p := ph.p
 	p.stat.Partitions = len(parts)
 	for _, pt := range parts {
-		cand := ph.partitionKeys(pt.key)
+		cand := ph.partitionKeys(pt.combo)
 		for _, ri := range pt.rows {
 			var key table.Value
 			if len(cand) > 0 {
 				key = cand[p.rng.Intn(len(cand))]
 			} else {
 				key = ph.fresh.mint()
-				ph.appendR2Tuple(key, pt.key)
+				ph.appendR2Tuple(key, pt.combo)
 			}
 			ph.fk[ri] = key
 			ph.keyRows[key] = append(ph.keyRows[key], ri)
@@ -488,7 +523,7 @@ func (ph *phase2) assignRandom(parts []partition, invalid []int) {
 	for _, t := range invalid {
 		if len(p.combos) == 0 {
 			key := ph.fresh.mint()
-			ph.appendR2Tuple(key, table.EncodeKey())
+			ph.appendR2Tuple(key, -1)
 			ph.fk[t] = key
 			continue
 		}
@@ -496,7 +531,7 @@ func (ph *phase2) assignRandom(parts []partition, invalid []int) {
 		if len(p.usedBCols) > 0 {
 			p.assignCombo(t, c)
 		}
-		rows := p.r2RowsByCombo[p.comboKeys[c]]
+		rows := p.r2RowsBy[c]
 		key := p.in.R2.Value(rows[p.rng.Intn(len(rows))], p.in.K2)
 		ph.fk[t] = key
 		ph.keyRows[key] = append(ph.keyRows[key], t)

@@ -52,7 +52,7 @@ func (ph *phase2) colorPart(pt partition) coloredPart {
 	p := ph.p
 	g := hypergraph.New(len(pt.rows))
 	ph.buildConflicts(g, pt.rows)
-	palette := ph.partitionKeys(pt.key)
+	palette := ph.partitionKeys(pt.combo)
 	baseIdx := make([]int, len(palette))
 	for i := range baseIdx {
 		baseIdx[i] = i
@@ -101,7 +101,7 @@ func (ph *phase2) finishPart(pt partition, r coloredPart) error {
 		}
 		for _, fi := range freshIdx {
 			if usedFresh[fi] {
-				ph.appendR2Tuple(palette[fi], pt.key)
+				ph.appendR2Tuple(palette[fi], pt.combo)
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/constraint"
 	"repro/internal/table"
 )
 
@@ -61,8 +62,6 @@ func newProb(in Input, opt Options, stat *Stats) (*prob, error) {
 	// these in V_Join (the paper's "in practice we only consider columns
 	// used in S_CC").
 	used := make(map[string]bool)
-	p.ccR1 = make([]table.Predicate, len(in.CCs))
-	p.ccR2 = make([]table.Predicate, len(in.CCs))
 	p.ccR1s = make([][]table.Predicate, len(in.CCs))
 	p.ccR2s = make([][]table.Predicate, len(in.CCs))
 	for i, cc := range in.CCs {
@@ -82,7 +81,6 @@ func newProb(in Input, opt Options, stat *Stats) (*prob, error) {
 			}
 		}
 		p.ccR1s[i], p.ccR2s[i] = cc.PartAll(func(c string) bool { return p.isR2Col[c] })
-		p.ccR1[i], p.ccR2[i] = p.ccR1s[i][0], p.ccR2s[i][0]
 		for _, r2 := range p.ccR2s[i] {
 			for _, a := range r2.Atoms {
 				used[a.Col] = true
@@ -127,7 +125,7 @@ func newProb(in Input, opt Options, stat *Stats) (*prob, error) {
 
 	// Active combos over usedBCols, with the R2 rows backing each combo.
 	p.comboByKey = make(map[string]int)
-	p.r2RowsByCombo = make(map[string][]int)
+	r2RowsByCombo := make(map[string][]int)
 	for i := 0; i < in.R2.Len(); i++ {
 		vals := make([]table.Value, len(p.usedBCols))
 		for j, c := range p.usedBCols {
@@ -139,7 +137,7 @@ func newProb(in Input, opt Options, stat *Stats) (*prob, error) {
 			p.combos = append(p.combos, vals)
 			p.comboKeys = append(p.comboKeys, k)
 		}
-		p.r2RowsByCombo[k] = append(p.r2RowsByCombo[k], i)
+		r2RowsByCombo[k] = append(r2RowsByCombo[k], i)
 	}
 	// Deterministic combo order.
 	order := make([]int, len(p.combos))
@@ -154,10 +152,112 @@ func newProb(in Input, opt Options, stat *Stats) (*prob, error) {
 		keys[i] = p.comboKeys[o]
 	}
 	p.combos, p.comboKeys = combos, keys
+	p.r2RowsBy = make([][]int, len(p.combos))
 	for i, k := range p.comboKeys {
 		p.comboByKey[k] = i
+		p.r2RowsBy[i] = r2RowsByCombo[k]
 	}
+	// Candidate FK keys per combo (L of Algorithm 4), computed once here so
+	// phase II never re-derives or re-sorts them. The slices are exactly
+	// sized: appending fresh keys to a partition's palette reallocates
+	// instead of clobbering this shared state.
+	p.keysByCombo = make([][]table.Value, len(p.combos))
+	for c, rows := range p.r2RowsBy {
+		ks := make([]table.Value, 0, len(rows))
+		for _, r := range rows {
+			ks = append(ks, in.R2.Value(r, in.K2))
+		}
+		sort.Slice(ks, func(a, b int) bool { return table.Less(ks[a], ks[b]) })
+		p.keysByCombo[c] = ks
+	}
+	p.compile()
 	return p, nil
+}
+
+// compile builds the columnar snapshot of the join view's immutable columns
+// and lowers every constraint onto it: CC R1-parts become ColPredicates,
+// CC R2-parts become the per-combo boolean table, and DCs bind to the view's
+// schema. After this point the per-row hot loops never consult a schema map
+// or compare a string.
+func (p *prob) compile() {
+	immutable := append([]string{p.in.K1}, p.aCols...)
+	p.colView = table.NewColumnar(p.vjoin, immutable...)
+
+	// usedBCols positions, for lowering R2-part atoms onto combo tuples.
+	colOf := make(map[string]int, len(p.usedBCols))
+	for j, c := range p.usedBCols {
+		colOf[c] = j
+	}
+	comboMatches := func(c int, r2Part table.Predicate) bool {
+		for _, a := range r2Part.Atoms {
+			j, ok := colOf[a.Col]
+			if !ok || !a.Op.Apply(p.combos[c][j], a.Val) {
+				return false
+			}
+		}
+		return true
+	}
+
+	p.ccR1b = make([][]table.ColPredicate, len(p.in.CCs))
+	p.ccComboMatch = make([][][]bool, len(p.in.CCs))
+	for i := range p.in.CCs {
+		p.ccR1b[i] = make([]table.ColPredicate, len(p.ccR1s[i]))
+		p.ccComboMatch[i] = make([][]bool, len(p.ccR2s[i]))
+		for d := range p.ccR1s[i] {
+			p.ccR1b[i][d] = p.colView.Bind(p.ccR1s[i][d])
+			match := make([]bool, len(p.combos))
+			for c := range p.combos {
+				match[c] = comboMatches(c, p.ccR2s[i][d])
+			}
+			p.ccComboMatch[i][d] = match
+		}
+	}
+
+	p.boundDCs = constraint.BindDCs(p.in.DCs, p.vjoin.Schema())
+}
+
+// ensureDCCand fills dcCand: for every DC and tuple variable, the rows of
+// V_Join passing that variable's unary filters. The filters only touch
+// immutable columns, so one pass per solve replaces the per-partition scans
+// Algorithm 4 used to do; the conflict builders and the invalid-tuple
+// repair then filter candidates with a slice lookup.
+func (p *prob) ensureDCCand() {
+	if p.dcCand != nil || len(p.in.DCs) == 0 {
+		return
+	}
+	n := p.vjoin.Len()
+	p.dcCand = make([][][]bool, len(p.in.DCs))
+	for di, dc := range p.in.DCs {
+		byVar := make([][]bool, dc.K)
+		for v := 0; v < dc.K; v++ {
+			var atoms []table.Atom
+			for _, a := range dc.Unary {
+				if a.Var == v {
+					atoms = append(atoms, table.Atom{Col: a.Col, Op: a.Op, Val: a.Val})
+				}
+			}
+			cp := p.colView.Bind(table.Predicate{Atoms: atoms})
+			bits := make([]bool, n)
+			for i := 0; i < n; i++ {
+				bits[i] = cp.Eval(i)
+			}
+			byVar[v] = bits
+		}
+		p.dcCand[di] = byVar
+	}
+	// Typed accessors for every column a binary DC atom compares; built
+	// here (serially) so the concurrent sweep enumerators share them
+	// without allocating closures per partition.
+	p.intAccess = make(map[string]func(int) (int64, bool))
+	for _, dc := range p.in.DCs {
+		for _, a := range dc.Binary {
+			for _, col := range []string{a.LCol, a.RCol} {
+				if _, ok := p.intAccess[col]; !ok && p.vjoin.Schema().Has(col) {
+					p.intAccess[col] = p.intColAccess(col)
+				}
+			}
+		}
+	}
 }
 
 // filled reports whether V_Join row i has every usedBCol assigned. Rows are
@@ -176,29 +276,6 @@ func (p *prob) assignCombo(i, c int) {
 	p.comboOf[i] = c
 }
 
-// comboMatches reports whether combo c satisfies the R2-part predicate
-// (which only references usedBCols).
-func (p *prob) comboMatches(c int, r2Part table.Predicate) bool {
-	for _, a := range r2Part.Atoms {
-		j := -1
-		for k, col := range p.usedBCols {
-			if col == a.Col {
-				j = k
-				break
-			}
-		}
-		if j < 0 || !a.Op.Apply(p.combos[c][j], a.Val) {
-			return false
-		}
-	}
-	return true
-}
-
-// rowMatchesR1 reports whether V_Join row i satisfies the R1-part predicate.
-func (p *prob) rowMatchesR1(i int, r1Part table.Predicate) bool {
-	return r1Part.Eval(p.vjoin.Schema(), p.vjoin.Row(i))
-}
-
 // comboUnused returns the combo indices that are irrelevant to every CC in
 // the full constraint set: assigning them can never contribute to any CC
 // count (line 14 of Algorithm 2). Every disjunct of every CC is consulted;
@@ -209,11 +286,11 @@ func (p *prob) comboUnused() []int {
 		relevant := false
 	scan:
 		for i := range p.in.CCs {
-			for _, r2 := range p.ccR2s[i] {
+			for d, r2 := range p.ccR2s[i] {
 				if len(r2.Atoms) == 0 {
 					continue
 				}
-				if p.comboMatches(c, r2) {
+				if p.ccComboMatch[i][d][c] {
 					relevant = true
 					break scan
 				}
@@ -224,16 +301,4 @@ func (p *prob) comboUnused() []int {
 		}
 	}
 	return out
-}
-
-// ccMatchesPair reports whether a V_Join row paired with combo c would
-// contribute to CC j's count: some disjunct's R1 part holds on the row and
-// its R2 part holds on the combo.
-func (p *prob) ccMatchesPair(j, row, c int) bool {
-	for d := range p.ccR1s[j] {
-		if p.rowMatchesR1(row, p.ccR1s[j][d]) && p.comboMatches(c, p.ccR2s[j][d]) {
-			return true
-		}
-	}
-	return false
 }

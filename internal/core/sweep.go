@@ -24,15 +24,30 @@ func sweepable(a constraint.BinaryAtom, s *table.Schema) bool {
 	return s.Col(jl).Type == table.TypeInt && s.Col(jr).Type == table.TypeInt
 }
 
+// intColAccess reads an int column of the join view through the columnar
+// snapshot when available (typed slice, no Value unwrapping), falling back
+// to row access for columns the snapshot does not carry as typed ints.
+func (p *prob) intColAccess(col string) func(i int) (int64, bool) {
+	if vals, null, ok := p.colView.IntCol(col); ok {
+		if null == nil {
+			return func(i int) (int64, bool) { return vals[i], true }
+		}
+		return func(i int) (int64, bool) { return vals[i], !null[i] }
+	}
+	j := p.vjoin.Schema().MustIndex(col)
+	return func(i int) (int64, bool) {
+		v := p.vjoin.Row(i)[j]
+		return v.Int(), v.Kind() == table.KindInt
+	}
+}
+
 // sweepEdges enumerates the edges of a 2-variable DC with exactly one
 // binary atom using a sorted sweep over the binary atom's left column.
 // Unary atoms are already folded into the candidate lists.
-func (ph *phase2) sweepEdges(g *hypergraph.Graph, dc constraint.DC, cands [][]int, rows []int) {
+func (ph *phase2) sweepEdges(g *hypergraph.Graph, atom constraint.BinaryAtom, cands [][]int, rows []int) {
 	p := ph.p
-	s := p.vjoin.Schema()
-	atom := dc.Binary[0]
-	jl := s.MustIndex(atom.LCol)
-	jr := s.MustIndex(atom.RCol)
+	lcol := p.intAccess[atom.LCol]
+	rcol := p.intAccess[atom.RCol]
 
 	// Sort the left-variable candidates by the compared column, skipping
 	// null cells (null never conflicts).
@@ -42,20 +57,20 @@ func (ph *phase2) sweepEdges(g *hypergraph.Graph, dc constraint.DC, cands [][]in
 	}
 	left := make([]lv, 0, len(cands[atom.LVar]))
 	for _, li := range cands[atom.LVar] {
-		v := p.vjoin.Row(rows[li])[jl]
-		if v.Kind() != table.KindInt {
+		v, ok := lcol(rows[li])
+		if !ok {
 			continue
 		}
-		left = append(left, lv{local: li, val: v.Int()})
+		left = append(left, lv{local: li, val: v})
 	}
 	sort.Slice(left, func(a, b int) bool { return left[a].val < left[b].val })
 
 	for _, ri := range cands[atom.RVar] {
-		rv := p.vjoin.Row(rows[ri])[jr]
-		if rv.Kind() != table.KindInt {
+		rv, ok := rcol(rows[ri])
+		if !ok {
 			continue
 		}
-		bound := rv.Int() + atom.Offset
+		bound := rv + atom.Offset
 		var lo, hi int // half-open range [lo, hi) of conflicting left rows
 		switch atom.Op {
 		case table.OpLt:
@@ -75,12 +90,12 @@ func (ph *phase2) sweepEdges(g *hypergraph.Graph, dc constraint.DC, cands [][]in
 			mid2 := sort.Search(len(left), func(i int) bool { return left[i].val > bound })
 			for _, l := range left[:mid1] {
 				if l.local != ri {
-					g.AddEdge(ri, l.local)
+					g.AddPair(ri, l.local)
 				}
 			}
 			for _, l := range left[mid2:] {
 				if l.local != ri {
-					g.AddEdge(ri, l.local)
+					g.AddPair(ri, l.local)
 				}
 			}
 			continue
@@ -89,7 +104,7 @@ func (ph *phase2) sweepEdges(g *hypergraph.Graph, dc constraint.DC, cands [][]in
 		}
 		for _, l := range left[lo:hi] {
 			if l.local != ri {
-				g.AddEdge(ri, l.local)
+				g.AddPair(ri, l.local)
 			}
 		}
 	}

@@ -54,6 +54,7 @@ func TestSweepMatchesBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		p.ensureDCCand()
 		ph := &phase2{p: p, r2hat: r2.Clone(), fk: make([]table.Value, n),
 			keyRows: map[table.Value][]int{}, fresh: newFreshKeys(r2, "kid")}
 

@@ -169,18 +169,43 @@ type prob struct {
 
 	vjoin *table.Relation // K1 + aCols + bCols; usedBCols filled by phase I
 
+	// colView is the columnar snapshot of V_Join's immutable columns
+	// (K1 + aCols — everything the CC R1-parts and the DCs can touch).
+	// Phase I only ever writes usedBCols, so the snapshot stays valid for
+	// the whole solve and every hot predicate compiles against it once.
+	colView *table.Columnar
+
 	// comboOf mirrors the phase-I fill state: the combo index assigned to
 	// each V_Join row, or -1 while the row is unfilled. It makes filled()
 	// an array lookup and lets phase II partition rows without re-encoding
 	// their B values.
 	comboOf []int
 
-	// Active combos of R2 over usedBCols.
-	combos        [][]table.Value
-	comboKeys     []string
-	comboByKey    map[string]int
-	r2RowsByCombo map[string][]int // combo key -> R2 row indices (of in.R2)
+	// Active combos of R2 over usedBCols, in canonical (sorted-key) order.
+	// All cross-references use the integer combo id; comboKeys/comboByKey
+	// survive only for setup and diagnostics.
+	combos      [][]table.Value
+	comboKeys   []string
+	comboByKey  map[string]int
+	r2RowsBy    [][]int         // combo id -> R2 row indices (of in.R2)
+	keysByCombo [][]table.Value // combo id -> sorted candidate FK keys (L of Algorithm 4)
 
-	ccR1, ccR2   []table.Predicate   // first-disjunct split (Algorithm 2 path)
-	ccR1s, ccR2s [][]table.Predicate // per-disjunct splits (ILP path, union semantics)
+	ccR1s, ccR2s [][]table.Predicate // per-disjunct splits (union semantics)
+
+	// Compiled forms: ccR1b holds the per-disjunct R1 parts compiled
+	// against colView (ccR1b[cc][0] is the Algorithm 2 conjunct), and
+	// ccComboMatch[cc][d][c] records whether combo c satisfies disjunct
+	// d's R2 part — the paper's selection predicates reduced to slice
+	// lookups.
+	ccR1b        [][]table.ColPredicate
+	ccComboMatch [][][]bool
+
+	// DCs bound to the join view: boundDCs for pairwise atom evaluation,
+	// dcCand[dc][var][row] for the unary candidate filters, and intAccess
+	// for typed reads of the columns binary atoms compare (all computed
+	// once per solve in ensureDCCand, read concurrently by the coloring
+	// workers).
+	boundDCs  []constraint.BoundDC
+	dcCand    [][][]bool
+	intAccess map[string]func(int) (int64, bool)
 }

@@ -7,17 +7,31 @@ package hypergraph
 
 import "sort"
 
+// pairBitmapCap bounds the vertex count for which pair dedup uses a dense
+// n×n bitmap (≤ 8 KiB) instead of a hash map; conflict partitions are
+// almost always small, so the common case never hashes.
+const pairBitmapCap = 256
+
 // Graph is a hypergraph over vertices 0..N-1.
 type Graph struct {
-	n     int
-	edges [][]int // each edge is a sorted vertex set of size >= 2
-	inc   [][]int // inc[v] = indices of edges containing v
-	seen  map[string]bool
+	n        int
+	edges    [][]int         // each edge is a sorted vertex set of size >= 2
+	inc      [][]int         // inc[v] = indices of edges containing v
+	pairBits []uint64        // dense pair dedup when n <= pairBitmapCap
+	pairSeen map[uint64]bool // sparse pair dedup otherwise, packed lo<<32|hi
+	pairBuf  []int           // chunked backing storage for 2-vertex edges
+	seen     map[string]bool // dedup for larger edges (lazily allocated)
 }
 
 // New creates an empty hypergraph with n vertices.
 func New(n int) *Graph {
-	return &Graph{n: n, inc: make([][]int, n), seen: make(map[string]bool)}
+	g := &Graph{n: n, inc: make([][]int, n)}
+	if n <= pairBitmapCap {
+		g.pairBits = make([]uint64, (n*n+63)/64)
+	} else {
+		g.pairSeen = make(map[uint64]bool)
+	}
+	return g
 }
 
 // N returns the vertex count.
@@ -40,6 +54,9 @@ func (g *Graph) Incident(v int) []int { return g.inc[v] }
 // normalization, and duplicate edges, are ignored. Returns whether an edge
 // was added.
 func (g *Graph) AddEdge(vs ...int) bool {
+	if len(vs) == 2 {
+		return g.AddPair(vs[0], vs[1])
+	}
 	set := append([]int(nil), vs...)
 	sort.Ints(set)
 	w := 0
@@ -53,17 +70,63 @@ func (g *Graph) AddEdge(vs ...int) bool {
 	if len(set) < 2 {
 		return false
 	}
+	if len(set) == 2 {
+		return g.addSortedPair(set[0], set[1])
+	}
 	key := edgeKey(set)
 	if g.seen[key] {
 		return false
 	}
+	if g.seen == nil {
+		g.seen = make(map[string]bool)
+	}
 	g.seen[key] = true
+	g.record(set)
+	return true
+}
+
+// AddPair is AddEdge specialized to the dominant 2-vertex case: no variadic
+// slice, no sort, and integer-keyed dedup instead of a string key.
+func (g *Graph) AddPair(a, b int) bool {
+	if a == b {
+		return false
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return g.addSortedPair(a, b)
+}
+
+func (g *Graph) addSortedPair(a, b int) bool {
+	if g.pairBits != nil {
+		bit := uint(a*g.n + b)
+		if g.pairBits[bit/64]&(1<<(bit%64)) != 0 {
+			return false
+		}
+		g.pairBits[bit/64] |= 1 << (bit % 64)
+	} else {
+		key := uint64(uint32(a))<<32 | uint64(uint32(b))
+		if g.pairSeen[key] {
+			return false
+		}
+		g.pairSeen[key] = true
+	}
+	// Pair edges are carved out of chunked backing storage instead of one
+	// 2-element allocation each.
+	if cap(g.pairBuf)-len(g.pairBuf) < 2 {
+		g.pairBuf = make([]int, 0, 512)
+	}
+	g.pairBuf = append(g.pairBuf, a, b)
+	g.record(g.pairBuf[len(g.pairBuf)-2 : len(g.pairBuf) : len(g.pairBuf)])
+	return true
+}
+
+func (g *Graph) record(set []int) {
 	id := len(g.edges)
 	g.edges = append(g.edges, set)
 	for _, v := range set {
 		g.inc[v] = append(g.inc[v], id)
 	}
-	return true
 }
 
 func edgeKey(set []int) string {

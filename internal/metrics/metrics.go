@@ -81,26 +81,25 @@ func Quantile(xs []float64, q float64) float64 {
 
 // DCViolations finds all tuples of r1hat involved in at least one DC
 // violation. Tuples are grouped by their FK value (the implicit conjunct of
-// every foreign-key DC), and each DC's explicit predicate is evaluated over
-// ordered tuple assignments within each group. It returns the set of
-// violating row indices.
+// every foreign-key DC), and each DC's explicit predicate — bound to the
+// schema once — is evaluated over ordered tuple assignments within each
+// group. It returns the set of violating row indices.
 func DCViolations(r1hat *table.Relation, fkCol string, dcs []constraint.DC) map[int]bool {
-	groups := r1hat.GroupBy(fkCol)
+	groups := r1hat.GroupByValue(fkCol)
 	violating := make(map[int]bool)
-	s := r1hat.Schema()
-	fkIdx := s.MustIndex(fkCol)
-	for _, rows := range groups {
+	bound := constraint.BindDCs(dcs, r1hat.Schema())
+	for key, rows := range groups {
 		if len(rows) < 2 {
 			continue
 		}
-		if r1hat.Row(rows[0])[fkIdx].IsNull() {
+		if key.IsNull() {
 			continue // unassigned tuples cannot violate FK DCs
 		}
-		for _, dc := range dcs {
-			if len(rows) < dc.K {
+		for di := range bound {
+			if len(rows) < bound[di].K {
 				continue
 			}
-			markViolations(r1hat, dc, rows, violating)
+			markViolations(r1hat, &bound[di], rows, violating)
 		}
 	}
 	return violating
@@ -108,13 +107,13 @@ func DCViolations(r1hat *table.Relation, fkCol string, dcs []constraint.DC) map[
 
 // markViolations enumerates ordered assignments of distinct group rows to
 // the DC's variables (with unary-atom pre-filtering) and marks every member
-// of a satisfying set.
-func markViolations(r *table.Relation, dc constraint.DC, rows []int, out map[int]bool) {
-	s := r.Schema()
+// of a satisfying set. Candidates guarantee the unary atoms, so the leaf
+// check evaluates only the binary ones.
+func markViolations(r *table.Relation, dc *constraint.BoundDC, rows []int, out map[int]bool) {
 	cands := make([][]int, dc.K)
 	for v := 0; v < dc.K; v++ {
 		for _, ri := range rows {
-			if dc.UnaryMatch(v, s, r.Row(ri)) {
+			if dc.UnaryMatch(v, r.Row(ri)) {
 				cands[v] = append(cands[v], ri)
 			}
 		}
@@ -123,14 +122,14 @@ func markViolations(r *table.Relation, dc constraint.DC, rows []int, out map[int
 		}
 	}
 	assign := make([]int, dc.K)
+	tuples := make([][]table.Value, dc.K)
 	var rec func(v int)
 	rec = func(v int) {
 		if v == dc.K {
-			tuples := make([][]table.Value, dc.K)
 			for i, ri := range assign {
 				tuples[i] = r.Row(ri)
 			}
-			if dc.Holds(s, tuples...) {
+			if dc.HoldsBinary(tuples...) {
 				for _, ri := range assign {
 					out[ri] = true
 				}

@@ -51,15 +51,15 @@ func (r *DCReport) String() string {
 // ReportDCs evaluates every DC separately over r1hat grouped by FK value.
 func ReportDCs(r1hat *table.Relation, fkCol string, dcs []constraint.DC) *DCReport {
 	rep := &DCReport{PerDC: make([]int, len(dcs)), Violating: make(map[int]bool), Rows: r1hat.Len()}
-	groups := r1hat.GroupBy(fkCol)
-	fkIdx := r1hat.Schema().MustIndex(fkCol)
-	for di, dc := range dcs {
+	groups := r1hat.GroupByValue(fkCol)
+	bound := constraint.BindDCs(dcs, r1hat.Schema())
+	for di := range bound {
 		per := make(map[int]bool)
-		for _, rows := range groups {
-			if len(rows) < dc.K || r1hat.Row(rows[0])[fkIdx].IsNull() {
+		for key, rows := range groups {
+			if len(rows) < bound[di].K || key.IsNull() {
 				continue
 			}
-			markViolations(r1hat, dc, rows, per)
+			markViolations(r1hat, &bound[di], rows, per)
 		}
 		rep.PerDC[di] = len(per)
 		for t := range per {

@@ -1,0 +1,457 @@
+package table
+
+import "sort"
+
+// This file implements the read-optimized half of the package's two-layer
+// design (see the package comment): a Columnar snapshot of a relation's
+// columns with dictionary-encoded strings and per-value posting lists, plus
+// predicates compiled against it so the per-row inner loop is typed slice
+// access and integer compares — no schema map lookups, no string compares.
+
+// Dict is the sorted dictionary of a string column. Codes are assigned in
+// lexicographic order, so comparing two codes with <, ==, > agrees with
+// comparing the underlying strings; any constant (in the dictionary or not)
+// translates into a code bound via binary search.
+type Dict struct {
+	strs []string
+	code map[string]int64
+}
+
+// Len returns the number of distinct strings.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// Str returns the string with the given code.
+func (d *Dict) Str(code int64) string { return d.strs[code] }
+
+// Code returns the code of s and whether s is in the dictionary.
+func (d *Dict) Code(s string) (int64, bool) {
+	c, ok := d.code[s]
+	return c, ok
+}
+
+// colData is one captured column: int payloads or dict codes in vals, with
+// a null mask. Columns whose cells disagree with the declared type (possible
+// only through Relation.Set, which skips validation) fall back to raw Value
+// storage so compiled evaluation stays exactly equivalent to Predicate.Eval.
+type colData struct {
+	vals []int64
+	null []bool
+	dict *Dict   // non-nil for dictionary-encoded string columns
+	raw  []Value // non-nil for kind-mixed columns; overrides vals/null
+	post map[int64][]int32
+}
+
+// Columnar is an immutable, typed, column-major snapshot of (a subset of)
+// a relation's columns. Build one after the relation stops mutating, then
+// compile predicates against it with Bind and evaluate with Eval, Count and
+// Select. Columnar is safe for concurrent use.
+type Columnar struct {
+	schema *Schema
+	nrows  int
+	cols   []*colData // indexed by schema column position; nil = not captured
+}
+
+// NewColumnar snapshots the named columns of r (all columns when none are
+// named). Unknown names are ignored; predicates over columns that were not
+// captured evaluate to false, mirroring Predicate.Eval's unknown-column rule.
+func NewColumnar(r *Relation, cols ...string) *Columnar {
+	s := r.Schema()
+	capture := make([]bool, s.Len())
+	if len(cols) == 0 {
+		for j := range capture {
+			capture[j] = true
+		}
+	} else {
+		for _, name := range cols {
+			if j, ok := s.Index(name); ok {
+				capture[j] = true
+			}
+		}
+	}
+	c := &Columnar{schema: s, nrows: r.Len(), cols: make([]*colData, s.Len())}
+	for j := range capture {
+		if capture[j] {
+			c.cols[j] = buildCol(r, j, s.Col(j).Type)
+		}
+	}
+	return c
+}
+
+// Len returns the number of rows in the snapshot.
+func (c *Columnar) Len() int { return c.nrows }
+
+// Schema returns the source relation's schema.
+func (c *Columnar) Schema() *Schema { return c.schema }
+
+// IntCol returns the typed payload slice and null mask of the named int
+// column, for callers that want direct slice access (null may be nil when
+// the column has no nulls). ok is false when the column was not captured as
+// a typed int column.
+func (c *Columnar) IntCol(name string) (vals []int64, null []bool, ok bool) {
+	j, found := c.schema.Index(name)
+	if !found || c.cols[j] == nil {
+		return nil, nil, false
+	}
+	d := c.cols[j]
+	if d.raw != nil || d.dict != nil {
+		return nil, nil, false
+	}
+	return d.vals, d.null, true
+}
+
+func buildCol(r *Relation, j int, typ Type) *colData {
+	n := r.Len()
+	d := &colData{vals: make([]int64, n)}
+	wantKind := KindInt
+	if typ == TypeString {
+		wantKind = KindString
+	}
+	// First pass: detect kind-mixed cells and collect the string domain.
+	var strs map[string]bool
+	for i := 0; i < n; i++ {
+		v := r.At(i, j)
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != wantKind {
+			return buildRawCol(r, j)
+		}
+		if wantKind == KindString {
+			if strs == nil {
+				strs = make(map[string]bool)
+			}
+			strs[v.Str()] = true
+		}
+	}
+	if wantKind == KindString {
+		dict := &Dict{strs: make([]string, 0, len(strs)), code: make(map[string]int64, len(strs))}
+		for s := range strs {
+			dict.strs = append(dict.strs, s)
+		}
+		sort.Strings(dict.strs)
+		for i, s := range dict.strs {
+			dict.code[s] = int64(i)
+		}
+		d.dict = dict
+	}
+	for i := 0; i < n; i++ {
+		v := r.At(i, j)
+		if v.IsNull() {
+			if d.null == nil {
+				d.null = make([]bool, n)
+			}
+			d.null[i] = true
+			continue
+		}
+		if wantKind == KindInt {
+			d.vals[i] = v.Int()
+		} else {
+			d.vals[i] = d.dict.code[v.Str()]
+		}
+	}
+	// Posting lists: sorted row ids per distinct value, powering the
+	// index-backed Count/Select path for equality atoms. Built in two
+	// passes so every list is carved out of one backing array instead of
+	// growing by repeated append.
+	counts := make(map[int64]int32)
+	nonNull := 0
+	for i := 0; i < n; i++ {
+		if d.null != nil && d.null[i] {
+			continue
+		}
+		counts[d.vals[i]]++
+		nonNull++
+	}
+	backing := make([]int32, nonNull)
+	off := 0
+	d.post = make(map[int64][]int32, len(counts))
+	for i := 0; i < n; i++ {
+		if d.null != nil && d.null[i] {
+			continue
+		}
+		v := d.vals[i]
+		sl, ok := d.post[v]
+		if !ok {
+			cnt := int(counts[v])
+			sl = backing[off : off : off+cnt]
+			off += cnt
+		}
+		d.post[v] = append(sl, int32(i))
+	}
+	return d
+}
+
+func buildRawCol(r *Relation, j int) *colData {
+	n := r.Len()
+	d := &colData{raw: make([]Value, n)}
+	for i := 0; i < n; i++ {
+		d.raw[i] = r.At(i, j)
+	}
+	return d
+}
+
+// compiled atom kinds.
+const (
+	atomInt     uint8 = iota // typed compare: op(vals[i], k) on non-null cells
+	atomNonNull              // true for every non-null cell
+	atomRaw                  // Op.Apply on a raw fallback column
+)
+
+type colAtom struct {
+	col  *colData
+	kind uint8
+	op   Op
+	k    int64
+	val  Value // atomRaw only
+}
+
+// ColPredicate is a conjunctive predicate compiled against one Columnar:
+// column positions resolved, string constants dictionary-coded, cross-kind
+// comparisons folded into constants. Evaluate with Eval/Count/Select on the
+// Columnar it was bound to.
+type ColPredicate struct {
+	never bool
+	atoms []colAtom
+}
+
+// IsNever reports whether the predicate can match no row.
+func (p *ColPredicate) IsNever() bool { return p.never }
+
+// Bind compiles p against the snapshot. The result is only meaningful for
+// the receiver Columnar.
+func (c *Columnar) Bind(p Predicate) ColPredicate {
+	var out ColPredicate
+	for _, a := range p.Atoms {
+		j, ok := c.schema.Index(a.Col)
+		if !ok || c.cols[j] == nil {
+			return ColPredicate{never: true}
+		}
+		d := c.cols[j]
+		ca, never := compileAtom(d, a.Op, a.Val)
+		if never {
+			return ColPredicate{never: true}
+		}
+		out.atoms = append(out.atoms, ca)
+	}
+	return out
+}
+
+// compileAtom lowers one `col op const` atom. The translation reproduces
+// Op.Apply's semantics exactly: null never matches, and mixed-kind
+// comparisons order by kind (null < int < string).
+func compileAtom(d *colData, op Op, val Value) (colAtom, bool) {
+	if d.raw != nil {
+		return colAtom{col: d, kind: atomRaw, op: op, val: val}, false
+	}
+	switch val.Kind() {
+	case KindNull:
+		return colAtom{}, true // comparisons against null are always false
+	case KindInt:
+		if d.dict != nil {
+			// string column vs int constant: Compare is always +1.
+			return crossKindAtom(d, op, +1)
+		}
+		return colAtom{col: d, kind: atomInt, op: op, k: val.Int()}, false
+	default: // KindString
+		if d.dict == nil {
+			// int column vs string constant: Compare is always -1.
+			return crossKindAtom(d, op, -1)
+		}
+		return dictAtom(d, op, val.Str())
+	}
+}
+
+// crossKindAtom folds an atom whose comparison outcome is fixed by kind
+// ordering (cmp is the Compare result for every non-null cell).
+func crossKindAtom(d *colData, op Op, cmp int) (colAtom, bool) {
+	match := false
+	switch op {
+	case OpEq:
+		match = cmp == 0
+	case OpNe:
+		match = cmp != 0
+	case OpLt:
+		match = cmp < 0
+	case OpLe:
+		match = cmp <= 0
+	case OpGt:
+		match = cmp > 0
+	case OpGe:
+		match = cmp >= 0
+	}
+	if !match {
+		return colAtom{}, true
+	}
+	return colAtom{col: d, kind: atomNonNull}, false
+}
+
+// dictAtom translates a string comparison into a code comparison. pos is
+// the rank the constant would occupy in the sorted dictionary, so order
+// comparisons work even for constants absent from the column.
+func dictAtom(d *colData, op Op, s string) (colAtom, bool) {
+	dict := d.dict
+	pos := int64(sort.SearchStrings(dict.strs, s))
+	present := pos < int64(len(dict.strs)) && dict.strs[pos] == s
+	switch op {
+	case OpEq:
+		if !present {
+			return colAtom{}, true
+		}
+		return colAtom{col: d, kind: atomInt, op: OpEq, k: pos}, false
+	case OpNe:
+		if !present {
+			return colAtom{col: d, kind: atomNonNull}, false
+		}
+		return colAtom{col: d, kind: atomInt, op: OpNe, k: pos}, false
+	case OpLt: // v < s  ⇔  code < pos
+		return colAtom{col: d, kind: atomInt, op: OpLt, k: pos}, false
+	case OpLe: // v <= s ⇔  code < pos, or code == pos when s is present
+		if present {
+			return colAtom{col: d, kind: atomInt, op: OpLe, k: pos}, false
+		}
+		return colAtom{col: d, kind: atomInt, op: OpLt, k: pos}, false
+	case OpGt: // v > s  ⇔  code >= pos, excluding s itself when present
+		if present {
+			return colAtom{col: d, kind: atomInt, op: OpGt, k: pos}, false
+		}
+		return colAtom{col: d, kind: atomInt, op: OpGe, k: pos}, false
+	default: // OpGe: v >= s ⇔ code >= pos
+		return colAtom{col: d, kind: atomInt, op: OpGe, k: pos}, false
+	}
+}
+
+func intApply(op Op, v, k int64) bool {
+	switch op {
+	case OpEq:
+		return v == k
+	case OpNe:
+		return v != k
+	case OpLt:
+		return v < k
+	case OpLe:
+		return v <= k
+	case OpGt:
+		return v > k
+	default: // OpGe
+		return v >= k
+	}
+}
+
+func (a *colAtom) eval(i int) bool {
+	d := a.col
+	switch a.kind {
+	case atomRaw:
+		return a.op.Apply(d.raw[i], a.val)
+	case atomNonNull:
+		return d.null == nil || !d.null[i]
+	default: // atomInt
+		if d.null != nil && d.null[i] {
+			return false
+		}
+		return intApply(a.op, d.vals[i], a.k)
+	}
+}
+
+// Eval reports whether row i satisfies the compiled predicate. It is
+// equivalent to Predicate.Eval on the source relation's row i.
+func (p *ColPredicate) Eval(i int) bool {
+	if p.never {
+		return false
+	}
+	for j := range p.atoms {
+		if !p.atoms[j].eval(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// driver picks the most selective equality atom with a posting list, or -1
+// when the predicate must scan.
+func (p *ColPredicate) driver() int {
+	best, bestLen := -1, 0
+	for j := range p.atoms {
+		a := &p.atoms[j]
+		if a.kind != atomInt || a.op != OpEq || a.col.post == nil {
+			continue
+		}
+		n := len(a.col.post[a.k])
+		if best < 0 || n < bestLen {
+			best, bestLen = j, n
+		}
+	}
+	return best
+}
+
+// Count returns the number of rows satisfying the compiled predicate,
+// equivalent to Relation.Count with the source predicate. Equality-bearing
+// predicates count by walking the shortest posting list instead of scanning.
+func (c *Columnar) Count(p ColPredicate) int {
+	if p.never {
+		return 0
+	}
+	n := 0
+	if dr := p.driver(); dr >= 0 {
+		a := &p.atoms[dr]
+		for _, i := range a.col.post[a.k] {
+			if p.Eval(int(i)) {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < c.nrows; i++ {
+		if p.Eval(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// SelectFunc streams the rows satisfying the compiled predicate, in the
+// same ascending order Select returns them, stopping early when yield
+// returns false. Callers that consume only a prefix (e.g. fill loops with
+// a quota) avoid materializing the full match list.
+func (c *Columnar) SelectFunc(p ColPredicate, yield func(i int) bool) {
+	if p.never {
+		return
+	}
+	if dr := p.driver(); dr >= 0 {
+		a := &p.atoms[dr]
+		for _, i := range a.col.post[a.k] {
+			if p.Eval(int(i)) && !yield(int(i)) {
+				return
+			}
+		}
+		return
+	}
+	for i := 0; i < c.nrows; i++ {
+		if p.Eval(i) && !yield(i) {
+			return
+		}
+	}
+}
+
+// Select returns the rows satisfying the compiled predicate in ascending
+// order, equivalent to Relation.Select with the source predicate.
+func (c *Columnar) Select(p ColPredicate) []int {
+	if p.never {
+		return nil
+	}
+	var out []int
+	if dr := p.driver(); dr >= 0 {
+		a := &p.atoms[dr]
+		for _, i := range a.col.post[a.k] {
+			if p.Eval(int(i)) {
+				out = append(out, int(i))
+			}
+		}
+		return out
+	}
+	for i := 0; i < c.nrows; i++ {
+		if p.Eval(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomRelation builds a relation with mixed int/string columns, nulls, a
+// skewed value domain (so posting lists and dictionaries have repeats), and
+// — when allowMixed is set — kind-mixed cells written through Set to
+// exercise the raw-column fallback.
+func randomRelation(rng *rand.Rand, allowMixed bool) *Relation {
+	nCols := 1 + rng.Intn(5)
+	cols := make([]Column, nCols)
+	for j := range cols {
+		if rng.Intn(2) == 0 {
+			cols[j] = IntCol(fmt.Sprintf("i%d", j))
+		} else {
+			cols[j] = StrCol(fmt.Sprintf("s%d", j))
+		}
+	}
+	r := NewRelation("rnd", NewSchema(cols...))
+	nRows := rng.Intn(60)
+	for i := 0; i < nRows; i++ {
+		row := make([]Value, nCols)
+		for j := range row {
+			switch {
+			case rng.Intn(5) == 0:
+				row[j] = Null()
+			case cols[j].Type == TypeInt:
+				row[j] = Int(int64(rng.Intn(10) - 5))
+			default:
+				row[j] = String(string(rune('a' + rng.Intn(8))))
+			}
+		}
+		r.MustAppend(row...)
+	}
+	if allowMixed && nRows > 0 {
+		// Sprinkle kind-mixed cells (legal via Set, which skips validation).
+		for k := 0; k < 3; k++ {
+			i, j := rng.Intn(nRows), rng.Intn(nCols)
+			if cols[j].Type == TypeInt {
+				r.SetAt(i, j, String("zz"))
+			} else {
+				r.SetAt(i, j, Int(99))
+			}
+		}
+	}
+	return r
+}
+
+// randomPredicate draws atoms over the relation's columns — and sometimes
+// over unknown columns — with all six operators, constants of either kind
+// (in-domain, out-of-domain, null) to cover every compileAtom branch.
+func randomPredicate(rng *rand.Rand, r *Relation) Predicate {
+	var atoms []Atom
+	n := rng.Intn(4)
+	for k := 0; k < n; k++ {
+		var col string
+		if rng.Intn(10) == 0 {
+			col = "nope"
+		} else {
+			col = r.Schema().Col(rng.Intn(r.Schema().Len())).Name
+		}
+		op := Op(rng.Intn(6))
+		var val Value
+		switch rng.Intn(6) {
+		case 0:
+			val = Null()
+		case 1:
+			val = Int(int64(rng.Intn(10) - 5))
+		case 2:
+			val = Int(1000) // out of domain
+		case 3:
+			val = String(string(rune('a' + rng.Intn(8))))
+		case 4:
+			val = String("mm") // between domain values, absent
+		default:
+			val = String("~") // after all domain values
+		}
+		atoms = append(atoms, Atom{Col: col, Op: op, Val: val})
+	}
+	return Predicate{Atoms: atoms}
+}
+
+// TestBoundPredicateEquivalence is the satellite property test: for
+// randomized relations and predicates, BoundPredicate.Eval must agree with
+// Predicate.Eval on every row.
+func TestBoundPredicateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		r := randomRelation(rng, false)
+		for k := 0; k < 10; k++ {
+			p := randomPredicate(rng, r)
+			bp := p.Bind(r.Schema())
+			for i := 0; i < r.Len(); i++ {
+				want := p.Eval(r.Schema(), r.Row(i))
+				if got := bp.Eval(r.Row(i)); got != want {
+					t.Fatalf("trial %d: bound eval row %d = %v, naive %v (pred %s)", trial, i, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarEquivalence checks the compiled/indexed path end to end:
+// ColPredicate.Eval, Columnar.Count and Columnar.Select must agree with the
+// naive row-major Predicate.Eval / Relation.Count / Relation.Select on
+// randomized relations (mixed kinds via Set, nulls, all six operators,
+// in- and out-of-dictionary constants).
+func TestColumnarEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		r := randomRelation(rng, trial%2 == 0)
+		cv := NewColumnar(r)
+		for k := 0; k < 10; k++ {
+			p := randomPredicate(rng, r)
+			cp := cv.Bind(p)
+			for i := 0; i < r.Len(); i++ {
+				want := p.Eval(r.Schema(), r.Row(i))
+				if got := cp.Eval(i); got != want {
+					t.Fatalf("trial %d: columnar eval row %d = %v, naive %v (pred %s)", trial, i, got, want, p)
+				}
+			}
+			if got, want := cv.Count(cp), r.Count(p); got != want {
+				t.Fatalf("trial %d: Count = %d, naive %d (pred %s)", trial, got, want, p)
+			}
+			gotSel, wantSel := cv.Select(cp), r.Select(p)
+			if len(gotSel) != len(wantSel) {
+				t.Fatalf("trial %d: Select len %d, naive %d (pred %s)", trial, len(gotSel), len(wantSel), p)
+			}
+			for i := range gotSel {
+				if gotSel[i] != wantSel[i] {
+					t.Fatalf("trial %d: Select[%d] = %d, naive %d (pred %s)", trial, i, gotSel[i], wantSel[i], p)
+				}
+			}
+		}
+	}
+}
+
+// FuzzColumnarAtomEquivalence fuzzes a single-atom predicate against a
+// small fixed relation, pinning compileAtom's translation (dictionary
+// bounds, cross-kind folds, null constants) to Op.Apply semantics.
+func FuzzColumnarAtomEquivalence(f *testing.F) {
+	r := NewRelation("f", NewSchema(IntCol("i"), StrCol("s")))
+	for _, x := range []struct {
+		i Value
+		s Value
+	}{
+		{Int(-3), String("a")}, {Int(0), String("cc")}, {Int(7), Null()},
+		{Null(), String("b")}, {Int(7), String("a")},
+	} {
+		r.MustAppend(x.i, x.s)
+	}
+	cv := NewColumnar(r)
+	f.Add(uint8(0), true, int64(0), "a", true)
+	f.Add(uint8(3), false, int64(9), "zz", false)
+	f.Fuzz(func(t *testing.T, opRaw uint8, onInt bool, iv int64, sv string, constInt bool) {
+		op := Op(opRaw % 6)
+		col := "s"
+		if onInt {
+			col = "i"
+		}
+		var val Value
+		if constInt {
+			val = Int(iv)
+		} else {
+			val = String(sv)
+		}
+		p := And(Atom{Col: col, Op: op, Val: val})
+		cp := cv.Bind(p)
+		for i := 0; i < r.Len(); i++ {
+			want := p.Eval(r.Schema(), r.Row(i))
+			if got := cp.Eval(i); got != want {
+				t.Fatalf("row %d: columnar %v, naive %v (pred %s)", i, got, want, p)
+			}
+		}
+	})
+}
+
+// TestDictOrderIsomorphism pins the dictionary contract: codes are assigned
+// in sorted order, so code comparisons agree with string comparisons.
+func TestDictOrderIsomorphism(t *testing.T) {
+	r := NewRelation("r", NewSchema(StrCol("s")))
+	for _, s := range []string{"pear", "apple", "fig", "apple", "banana"} {
+		r.MustAppend(String(s))
+	}
+	cv := NewColumnar(r)
+	cp := cv.Bind(And(Eq("s", String("fig"))))
+	sel := cv.Select(cp)
+	if len(sel) != 1 || sel[0] != 2 {
+		t.Fatalf("Select(s='fig') = %v", sel)
+	}
+	// Reach the dictionary through the column's typed surface.
+	vals, _, ok := cv.IntCol("s")
+	if ok || vals != nil {
+		t.Fatal("string column must not expose IntCol")
+	}
+	d := cv.cols[0].dict
+	if d.Len() != 4 {
+		t.Fatalf("dict has %d entries, want 4", d.Len())
+	}
+	for i := 0; i+1 < d.Len(); i++ {
+		if d.Str(int64(i)) >= d.Str(int64(i+1)) {
+			t.Fatalf("dict not sorted at %d: %q >= %q", i, d.Str(int64(i)), d.Str(int64(i+1)))
+		}
+	}
+	if c, ok := d.Code("fig"); !ok || d.Str(c) != "fig" {
+		t.Fatalf("Code/Str round trip broken: %d %v", c, ok)
+	}
+	if _, ok := d.Code("grape"); ok {
+		t.Fatal("absent string must not have a code")
+	}
+}
+
+// TestSelectFuncPrefix: SelectFunc visits the same rows as Select, in the
+// same order, and honors early termination.
+func TestSelectFuncPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		r := randomRelation(rng, false)
+		cv := NewColumnar(r)
+		p := randomPredicate(rng, r)
+		cp := cv.Bind(p)
+		want := cv.Select(cp)
+		var got []int
+		cv.SelectFunc(cp, func(i int) bool { got = append(got, i); return true })
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: SelectFunc saw %d rows, Select %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: row %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+		if len(want) > 1 {
+			stop := len(want) / 2
+			var prefix []int
+			cv.SelectFunc(cp, func(i int) bool {
+				prefix = append(prefix, i)
+				return len(prefix) < stop
+			})
+			if len(prefix) != stop {
+				t.Fatalf("trial %d: early stop saw %d rows, want %d", trial, len(prefix), stop)
+			}
+		}
+	}
+}
+
+func TestColumnarSubsetAndIntCol(t *testing.T) {
+	r := NewRelation("r", NewSchema(IntCol("a"), IntCol("b")))
+	r.MustAppend(Int(1), Int(10))
+	r.MustAppend(Int(2), Null())
+	cv := NewColumnar(r, "a")
+	// Captured column: typed access.
+	vals, null, ok := cv.IntCol("a")
+	if !ok || len(vals) != 2 || vals[0] != 1 || vals[1] != 2 || null != nil {
+		t.Fatalf("IntCol(a) = %v %v %v", vals, null, ok)
+	}
+	if _, _, ok := cv.IntCol("b"); ok {
+		t.Fatal("IntCol(b) should not be captured")
+	}
+	// Predicates over uncaptured columns are constant-false.
+	cp := cv.Bind(And(Eq("b", Int(10))))
+	if !cp.IsNever() || cv.Count(cp) != 0 {
+		t.Fatal("predicate over uncaptured column must be never-true")
+	}
+	// Null mask present when the column has nulls.
+	cv2 := NewColumnar(r)
+	if _, null, ok := cv2.IntCol("b"); !ok || null == nil || !null[1] {
+		t.Fatal("IntCol(b) null mask wrong")
+	}
+}

@@ -109,6 +109,55 @@ func (p Predicate) Eval(s *Schema, row []Value) bool {
 	return true
 }
 
+// BoundAtom is an Atom with its column resolved to a schema position.
+type BoundAtom struct {
+	Col int
+	Op  Op
+	Val Value
+}
+
+// BoundPredicate is a Predicate bound to one schema: column names resolved
+// to positions once, so evaluation over a row is slice indexing plus value
+// compares — no map lookups. Produce one with Predicate.Bind; for fully
+// typed evaluation over immutable data see Columnar.Bind.
+type BoundPredicate struct {
+	atoms []BoundAtom
+	never bool // some atom referenced a column absent from the schema
+}
+
+// Bind resolves the predicate's column references against s. Atoms over
+// columns absent from s make the bound predicate constant-false, matching
+// Eval's unknown-column rule.
+func (p Predicate) Bind(s *Schema) BoundPredicate {
+	bp := BoundPredicate{atoms: make([]BoundAtom, 0, len(p.Atoms))}
+	for _, a := range p.Atoms {
+		j, ok := s.Index(a.Col)
+		if !ok {
+			return BoundPredicate{never: true}
+		}
+		bp.atoms = append(bp.atoms, BoundAtom{Col: j, Op: a.Op, Val: a.Val})
+	}
+	return bp
+}
+
+// IsNever reports whether the bound predicate can match no row.
+func (bp *BoundPredicate) IsNever() bool { return bp.never }
+
+// Eval reports whether the row satisfies every atom. It is equivalent to
+// Predicate.Eval under the schema the predicate was bound to.
+func (bp *BoundPredicate) Eval(row []Value) bool {
+	if bp.never {
+		return false
+	}
+	for i := range bp.atoms {
+		a := &bp.atoms[i]
+		if !a.Op.Apply(row[a.Col], a.Val) {
+			return false
+		}
+	}
+	return true
+}
+
 // Columns returns the distinct column names referenced, in first-use order.
 func (p Predicate) Columns() []string {
 	seen := make(map[string]bool)

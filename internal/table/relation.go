@@ -197,6 +197,18 @@ func (r *Relation) GroupBy(cols ...string) map[string][]int {
 	return out
 }
 
+// GroupByValue returns, for each distinct value of one column (nulls
+// included), the row indices carrying it. Unlike GroupBy it keys groups by
+// the Value itself, avoiding the string encoding of the key.
+func (r *Relation) GroupByValue(col string) map[Value][]int {
+	j := r.schema.MustIndex(col)
+	out := make(map[Value][]int)
+	for i, row := range r.rows {
+		out[row[j]] = append(out[row[j]], i)
+	}
+	return out
+}
+
 // KeyOf encodes the values of the named columns in row i as an opaque
 // grouping key compatible with GroupBy.
 func (r *Relation) KeyOf(i int, cols ...string) string {

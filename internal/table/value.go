@@ -1,10 +1,19 @@
 // Package table implements the relational substrate used by the rest of the
-// library: typed values, schemas, row-major relations, conjunctive selection
+// library: typed values, schemas, relations, conjunctive selection
 // predicates, foreign-key joins and CSV I/O.
 //
-// The package deliberately stays small: the paper's algorithms only need
-// selection counting, equality joins, grouping and cell updates, so the
-// relation type is an in-memory row store with a name-to-index schema.
+// The package has a two-layer design. The mutable layer is Relation, an
+// in-memory row store of dynamically typed Values with a name-to-index
+// schema; the solver builds and fills views through it. The read-optimized
+// layer is Columnar, an immutable column-major snapshot with
+// dictionary-encoded string columns and per-(column, value) posting lists;
+// predicates compile against it (Columnar.Bind) into typed integer
+// comparisons, and Count/Select over equality-bearing predicates walk
+// posting lists instead of scanning. Between the two sits
+// Predicate.Bind(*Schema), which resolves column names once for callers
+// that evaluate over row slices. Hot paths snapshot their immutable columns
+// into a Columnar and compile their predicates once; everything else uses
+// the row layer directly.
 package table
 
 import (

@@ -9,11 +9,14 @@
 //	benchtab -unit 982 -ccs 200 -scales 1,2,5,10   # closer to paper scale
 //	benchtab -batch 8 -workers -1                  # batched multi-instance workload
 //	benchtab -batch 8 -json                        # machine-readable Stats breakdown
+//	benchtab -incr -iters 11                       # cold vs warm-plan vs delta re-solve
 //	benchtab -batch 8 -cpuprofile cpu.pprof -memprofile mem.pprof  # profile the run
 //
 // With -json, output is a single JSON document: per-experiment tables, or —
 // under -batch — the per-instance per-stage Stats breakdown and wall times
-// that feed the BENCH_*.json perf trajectory.
+// that feed the BENCH_*.json perf trajectory. -incr prints
+// `go test -bench`-shaped lines (piped through .github/bench_to_json.sh to
+// produce BENCH_incr.json in CI).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -30,6 +34,7 @@ import (
 	linksynth "repro"
 	"repro/internal/census"
 	"repro/internal/experiments"
+	"repro/internal/incr"
 	"repro/internal/metrics"
 )
 
@@ -43,6 +48,8 @@ func main() {
 	largeScales := flag.String("large-scales", "", "scales for fig11b")
 	seed := flag.Int64("seed", 1, "seed")
 	batch := flag.Int("batch", 0, "solve this many instances via SolveBatch instead of running experiments")
+	incr := flag.Bool("incr", false, "benchmark cold vs warm-plan vs delta re-solve on a repeated-structure workload")
+	iters := flag.Int("iters", 15, "iterations per -incr benchmark")
 	workers := flag.Int("workers", -1, "worker pool size for -batch (-1 = GOMAXPROCS, 0/1 = serial)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -85,6 +92,10 @@ func main() {
 		for _, r := range experiments.Runners() {
 			fmt.Println(r.ID)
 		}
+		return
+	}
+	if *incr {
+		runIncr(*iters, *unit, *ccs, *seed)
 		return
 	}
 	if *batch > 0 {
@@ -230,6 +241,145 @@ func runBatch(n, workers, unit, nCC int, seed int64, asJSON bool) {
 	}
 	fmt.Printf("total %v, %.2f instances/s\n", elapsed.Round(time.Millisecond),
 		float64(n)/elapsed.Seconds())
+}
+
+// runIncr is the repeated-structure serving workload: one census instance
+// solved cold, then re-solved through the incremental engine — warm plan
+// (new session, cached classification), warm session (zero delta, fully
+// spliced), and delta re-solves (row edits / CC bound nudges relative to
+// the base). Output is `go test -bench`-shaped lines so the existing
+// .github/bench_to_json.sh turns it into BENCH_incr.json; the speedup
+// versus the cold median rides along as an extra metric.
+func runIncr(iters, unit, nCC int, seed int64) {
+	if unit <= 0 {
+		unit = 1000
+	}
+	if nCC <= 0 {
+		nCC = 150
+	}
+	if iters <= 0 {
+		iters = 15
+	}
+	d := census.Generate(census.Config{Households: unit, Areas: 6, Seed: seed})
+	in := linksynth.Input{R1: d.Persons, R2: d.Housing,
+		K1: "pid", K2: "hid", FK: "hid", CCs: d.GoodCCs(nCC), DCs: census.AllDCs()}
+	opt := linksynth.Options{Seed: seed}
+
+	fmt.Printf("incr workload: %d households, %d CCs, %d iters, seed %d\n", unit, nCC, iters, seed)
+
+	median := func(run func(i int)) time.Duration {
+		times := make([]time.Duration, iters)
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			run(i)
+			times[i] = time.Since(t0)
+		}
+		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+		return times[iters/2]
+	}
+	report := func(name string, med time.Duration, cold time.Duration) {
+		if cold > 0 && med > 0 {
+			fmt.Printf("%-28s %8d %12d ns/op %12.2f speedup-vs-cold\n",
+				name, iters, med.Nanoseconds(), float64(cold)/float64(med))
+			return
+		}
+		fmt.Printf("%-28s %8d %12d ns/op\n", name, iters, med.Nanoseconds())
+	}
+
+	cold := median(func(int) {
+		if _, err := linksynth.Solve(in, opt); err != nil {
+			fatal("-incr cold solve: %v", err)
+		}
+	})
+	report("BenchmarkIncrCold", cold, 0)
+
+	eng := incr.NewEngine(64)
+	if _, _, _, err := eng.PlanFor(in, opt); err != nil { // warm the plan cache
+		fatal("-incr compile plan: %v", err)
+	}
+	fp, err := linksynth.Fingerprint(in, opt)
+	if err != nil {
+		fatal("-incr fingerprint: %v", err)
+	}
+	warmPlan := median(func(int) {
+		// The serving shape: the request's content fingerprint is already
+		// computed (it is the cache key), so the session opens keyed.
+		sess, err := eng.OpenKeyed(in, opt, nil, fp)
+		if err != nil {
+			fatal("-incr open: %v", err)
+		}
+		if _, err := sess.Solve(); err != nil {
+			fatal("-incr warm-plan solve: %v", err)
+		}
+	})
+	report("BenchmarkIncrWarmPlan", warmPlan, cold)
+
+	sess, err := eng.Open(in, opt, nil)
+	if err != nil {
+		fatal("-incr open: %v", err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		fatal("-incr prime session: %v", err)
+	}
+	warmSession := median(func(int) {
+		if _, err := sess.Solve(); err != nil {
+			fatal("-incr warm re-solve: %v", err)
+		}
+	})
+	report("BenchmarkIncrWarmSession", warmSession, cold)
+
+	// Delta workload 1: what-if row edits — small age corrections that keep
+	// each edited tuple inside the same CC selection intervals (the common
+	// serving case: the phase-1 fill is unchanged and only the partitions
+	// holding the edited rows recolor). Edits that cross an interval
+	// boundary instead shift the fill and degrade gracefully toward the
+	// cold time; the target-nudge benchmark below measures that shape.
+	var band []int
+	for i := 0; i < in.R1.Len(); i++ {
+		if a := in.R1.Value(i, "Age").Int(); a >= 42 && a <= 62 {
+			band = append(band, i)
+		}
+	}
+	if len(band) == 0 {
+		fatal("-incr: no band rows in generated instance")
+	}
+	deltaEdit := median(func(i int) {
+		r1, r2 := band[(i*7)%len(band)], band[(i*13+3)%len(band)]
+		de := incr.Delta{R1Edits: []incr.CellEdit{
+			{Row: r1, Col: "Age", Val: linksynth.Int(in.R1.Value(r1, "Age").Int() + int64(1+i%2))},
+			{Row: r2, Col: "Age", Val: linksynth.Int(in.R1.Value(r2, "Age").Int() - int64(1+i%2))},
+		}}
+		if _, _, err := sess.Resolve(de); err != nil {
+			fatal("-incr delta edit: %v", err)
+		}
+	})
+	report("BenchmarkIncrDeltaEdit", deltaEdit, cold)
+
+	// Delta workload 2: row insertions. Appended rows sort after every
+	// existing row in the fill order, so existing partitions splice and
+	// only the partitions receiving new rows recolor.
+	deltaAppend := median(func(i int) {
+		ap := incr.Delta{R1Appends: [][]linksynth.Value{
+			{linksynth.Int(int64(900000 + i)), linksynth.String("Member"),
+				linksynth.Int(int64(45 + i%15)), linksynth.Int(int64(i % 2)), linksynth.Null()},
+		}}
+		if _, _, err := sess.Resolve(ap); err != nil {
+			fatal("-incr delta append: %v", err)
+		}
+	})
+	report("BenchmarkIncrDeltaAppend", deltaAppend, cold)
+
+	// Delta workload 3: a CC bound nudged (the Ntarget-shift shape). This
+	// shifts the phase-1 fill globally, so fewer partitions splice than
+	// under row edits; the compiled problem and classification still reuse.
+	deltaTarget := median(func(i int) {
+		ccIdx := i % len(in.CCs)
+		dt := incr.Delta{CCTargets: map[int]int64{ccIdx: in.CCs[ccIdx].Target + int64(1+i%3)}}
+		if _, _, err := sess.Resolve(dt); err != nil {
+			fatal("-incr delta target: %v", err)
+		}
+	})
+	report("BenchmarkIncrDeltaTarget", deltaTarget, cold)
 }
 
 func emitJSON(v any) {

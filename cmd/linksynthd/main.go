@@ -16,8 +16,10 @@
 //	linksynthd -addr :8081 -advertise http://10.0.0.1:8081 \
 //	    -peers http://10.0.0.1:8081,http://10.0.0.2:8081,http://10.0.0.3:8081
 //
-// Endpoints: POST /v1/solve (JSON or multipart CSV), POST /v1/batch (async,
-// returns a job id), GET /v1/jobs (list), GET /v1/jobs/{id},
+// Endpoints: POST /v1/solve (JSON or multipart CSV; a JSON body may also
+// carry a "base" fingerprint plus "delta" for an incremental warm-start
+// re-solve against a retained session — see -sessions), POST /v1/batch
+// (async, returns a job id), GET /v1/jobs (list), GET /v1/jobs/{id},
 // DELETE /v1/jobs/{id} (cancel), GET /healthz, GET /metrics. See the
 // repository README for request shapes and curl examples.
 package main
@@ -47,6 +49,8 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 1024, "maximum cached results (LRU beyond that)")
 	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes (413 beyond that)")
 	queue := flag.Int("queue", 64, "bound on queued solves and pending async jobs (503 beyond that)")
+	sessions := flag.Int("sessions", 64, "warm solver sessions retained for incremental delta re-solves (LRU beyond that)")
+	plans := flag.Int("plans", 128, "compiled structural plans retained (LRU beyond that)")
 	peers := flag.String("peers", "", "comma-separated seed list of cluster node URLs (empty = single-node)")
 	advertise := flag.String("advertise", "", "this node's URL as peers reach it (required with -peers)")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer /healthz probing period")
@@ -86,11 +90,13 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		Cache:      c,
-		Workers:    *workers,
-		MaxBody:    *maxBody,
-		QueueDepth: *queue,
-		Cluster:    clu,
+		Cache:          c,
+		Workers:        *workers,
+		MaxBody:        *maxBody,
+		QueueDepth:     *queue,
+		Cluster:        clu,
+		SessionEntries: *sessions,
+		PlanEntries:    *plans,
 	})
 	defer srv.Close()
 

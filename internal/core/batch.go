@@ -25,7 +25,7 @@ import (
 // and every unstarted instance reports ctx.Err(). Each instance's output
 // is byte-identical to a standalone Solve(inputs[i], opt).
 func SolveBatch(ctx context.Context, inputs []Input, opt Options) ([]*Result, error) {
-	return SolveBatchOn(ctx, inputs, opt, poolFor(opt))
+	return SolveBatchOn(ctx, inputs, opt, PoolFor(opt))
 }
 
 // SolveBatchOn is SolveBatch against a caller-owned worker pool (nil runs

@@ -170,14 +170,12 @@ func (p *prob) fillLeftoversUnused() (completedViaUnused, invalid int) {
 	return completedViaUnused, invalid
 }
 
-// splitHybrid classifies CC pairs and partitions the CC set: S1 (handled by
-// Algorithm 2) holds the connected components — over the "not disjoint"
-// relation — that contain no intersecting pair and have single-maximal
-// diagrams; S2 (Algorithm 1) holds the rest. The returned matrix is reused
-// to build the S1 Hasse forest without reclassifying.
-func (p *prob) splitHybrid() (s1, s2 []int, rel [][]constraint.Relationship) {
+// splitHybrid partitions the CC set from its pairwise classification: S1
+// (handled by Algorithm 2) holds the connected components — over the "not
+// disjoint" relation — that contain no intersecting pair and have
+// single-maximal diagrams; S2 (Algorithm 1) holds the rest.
+func (p *prob) splitHybrid(rel [][]constraint.Relationship) (s1, s2 []int) {
 	n := len(p.in.CCs)
-	rel = constraint.ClassifyAll(p.in.CCs, func(c string) bool { return p.isR2Col[c] })
 
 	// Components over "not disjoint".
 	comp := make([]int, n)
@@ -223,7 +221,7 @@ func (p *prob) splitHybrid() (s1, s2 []int, rel [][]constraint.Relationship) {
 			s1 = append(s1, i)
 		}
 	}
-	return s1, s2, rel
+	return s1, s2
 }
 
 // subMatrix extracts the relationship submatrix for the given CC indices.

@@ -10,12 +10,15 @@ import (
 
 // coloredPart is the order-independent output of one partition's heavy
 // work: the conflict hypergraph, the base palette, and the first
-// list-coloring pass over it.
+// list-coloring pass over it — or, on the session path, a pointer to the
+// prior solve's memo entry when the partition can be replayed instead of
+// recomputed (spliced non-nil; the other fields are then unset).
 type coloredPart struct {
 	graph    *hypergraph.Graph
 	palette  []table.Value
 	coloring hypergraph.Coloring
 	skipped  []int
+	spliced  *memoPart
 }
 
 // colorPartitions runs Algorithm 4 over the partitions, streamed through
@@ -31,17 +34,41 @@ type coloredPart struct {
 func (ph *phase2) colorPartitions(parts []partition) error {
 	p := ph.p
 	p.stat.Partitions = len(parts)
+	var memo *solveMemo
+	if p.capture {
+		memo = newSolveMemo()
+	}
 	var firstErr error
 	sched.Ordered(p.pool, len(parts), func(i int) coloredPart {
+		// Splice check on the worker: it reads only immutable inputs (the
+		// retained memos, the new partition, the DC-referenced columns of
+		// V_Join). The fresh-key condition is checked in the serial tail.
+		if mp := p.spliceable(parts[i]); mp != nil {
+			return coloredPart{spliced: mp}
+		}
 		return ph.colorPart(parts[i])
 	}, func(i int, r coloredPart) {
 		if firstErr != nil {
 			return
 		}
-		if err := ph.finishPart(parts[i], r); err != nil {
+		if r.spliced != nil {
+			ok, err := ph.spliceFinish(parts[i], r.spliced, memo)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if ok {
+				return
+			}
+			// Fresh-key state diverged from the memo's entry point: this
+			// partition mints, so it must be recomputed (serially — rare).
+			r = ph.colorPart(parts[i])
+		}
+		if err := ph.finishPart(parts[i], r, memo); err != nil {
 			firstErr = err
 		}
 	})
+	p.captured = memo
 	return firstErr
 }
 
@@ -70,11 +97,15 @@ func (ph *phase2) colorPart(pt partition) coloredPart {
 
 // finishPart is the serial tail of one partition: repair skipped vertices
 // with fresh colors, materialize the corresponding new R̂2 tuples
-// (Algorithm 4, lines 11–14), and record the FK assignment.
-func (ph *phase2) finishPart(pt partition, r coloredPart) error {
+// (Algorithm 4, lines 11–14), and record the FK assignment. With memo
+// non-nil (the session path) the partition's outcome — row set, FK
+// assignment, fresh-key trace — is recorded for splicing by the next solve.
+func (ph *phase2) finishPart(pt partition, r coloredPart, memo *solveMemo) error {
 	p := ph.p
 	p.stat.ConflictEdges += r.graph.NumEdges()
 	p.stat.SkippedVertices += len(r.skipped)
+	enterNext := ph.fresh.next
+	var minted []mintRec
 	palette := r.palette
 	coloring := r.coloring
 	if len(r.skipped) > 0 {
@@ -99,16 +130,33 @@ func (ph *phase2) finishPart(pt partition, r coloredPart) error {
 				usedFresh[c] = true
 			}
 		}
-		for _, fi := range freshIdx {
+		if memo != nil {
+			minted = make([]mintRec, len(freshIdx))
+		}
+		for i, fi := range freshIdx {
+			if memo != nil {
+				minted[i] = mintRec{key: palette[fi], appended: usedFresh[fi]}
+			}
 			if usedFresh[fi] {
 				ph.appendR2Tuple(palette[fi], pt.combo)
 			}
 		}
 	}
+	var fkOut []table.Value
+	if memo != nil {
+		fkOut = make([]table.Value, len(pt.rows))
+	}
 	for li, ri := range pt.rows {
 		key := palette[coloring[li]]
 		ph.fk[ri] = key
 		ph.keyRows[key] = append(ph.keyRows[key], ri)
+		if memo != nil {
+			fkOut[li] = key
+		}
+	}
+	if memo != nil {
+		memo.parts[pt.combo] = &memoPart{n: len(pt.rows), vals: p.dcVals(pt.rows), fk: fkOut,
+			minted: minted, enterNext: enterNext, edges: r.graph.NumEdges(), skipped: len(r.skipped)}
 	}
 	return nil
 }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/constraint"
+)
+
+// Plan is the compiled, data-independent part of a solve: the pairwise CC
+// relationship classification, held in canonical (sorted-render) constraint
+// order so one plan serves every instance that shares a structural
+// fingerprint regardless of how its constraints were declared. Plans are
+// immutable and safe for concurrent use; the serving layer caches them in
+// an LRU keyed by StructuralFingerprint.
+//
+// Classification is the only artifact cached at this layer: the hybrid
+// split and the Hasse forest derive from it in O(|CC|²) without touching
+// predicates, and everything else the solver compiles (combo tables, bound
+// predicates, candidate bitsets) depends on the row data and lives in the
+// per-session compiled problem instead.
+type Plan struct {
+	key     [32]byte // StructuralFingerprint the plan was compiled under
+	renders []string // canonical (sorted, name-elided) CC renders
+	rel     [][]constraint.Relationship
+}
+
+// CompilePlan classifies the instance's CC set and returns the reusable
+// plan, keyed by the instance's structural fingerprint.
+func CompilePlan(in Input, opt Options) (*Plan, error) {
+	key, err := StructuralFingerprint(in, opt)
+	if err != nil {
+		return nil, err
+	}
+	isR2 := make(map[string]bool)
+	for _, col := range in.R2.Schema().Names() {
+		if col != in.K2 {
+			isR2[col] = true
+		}
+	}
+	rel := constraint.ClassifyAll(in.CCs, func(c string) bool { return isR2[c] })
+	perm, renders := renderPerm(in.CCs) // canonical position -> input index
+	canon := make([][]constraint.Relationship, len(perm))
+	sorted := make([]string, len(perm))
+	for a, i := range perm {
+		canon[a] = make([]constraint.Relationship, len(perm))
+		for b, j := range perm {
+			canon[a][b] = rel[i][j]
+		}
+		sorted[a] = renders[i]
+	}
+	return &Plan{key: key, renders: sorted, rel: canon}, nil
+}
+
+// Key returns the structural fingerprint the plan was compiled under.
+func (pl *Plan) Key() [32]byte { return pl.key }
+
+// NumCCs returns the size of the classified CC set.
+func (pl *Plan) NumCCs() int { return len(pl.renders) }
+
+// relFor remaps the plan's canonical classification matrix into the order
+// of the given CC set. ok is false when the CC set does not match the plan
+// (different renders); callers then classify directly. Two CCs with equal
+// canonical renders are identical constraints, so any assignment among
+// equal renders yields the same matrix.
+func (pl *Plan) relFor(ccs []constraint.CC) ([][]constraint.Relationship, bool) {
+	if len(ccs) != len(pl.renders) {
+		return nil, false
+	}
+	perm, renders := renderPerm(ccs) // canonical position -> input index
+	for a, i := range perm {
+		if renders[i] != pl.renders[a] {
+			return nil, false
+		}
+	}
+	rel := make([][]constraint.Relationship, len(ccs))
+	for a, i := range perm {
+		rel[i] = make([]constraint.Relationship, len(ccs))
+		for b, j := range perm {
+			rel[i][j] = pl.rel[a][b]
+		}
+	}
+	return rel, true
+}
+
+// renderPerm returns the name-elided render of every CC (in input order)
+// and the permutation sorting the set into canonical render order: perm[a]
+// is the input index of the a-th canonical CC.
+func renderPerm(ccs []constraint.CC) (perm []int, renders []string) {
+	renders = make([]string, len(ccs))
+	for i, cc := range ccs {
+		cc.Name = ""
+		renders[i] = constraint.RenderCC(cc)
+	}
+	perm = make([]int, len(ccs))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return renders[perm[a]] < renders[perm[b]] })
+	return perm, renders
+}

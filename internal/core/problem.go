@@ -214,6 +214,29 @@ func (p *prob) compile() {
 	}
 
 	p.boundDCs = constraint.BindDCs(p.in.DCs, p.vjoin.Schema())
+
+	// Column indices any DC atom can read; the positional-value splice
+	// check of the session path compares exactly these cells.
+	dcCols := make(map[int]bool)
+	for _, dc := range p.in.DCs {
+		for _, a := range dc.Unary {
+			if j, ok := p.vjoin.Schema().Index(a.Col); ok {
+				dcCols[j] = true
+			}
+		}
+		for _, a := range dc.Binary {
+			for _, c := range []string{a.LCol, a.RCol} {
+				if j, ok := p.vjoin.Schema().Index(c); ok {
+					dcCols[j] = true
+				}
+			}
+		}
+	}
+	p.dcColIdx = p.dcColIdx[:0]
+	for j := range dcCols {
+		p.dcColIdx = append(p.dcColIdx, j)
+	}
+	sort.Ints(p.dcColIdx)
 }
 
 // ensureDCCand fills dcCand: for every DC and tuple variable, the rows of

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/constraint"
@@ -10,13 +11,15 @@ import (
 	"repro/internal/table"
 )
 
-// poolFor builds the worker pool an Options value asks for: nil (fully
+// PoolFor builds the worker pool an Options value asks for: nil (fully
 // sequential) for Workers 0 or 1, a GOMAXPROCS-sized pool for negative
 // Workers, and an exactly-sized pool otherwise. A pool that resolves to a
 // single worker (GOMAXPROCS=1) is collapsed to nil so single-core hosts
 // take the true sequential path instead of paying speculation overhead for
-// zero parallelism.
-func poolFor(opt Options) *sched.Pool {
+// zero parallelism. It is the single source of the parallelism policy:
+// the incremental engine derives session pools through it, so a session
+// solve and a cold Solve of the same Options always parallelize alike.
+func PoolFor(opt Options) *sched.Pool {
 	var pool *sched.Pool
 	switch {
 	case opt.Workers < 0:
@@ -35,7 +38,7 @@ func poolFor(opt Options) *sched.Pool {
 // default options this is the paper's hybrid; BaselineOptions and
 // BaselineMarginalsOptions reproduce the §6.1 comparison algorithms.
 func Solve(in Input, opt Options) (*Result, error) {
-	return solveOnPool(in, opt, poolFor(opt))
+	return solveOnPool(in, opt, PoolFor(opt))
 }
 
 // SolveOn is Solve against a caller-owned worker pool (nil runs fully
@@ -57,23 +60,61 @@ func solveOnPool(in Input, opt Options, pool *sched.Pool) (*Result, error) {
 		return nil, err
 	}
 	p.pool = pool
+	return p.run(t0)
+}
+
+// classification returns the pairwise CC relationship matrix, computing it
+// on first use — from the attached plan's canonical matrix when it matches,
+// by direct classification otherwise — and caching it on the problem so
+// session re-solves never reclassify (the matrix depends only on constraint
+// predicates, which a session never changes).
+func (p *prob) classification() [][]constraint.Relationship {
+	if p.rel != nil {
+		return p.rel
+	}
+	if p.plan != nil {
+		if rel, ok := p.plan.relFor(p.in.CCs); ok {
+			p.rel = rel
+			p.planReused = true
+			return p.rel
+		}
+	}
+	p.rel = constraint.ClassifyAll(p.in.CCs, func(c string) bool { return p.isR2Col[c] })
+	return p.rel
+}
+
+// hybridSplit returns the cached S1/S2 split and S1 Hasse forest, building
+// them from the classification on first use.
+func (p *prob) hybridSplit() *hybridSplitState {
+	if p.split == nil {
+		s1, s2 := p.splitHybrid(p.classification())
+		p.split = &hybridSplitState{s1: s1, s2: s2, forest: hasse.Build(subMatrix(p.rel, s1))}
+	}
+	return p.split
+}
+
+// run executes both solver phases on a prepared problem. It resets the
+// randomized tie-breaking stream first, so re-running a retained problem
+// (the session path) is byte-identical to a fresh solve of the same input.
+func (p *prob) run(t0 time.Time) (*Result, error) {
+	in, opt, stat := p.in, p.opt, p.stat
+	p.rng = rand.New(rand.NewSource(opt.Seed))
 
 	// ---------- Phase I: complete V_Join from the CCs ----------
 	tPhase1 := time.Now()
 	switch opt.Mode {
 	case ModeHybrid:
 		tw := time.Now()
-		s1, s2, rel := p.splitHybrid()
+		hs := p.hybridSplit()
 		stat.Pairwise = time.Since(tw)
-		stat.CCsToHasse, stat.CCsToILP = len(s1), len(s2)
+		stat.CCsToHasse, stat.CCsToILP = len(hs.s1), len(hs.s2)
 
 		tw = time.Now()
-		forest := hasse.Build(subMatrix(rel, s1))
-		p.runHasse(s1, forest)
+		p.runHasse(hs.s1, hs.forest)
 		stat.Recursion = time.Since(tw)
 
 		tw = time.Now()
-		if err := p.runILP(s2, !opt.NoMarginals); err != nil {
+		if err := p.runILP(hs.s2, !opt.NoMarginals); err != nil {
 			return nil, err
 		}
 		stat.ILPTime = time.Since(tw)
@@ -97,10 +138,13 @@ func solveOnPool(in Input, opt Options, pool *sched.Pool) (*Result, error) {
 		}
 		stat.CCsToHasse = len(all)
 		tw := time.Now()
-		rel := constraint.ClassifyAll(in.CCs, func(c string) bool { return p.isR2Col[c] })
+		rel := p.classification()
 		stat.Pairwise = time.Since(tw)
 		tw = time.Now()
-		p.runHasse(all, hasse.Build(rel))
+		if p.forestAll == nil {
+			p.forestAll = hasse.Build(rel)
+		}
+		p.runHasse(all, p.forestAll)
 		stat.Recursion = time.Since(tw)
 
 	default:
@@ -120,6 +164,7 @@ func solveOnPool(in Input, opt Options, pool *sched.Pool) (*Result, error) {
 		}
 	}
 	stat.Phase1 = time.Since(tPhase1)
+	stat.PlanReused = p.planReused // set by classification() during phase I
 
 	// ---------- Phase II: complete R1.FK from V_Join and the DCs ----------
 	// runPhase2 records stat.Coloring itself (graph construction + coloring
@@ -142,7 +187,7 @@ func solveOnPool(in Input, opt Options, pool *sched.Pool) (*Result, error) {
 	vj.Name = "VJoin"
 	stat.Phase2 = time.Since(tPhase2)
 	stat.Total = time.Since(t0)
-	return &Result{R1Hat: r1hat, R2Hat: ph.r2hat, VJoin: vj, Stats: stat}, nil
+	return &Result{R1Hat: r1hat, R2Hat: ph.r2hat, VJoin: vj, Stats: *stat}, nil
 }
 
 // fillLeftoversRandom assigns uniformly random active combos to every

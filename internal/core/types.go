@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/constraint"
+	"repro/internal/hasse"
 	"repro/internal/ilp"
 	"repro/internal/sched"
 	"repro/internal/table"
@@ -143,6 +144,12 @@ type Stats struct {
 	ConflictEdges       int
 	SkippedVertices     int
 	AddedR2Tuples       int
+
+	// Incremental-solve diagnostics (the session / delta path; see
+	// SolveSession). All zero for a plain Solve.
+	PlanReused        bool // CC classification came from a compiled Plan
+	ProbReused        bool // the compiled problem was patched, not rebuilt
+	SplicedPartitions int  // phase-2 partitions spliced from the prior solve
 }
 
 // Result is the solver output: R̂1 with the FK column completed, R̂2 with
@@ -208,4 +215,27 @@ type prob struct {
 	boundDCs  []constraint.BoundDC
 	dcCand    [][][]bool
 	intAccess map[string]func(int) (int64, bool)
+	dcColIdx  []int // V_Join column indices referenced by any DC atom
+
+	// Plan / session reuse state. plan (optional) supplies the pairwise CC
+	// classification without reclassifying; rel, split and forestAll cache
+	// the classification-derived artifacts across a session's re-solves
+	// (they depend only on constraint predicates, never on targets or row
+	// data). capture/prior/dirty drive the phase-2 memo machinery of
+	// session.go; all nil/false for a plain Solve.
+	plan       *Plan
+	planReused bool
+	rel        [][]constraint.Relationship
+	split      *hybridSplitState
+	forestAll  *hasse.Forest
+
+	capture  bool         // record a solveMemo during phase 2
+	priors   []*solveMemo // retained memos to splice from, newest first
+	captured *solveMemo   // memo recorded by the current run
+}
+
+// hybridSplitState caches the hybrid's S1/S2 split and the S1 Hasse forest.
+type hybridSplitState struct {
+	s1, s2 []int
+	forest *hasse.Forest
 }

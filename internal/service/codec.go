@@ -1,6 +1,9 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,10 +11,14 @@ import (
 	"mime"
 	"mime/multipart"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/constraint"
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/metrics"
 	"repro/internal/table"
 )
@@ -50,10 +57,129 @@ type InstanceJSON struct {
 	Constraints string        `json:"constraints,omitempty"`
 }
 
-// SolveRequest is the body of POST /v1/solve.
+// SolveRequest is the body of POST /v1/solve. Two shapes are accepted: a
+// full instance (r1/r2/k1/k2/fk/constraints), or a warm-start delta — a
+// `base` fingerprint naming a previously solved instance plus a `delta`
+// change set, with no instance fields. Delta requests re-solve the base
+// instance patched by the delta, splicing unchanged work from the warm
+// session the base solve left behind; the response is byte-identical in
+// its result relations to submitting the patched instance in full.
 type SolveRequest struct {
 	InstanceJSON
 	Options *OptionsJSON `json:"options,omitempty"`
+	Base    string       `json:"base,omitempty"`
+	Delta   *DeltaJSON   `json:"delta,omitempty"`
+}
+
+// DeltaJSON is the wire form of an incremental change set relative to a
+// base instance: CC targets remapped by index, R1 cells edited, R1 rows
+// appended. Cell values follow the relation cell encoding (number, string
+// or null).
+type DeltaJSON struct {
+	CCTargets map[string]int64 `json:"cc_targets,omitempty"` // CC index (decimal string) -> new target
+	R1Edits   []CellEditJSON   `json:"r1_edits,omitempty"`
+	R1Appends [][]any          `json:"r1_appends,omitempty"`
+}
+
+// CellEditJSON rewrites one R1 cell.
+type CellEditJSON struct {
+	Row int    `json:"row"`
+	Col string `json:"col"`
+	Val any    `json:"val"`
+}
+
+// toDelta converts the wire delta into the engine's form.
+func (dj *DeltaJSON) toDelta() (incr.Delta, error) {
+	var d incr.Delta
+	if len(dj.CCTargets) > 0 {
+		d.CCTargets = make(map[int]int64, len(dj.CCTargets))
+		for k, t := range dj.CCTargets {
+			i, err := strconv.Atoi(k)
+			if err != nil {
+				return d, badRequest("delta: cc_targets key %q is not a CC index", k)
+			}
+			d.CCTargets[i] = t
+		}
+	}
+	for n, ed := range dj.R1Edits {
+		v, err := decodeValue(ed.Val)
+		if err != nil {
+			return d, badRequest("delta: r1_edits[%d]: %v", n, err)
+		}
+		d.R1Edits = append(d.R1Edits, incr.CellEdit{Row: ed.Row, Col: ed.Col, Val: v})
+	}
+	for n, row := range dj.R1Appends {
+		vals := make([]table.Value, len(row))
+		for j, cell := range row {
+			v, err := decodeValue(cell)
+			if err != nil {
+				return d, badRequest("delta: r1_appends[%d][%d]: %v", n, j, err)
+			}
+			vals[j] = v
+		}
+		d.R1Appends = append(d.R1Appends, vals)
+	}
+	return d, nil
+}
+
+// deltaFlightKey derives the singleflight key of a (base, delta) pair, so
+// identical concurrent warm-start requests coalesce onto one partial
+// re-solve even before the patched instance's full fingerprint is known.
+// The encoding is canonical and injective: targets sorted by index, edits
+// and appends in request order (order is semantically significant for
+// edits), every variable-length field length-prefixed and every section
+// count-prefixed — no two distinct deltas share an encoding even when
+// string values embed separator bytes.
+func deltaFlightKey(base cache.Key, d incr.Delta) cache.Key {
+	h := sha256.New()
+	writeLP := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		io.WriteString(h, s)
+	}
+	writeInt := func(v int64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(v))
+		h.Write(n[:])
+	}
+	writeVal := func(v table.Value) {
+		writeInt(int64(v.Kind()))
+		switch v.Kind() {
+		case table.KindInt:
+			writeInt(v.Int())
+		case table.KindString:
+			writeLP(v.Str())
+		}
+	}
+	writeLP("linksynth-delta-flight-v1")
+	h.Write(base[:])
+	idxs := make([]int, 0, len(d.CCTargets))
+	for i := range d.CCTargets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	writeInt(int64(len(idxs)))
+	for _, i := range idxs {
+		writeInt(int64(i))
+		writeInt(d.CCTargets[i])
+	}
+	writeInt(int64(len(d.R1Edits)))
+	for _, ed := range d.R1Edits {
+		writeInt(int64(ed.Row))
+		writeLP(ed.Col)
+		writeVal(ed.Val)
+	}
+	writeInt(int64(len(d.R1Appends)))
+	for _, row := range d.R1Appends {
+		writeInt(int64(len(row)))
+		for _, v := range row {
+			writeVal(v)
+		}
+	}
+	var k cache.Key
+	h.Sum(k[:0])
+	return k
 }
 
 // BatchRequest is the body of POST /v1/batch: many instances solved
@@ -283,35 +409,87 @@ func encodeSolveBody(keyHex string, in core.Input, res *core.Result) ([]byte, er
 	return json.Marshal(body)
 }
 
-// parseSolveRequest decodes POST /v1/solve in either of its two shapes:
-// application/json (SolveRequest) or multipart/form-data with CSV relation
-// parts. Multipart parts: files "r1" and "r2" (CSV, schema inferred while
-// streaming), fields "k1"/"k2"/"fk", optional "constraints" (DSL text,
-// field or file) and optional "options" (OptionsJSON).
-func parseSolveRequest(r *http.Request) (core.Input, core.Options, error) {
+// solveParsed is one decoded /v1/solve request: either a full instance
+// (isDelta false; in/opt set) or a warm-start reference (isDelta true;
+// base/delta set, solved against the base instance's retained options).
+type solveParsed struct {
+	isDelta bool
+	in      core.Input
+	opt     core.Options
+	base    cache.Key
+	delta   incr.Delta
+}
+
+// parseSolveRequest decodes POST /v1/solve in any of its shapes:
+// application/json with a full instance (SolveRequest), application/json
+// with a base fingerprint plus delta (the warm-start path), or
+// multipart/form-data with CSV relation parts. Multipart parts: files "r1"
+// and "r2" (CSV, schema inferred while streaming), fields "k1"/"k2"/"fk",
+// optional "constraints" (DSL text, field or file) and optional "options"
+// (OptionsJSON).
+func parseSolveRequest(r *http.Request) (*solveParsed, error) {
 	ct := r.Header.Get("Content-Type")
 	mediaType, params, err := mime.ParseMediaType(ct)
 	if ct != "" && err != nil {
-		return core.Input{}, core.Options{}, badRequest("bad Content-Type %q: %v", ct, err)
+		return nil, badRequest("bad Content-Type %q: %v", ct, err)
 	}
 	if mediaType == "multipart/form-data" {
-		return parseMultipartSolve(r, params["boundary"])
+		in, opt, err := parseMultipartSolve(r, params["boundary"])
+		if err != nil {
+			return nil, err
+		}
+		return &solveParsed{in: in, opt: opt}, nil
 	}
 	var req SolveRequest
 	dec := json.NewDecoder(r.Body)
 	dec.UseNumber()
 	if err := dec.Decode(&req); err != nil {
-		return core.Input{}, core.Options{}, decodeErr(err)
+		return nil, decodeErr(err)
+	}
+	if req.Base != "" || req.Delta != nil {
+		return parseDeltaRequest(&req)
 	}
 	in, err := req.InstanceJSON.toInput()
 	if err != nil {
-		return core.Input{}, core.Options{}, err
+		return nil, err
 	}
 	opt, err := req.Options.toOptions()
 	if err != nil {
-		return core.Input{}, core.Options{}, err
+		return nil, err
 	}
-	return in, opt, nil
+	return &solveParsed{in: in, opt: opt}, nil
+}
+
+// parseDeltaRequest validates the warm-start shape: base and delta both
+// present, no instance fields (the base names the instance), no options
+// (the base solve's options are inherited — a delta cannot change them).
+func parseDeltaRequest(req *SolveRequest) (*solveParsed, error) {
+	if req.Base == "" {
+		return nil, badRequest("delta request needs a base fingerprint")
+	}
+	if req.Delta == nil {
+		return nil, badRequest("base without delta: submit a delta, or the full instance without base")
+	}
+	if req.R1 != nil || req.R2 != nil || req.K1 != "" || req.K2 != "" || req.FK != "" || req.Constraints != "" {
+		return nil, badRequest("delta request must not carry instance fields (the base fingerprint names the instance)")
+	}
+	if req.Options != nil {
+		return nil, badRequest("delta request must not carry options (the base solve's options are inherited)")
+	}
+	raw, err := hex.DecodeString(req.Base)
+	if err != nil || len(raw) != 32 {
+		return nil, badRequest("base %q is not a 64-hex-digit fingerprint", req.Base)
+	}
+	d, err := req.Delta.toDelta()
+	if err != nil {
+		return nil, err
+	}
+	if d.IsZero() {
+		return nil, badRequest("delta is empty")
+	}
+	p := &solveParsed{isDelta: true, delta: d}
+	copy(p.base[:], raw)
+	return p, nil
 }
 
 func parseMultipartSolve(r *http.Request, boundary string) (core.Input, core.Options, error) {

@@ -1,0 +1,383 @@
+package service
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// patchedInstance applies the test delta (cc0 target -> 3, person 3's Rel
+// -> Spouse) to the wire instance, mirroring what the warm-start path does
+// server-side.
+func patchedInstance(inst InstanceJSON) InstanceJSON {
+	inst.Constraints = strings.Replace(inst.Constraints,
+		"count(Rel = 'Owner', Area = 'Chicago') = 2",
+		"count(Rel = 'Owner', Area = 'Chicago') = 3", 1)
+	rows := make([][]any, len(inst.R1.Rows))
+	copy(rows, inst.R1.Rows)
+	r := append([]any(nil), rows[3]...)
+	r[2] = "Spouse"
+	rows[3] = r
+	r1 := *inst.R1
+	r1.Rows = rows
+	inst.R1 = &r1
+	return inst
+}
+
+func testDelta() *DeltaJSON {
+	return &DeltaJSON{
+		CCTargets: map[string]int64{"0": 3},
+		R1Edits:   []CellEditJSON{{Row: 3, Col: "Rel", Val: "Spouse"}},
+	}
+}
+
+// TestDeltaSolveMatchesColdSolve is the service-level byte-identity check:
+// a warm-start delta response must carry the same result relations and the
+// same content key as submitting the patched instance in full, and the
+// cached body under that key must serve byte-identically afterwards.
+func TestDeltaSolveMatchesColdSolve(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	opts := &OptionsJSON{Seed: 1}
+
+	// Base solve: leaves a warm session behind.
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(0), Options: opts})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base solve status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	var base SolveResponse
+	if err := json.Unmarshal(readBody(t, resp), &base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delta against the base fingerprint.
+	resp = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Base: base.Key, Delta: testDelta()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta solve status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	if got := resp.Header.Get("X-Linksynth-Incr"); got == "" {
+		t.Errorf("delta response missing X-Linksynth-Incr header")
+	}
+	deltaBody := readBody(t, resp)
+	var warm SolveResponse
+	if err := json.Unmarshal(deltaBody, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Key == base.Key {
+		t.Fatalf("delta response key equals base key; the patched instance must address differently")
+	}
+
+	// Cold oracle: the equivalent patched instance on a fresh server.
+	_, ts2 := newTestServer(t, Config{Workers: 2})
+	resp = postJSON(t, ts2.URL+"/v1/solve", SolveRequest{InstanceJSON: patchedInstance(testInstance(0)), Options: opts})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold patched solve status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	var cold SolveResponse
+	if err := json.Unmarshal(readBody(t, resp), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Key != cold.Key {
+		t.Errorf("delta key %s != cold key %s", warm.Key, cold.Key)
+	}
+	if !reflect.DeepEqual(warm.Result.R1Hat, cold.Result.R1Hat) ||
+		!reflect.DeepEqual(warm.Result.R2Hat, cold.Result.R2Hat) ||
+		!reflect.DeepEqual(warm.Result.VJoin, cold.Result.VJoin) {
+		t.Errorf("delta result relations differ from cold solve of the patched instance")
+	}
+	if !reflect.DeepEqual(warm.Result.CCErrors, cold.Result.CCErrors) || warm.Result.DCError != cold.Result.DCError {
+		t.Errorf("delta quality metrics differ from cold solve")
+	}
+
+	// Submitting the patched instance in full on the warm server now hits
+	// the cache entry the delta populated, byte-identically.
+	resp = postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: patchedInstance(testInstance(0)), Options: opts})
+	if got := resp.Header.Get("X-Linksynth-Cache"); got != "hit" {
+		t.Errorf("patched full solve after delta: cache header %q, want hit", got)
+	}
+	if full := readBody(t, resp); string(full) != string(deltaBody) {
+		t.Errorf("cached patched body differs from delta response body")
+	}
+}
+
+// TestDeltaWithoutSessionIs404 rejects deltas whose base never solved here.
+func TestDeltaWithoutSessionIs404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		Base:  strings.Repeat("ab", 32),
+		Delta: testDelta(),
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404: %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+	if got := metricValue(t, ts.URL, "incr_session_misses_total"); got != 1 {
+		t.Errorf("incr_session_misses_total = %d, want 1", got)
+	}
+}
+
+// TestDeltaRequestValidation rejects malformed warm-start bodies.
+func TestDeltaRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	bad := []SolveRequest{
+		{Base: "zz", Delta: testDelta()},                      // bad hex
+		{Base: strings.Repeat("ab", 32)},                      // base without delta
+		{Base: strings.Repeat("ab", 32), Delta: &DeltaJSON{}}, // empty delta
+		{Delta: testDelta()},                                  // delta without base
+		{Base: strings.Repeat("ab", 32), Delta: testDelta(), Options: &OptionsJSON{Seed: 2}}, // options on delta
+		{InstanceJSON: testInstance(0), Base: strings.Repeat("ab", 32), Delta: testDelta()},  // instance + delta
+	}
+	for i, req := range bad {
+		resp := postJSON(t, ts.URL+"/v1/solve", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %d: status %d, want 400: %s", i, resp.StatusCode, readBody(t, resp))
+			continue
+		}
+		readBody(t, resp)
+	}
+
+	// Schema-dependent delta failures are only detectable against a live
+	// session: they must come back as clean client errors — never a panic
+	// that kills the connection and wedges the (base, delta) flight.
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(0), Options: &OptionsJSON{Seed: 1}})
+	var base SolveResponse
+	if err := json.Unmarshal(readBody(t, resp), &base); err != nil {
+		t.Fatal(err)
+	}
+	sessionBad := []*DeltaJSON{
+		{R1Appends: [][]any{{"oops", 1, "Owner", nil}}},             // kind mismatch in column 0
+		{R1Appends: [][]any{{99}}},                                  // arity mismatch
+		{R1Edits: []CellEditJSON{{Row: 0, Col: "Age", Val: "old"}}}, // kind mismatch on edit
+		{R1Edits: []CellEditJSON{{Row: 999, Col: "Age", Val: 1}}},   // row out of range
+		{CCTargets: map[string]int64{"99": 5}},                      // CC index out of range
+	}
+	for i, d := range sessionBad {
+		resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Base: base.Key, Delta: d})
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Errorf("session-bad delta %d: status %d, want a 4xx: %s", i, resp.StatusCode, readBody(t, resp))
+			continue
+		}
+		readBody(t, resp)
+		// The flight must not be wedged: a valid delta right after succeeds.
+		ok := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Base: base.Key, Delta: testDelta()})
+		if ok.StatusCode != http.StatusOK {
+			t.Fatalf("valid delta after bad delta %d: status %d: %s", i, ok.StatusCode, readBody(t, ok))
+		}
+		readBody(t, ok)
+	}
+}
+
+// TestDeltaSessionRecoveryViaCacheHit pins the 404-retry flow: after the
+// base's session is evicted, a delta 404s, the client re-submits the full
+// instance — answered from the byte cache — and that hit re-parks a warm
+// session, so the retried delta succeeds.
+func TestDeltaSessionRecoveryViaCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, SessionEntries: 1})
+	opts := &OptionsJSON{Seed: 1}
+
+	respA := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(0), Options: opts})
+	var base SolveResponse
+	if err := json.Unmarshal(readBody(t, respA), &base); err != nil {
+		t.Fatal(err)
+	}
+	// A second instance evicts A's session (capacity 1); A's body stays cached.
+	readBody(t, postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(7), Options: opts}))
+
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Base: base.Key, Delta: testDelta()})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delta after eviction: status %d, want 404: %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+
+	// The client's retry: full instance, served from cache, parks a session
+	// (asynchronously — the 404 marked this base as wanted).
+	resp = postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(0), Options: opts})
+	if got := resp.Header.Get("X-Linksynth-Cache"); got != "hit" {
+		t.Fatalf("full re-submit: cache header %q, want hit", got)
+	}
+	readBody(t, resp)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Base: base.Key, Delta: testDelta()})
+		readBody(t, resp)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delta still failing after cache-hit re-park: status %d", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestIncrMetrics walks the incr counter progression: a cold solve, a warm
+// re-open, and a partial delta.
+func TestIncrMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	opts := &OptionsJSON{Seed: 1}
+
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(0), Options: opts})
+	var base SolveResponse
+	if err := json.Unmarshal(readBody(t, resp), &base); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricValue(t, ts.URL, "incr_cold_solves_total"); got != 1 {
+		t.Errorf("incr_cold_solves_total = %d, want 1", got)
+	}
+	if got := metricValue(t, ts.URL, "incr_sessions"); got != 1 {
+		t.Errorf("incr_sessions = %d, want 1", got)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Base: base.Key, Delta: testDelta()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+	if got := metricValue(t, ts.URL, "incr_delta_requests_total"); got != 1 {
+		t.Errorf("incr_delta_requests_total = %d, want 1", got)
+	}
+	warm := metricValue(t, ts.URL, "incr_warm_solves_total")
+	partial := metricValue(t, ts.URL, "incr_partial_solves_total")
+	if warm+partial != 1 {
+		t.Errorf("delta solve classified neither warm nor partial (warm=%d partial=%d)", warm, partial)
+	}
+}
+
+// TestDeltaCoalescing pins the (base, delta) singleflight: while a leader
+// holds the delta flight, an identical concurrent request must wait and
+// adopt the leader's body rather than re-solving.
+func TestDeltaCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	opts := &OptionsJSON{Seed: 1}
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(0), Options: opts})
+	var base SolveResponse
+	if err := json.Unmarshal(readBody(t, resp), &base); err != nil {
+		t.Fatal(err)
+	}
+	rawBase, err := hex.DecodeString(base.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseKey cache.Key
+	copy(baseKey[:], rawBase)
+	d, err := testDelta().toDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk := deltaFlightKey(baseKey, d)
+
+	// Become the leader for this (base, delta) before firing the request.
+	f, lead := s.tryLead(dk)
+	if !lead {
+		t.Fatal("test could not claim the delta flight")
+	}
+	solverRunsBefore := metricValue(t, ts.URL, "solver_runs_total")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []byte
+	var status string
+	go func() {
+		defer wg.Done()
+		resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Base: base.Key, Delta: testDelta()})
+		status = resp.Header.Get("X-Linksynth-Incr")
+		got = readBody(t, resp)
+	}()
+
+	// Wait until the request has entered the delta handler (the counter
+	// bumps just before it reaches the flight), then give it a beat to
+	// park on the flight before settling.
+	for i := 0; i < 500; i++ {
+		if s.deltaRequests.Load() > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(25 * time.Millisecond)
+
+	// Settle the flight with a recognizable body: the follower must adopt
+	// it without running the solver.
+	fake := []byte(`{"coalesced":true}`)
+	s.settle(dk, f, fake, nil)
+	wg.Wait()
+	if string(got) != string(fake) {
+		t.Errorf("follower body = %s, want the leader's settled body", got)
+	}
+	if status != "coalesced" {
+		t.Errorf("follower X-Linksynth-Incr = %q, want coalesced", status)
+	}
+	if runs := metricValue(t, ts.URL, "solver_runs_total"); runs != solverRunsBefore {
+		t.Errorf("follower ran the solver (%d -> %d runs)", solverRunsBefore, runs)
+	}
+}
+
+// TestClusterDeltaRoutesToBaseOwner: a delta submitted to a non-owner node
+// must be forwarded to the owner of the *base* fingerprint — where the
+// warm session lives — and answered there.
+func TestClusterDeltaRoutesToBaseOwner(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	urls := []string{nodes[0].url, nodes[1].url}
+	opts := &OptionsJSON{Seed: 1}
+
+	// An instance owned by node 0; solve it via node 1 so the forward path
+	// places the solve (and the warm session) on the owner.
+	inst := instanceOwnedBy(t, urls, nodes[0].url, opts, 0)
+	resp := postJSON(t, nodes[1].url+"/v1/solve", SolveRequest{InstanceJSON: inst, Options: opts})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("base solve status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	if got := resp.Header.Get("X-Linksynth-Node"); got != nodes[0].url {
+		t.Fatalf("base solve served by %s, want owner %s", got, nodes[0].url)
+	}
+	var base SolveResponse
+	if err := json.Unmarshal(readBody(t, resp), &base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delta via the non-owner: forwarded to the base's owner.
+	resp = postJSON(t, nodes[1].url+"/v1/solve", SolveRequest{Base: base.Key, Delta: testDelta()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	if got := resp.Header.Get("X-Linksynth-Node"); got != nodes[0].url {
+		t.Errorf("delta served by %s, want base owner %s", got, nodes[0].url)
+	}
+	var warm SolveResponse
+	if err := json.Unmarshal(readBody(t, resp), &warm); err != nil {
+		t.Fatal(err)
+	}
+
+	// The owner, not the entry node, did the incremental work.
+	if got := metricValue(t, nodes[0].url, "incr_delta_requests_total"); got != 1 {
+		t.Errorf("owner incr_delta_requests_total = %d, want 1", got)
+	}
+	if got := metricValue(t, nodes[1].url, "cluster_forwarded_total"); got < 2 {
+		t.Errorf("non-owner cluster_forwarded_total = %d, want >= 2 (base + delta)", got)
+	}
+	if got := metricValue(t, nodes[1].url, "incr_sessions"); got != 0 {
+		t.Errorf("non-owner retained %d sessions, want 0", got)
+	}
+
+	// And the answer matches a cold solve of the patched instance.
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp = postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: patchedInstance(inst), Options: opts})
+	var cold SolveResponse
+	if err := json.Unmarshal(readBody(t, resp), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Key != cold.Key {
+		t.Errorf("forwarded delta key %s != cold key %s", warm.Key, cold.Key)
+	}
+	if !reflect.DeepEqual(warm.Result.R1Hat, cold.Result.R1Hat) ||
+		!reflect.DeepEqual(warm.Result.R2Hat, cold.Result.R2Hat) ||
+		!reflect.DeepEqual(warm.Result.VJoin, cold.Result.VJoin) {
+		t.Errorf("forwarded delta result differs from cold solve")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/sched"
 )
 
@@ -56,8 +57,17 @@ type Config struct {
 	// Cluster, when non-nil, shards the service: solves whose fingerprint
 	// hashes to another node are forwarded there (falling back to local
 	// solving when the owner is down), and batch jobs scatter sub-jobs to
-	// the owning nodes and gather their results. Nil runs single-node.
+	// the owning nodes and gather their results. Delta requests route by
+	// the owner of the *base* fingerprint, so the warm session a delta
+	// needs is co-located with it. Nil runs single-node.
 	Cluster *cluster.Cluster
+	// SessionEntries bounds the warm solver sessions retained for
+	// incremental (delta) re-solves, LRU beyond that (<= 0 selects 64).
+	// Every locally solved sync instance leaves a session behind.
+	SessionEntries int
+	// PlanEntries bounds the compiled-plan cache shared by the sessions
+	// (<= 0 selects 128).
+	PlanEntries int
 }
 
 // Server implements http.Handler for the linksynthd API.
@@ -65,6 +75,9 @@ type Server struct {
 	cache      *cache.Cache
 	pool       *sched.Pool
 	clu        *cluster.Cluster // nil = single-node
+	engine     *incr.Engine
+	sessions   *cache.LRU[*svcSession]
+	wanted     *cache.LRU[struct{}] // bases recent deltas asked for but found no session
 	nWorkers   int
 	maxBody    int64
 	queueDepth int
@@ -98,12 +111,33 @@ type Server struct {
 	hopServed        atomic.Uint64 // hop-guarded requests answered locally
 	scatterJobs      atomic.Uint64 // batch jobs that scattered sub-jobs to peers
 	gatherFallbacks  atomic.Uint64 // scattered groups re-solved locally after a peer failure
+
+	incrCold      atomic.Uint64 // local solves with no reuse (fresh compile, no splice)
+	incrWarm      atomic.Uint64 // local solves reusing a plan or compiled problem, no splicing
+	incrPartial   atomic.Uint64 // local solves splicing partitions from a warm session
+	deltaRequests atomic.Uint64 // warm-start (base+delta) requests received
+	sessionMisses atomic.Uint64 // delta requests whose base had no warm session
 }
 
+// svcSession wraps one warm solver session with the lock serializing its
+// solves; the sessions LRU hands the same wrapper to every request for the
+// same base fingerprint.
+type svcSession struct {
+	mu   sync.Mutex
+	sess *incr.Session
+}
+
+// errNoSession rejects a delta whose base has no warm session on this node
+// (never solved here, evicted, or lost to a restart).
+var errNoSession = errors.New("service: no warm session for base fingerprint")
+
 // flight is one in-progress solve that followers of the same key wait on.
+// For delta flights (keyed by (base, delta), not by content fingerprint)
+// the leader also records the patched instance's fingerprint in key.
 type flight struct {
 	done chan struct{}
 	body []byte
+	key  cache.Key
 	err  error
 }
 
@@ -127,10 +161,17 @@ func New(cfg Config) *Server {
 	if depth <= 0 {
 		depth = 64
 	}
+	sessions := cfg.SessionEntries
+	if sessions <= 0 {
+		sessions = 64
+	}
 	s := &Server{
 		cache:      cfg.Cache,
 		pool:       pool,
 		clu:        cfg.Cluster,
+		engine:     incr.NewEngine(cfg.PlanEntries),
+		sessions:   cache.NewLRU[*svcSession](sessions, nil),
+		wanted:     cache.NewLRU[struct{}](sessions, nil),
 		nWorkers:   n,
 		maxBody:    maxBody,
 		queueDepth: depth,
@@ -231,24 +272,29 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		r.Body = io.NopCloser(bytes.NewReader(raw))
 	}
 
-	in, opt, err := parseSolveRequest(r)
+	p, err := parseSolveRequest(r)
 	if err != nil {
 		writeRequestError(w, err)
 		return
 	}
-	key, err := core.Fingerprint(in, opt)
+	if s.clu != nil && hopped {
+		s.hopServed.Add(1)
+	}
+	if p.isDelta {
+		s.handleDelta(w, r, p, raw, hopped)
+		return
+	}
+	key, err := core.Fingerprint(p.in, p.opt)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "fingerprint: %v", err)
 		return
-	}
-	if s.clu != nil && hopped {
-		s.hopServed.Add(1)
 	}
 	if s.clu != nil && !hopped {
 		// The local cache answers first: it is authoritative for keys this
 		// node owns and byte-identical for any key it happens to hold
 		// (fallback solves populate it), so skipping the hop is always safe.
 		if body, ok := s.cache.Get(key); ok {
+			s.parkSessionAsync(key, p.in, p.opt)
 			s.writeSolveBody(w, key, "hit", body)
 			return
 		}
@@ -260,7 +306,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			// than failing the request.
 		}
 		// The miss is already recorded by the Get above.
-		body, status, err := s.resolveMiss(r.Context(), key, in, opt)
+		body, status, err := s.resolveMiss(r.Context(), key, p.in, p.opt)
 		if err != nil {
 			writeResolveError(w, err)
 			return
@@ -268,12 +314,183 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeSolveBody(w, key, status, body)
 		return
 	}
-	body, status, err := s.resolve(r.Context(), key, in, opt)
+	if body, ok := s.cache.Get(key); ok {
+		s.parkSessionAsync(key, p.in, p.opt)
+		s.writeSolveBody(w, key, "hit", body)
+		return
+	}
+	body, status, err := s.resolveMiss(r.Context(), key, p.in, p.opt)
 	if err != nil {
 		writeResolveError(w, err)
 		return
 	}
 	s.writeSolveBody(w, key, status, body)
+}
+
+// handleDelta answers a warm-start request: in a cluster the request is
+// relayed to the owner of the *base* fingerprint (where the warm session
+// lives); locally, identical (base, delta) pairs coalesce onto one partial
+// re-solve through the shared flight map.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, p *solveParsed, raw []byte, hopped bool) {
+	s.deltaRequests.Add(1)
+	if s.clu != nil && !hopped {
+		if owner, self := s.clu.OwnerOf(p.base); !self {
+			if s.forwardSolve(w, r, owner, raw) {
+				return
+			}
+			// The owner is down. A non-owner usually has no warm session
+			// for the base; fall through and try anyway (it may have one
+			// from an earlier fallback solve).
+		}
+	}
+	body, key, status, err := s.resolveDelta(r.Context(), p)
+	if err != nil {
+		if errors.Is(err, errNoSession) {
+			writeError(w, http.StatusNotFound,
+				"no warm session for base %s on this node; re-submit the full instance", hex.EncodeToString(p.base[:]))
+			return
+		}
+		writeResolveError(w, err)
+		return
+	}
+	w.Header().Set("X-Linksynth-Incr", status)
+	// X-Linksynth-Cache keeps its documented hit/miss/coalesced value set;
+	// the incremental disposition travels only in X-Linksynth-Incr.
+	cacheStatus := "miss"
+	if status == "hit" || status == "coalesced" {
+		cacheStatus = status
+	}
+	s.writeSolveBody(w, key, cacheStatus, body)
+}
+
+// resolveDelta coalesces identical concurrent (base, delta) requests onto
+// one leader, which runs the partial re-solve through the base's warm
+// session. It returns the response body, the patched instance's full
+// fingerprint, and the incremental disposition: "partial", "warm" or
+// "cold" (how much the warm state helped), "hit" (the patched key was
+// already cached; those bytes win), or "coalesced".
+func (s *Server) resolveDelta(ctx context.Context, p *solveParsed) ([]byte, cache.Key, string, error) {
+	dk := deltaFlightKey(p.base, p.delta)
+	for {
+		f, lead := s.tryLead(dk)
+		if !lead {
+			select {
+			case <-f.done:
+				if f.err != nil {
+					if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+						continue
+					}
+					return nil, cache.Key{}, "", f.err
+				}
+				s.coalesced.Add(1)
+				return f.body, f.key, "coalesced", nil
+			case <-ctx.Done():
+				return nil, cache.Key{}, "", ctx.Err()
+			case <-s.shutdown:
+				return nil, cache.Key{}, "", errBusy
+			}
+		}
+		body, key, status, err := s.solveDelta(ctx, p)
+		f.key = key
+		s.settle(dk, f, body, err)
+		if err != nil {
+			return nil, cache.Key{}, "", err
+		}
+		return body, key, status, nil
+	}
+}
+
+// solveDelta runs one partial re-solve: look up the base's warm session,
+// resolve the delta under admission control, and serve (and cache) the
+// response under the patched instance's full fingerprint. If that
+// fingerprint already has a cached body — an equivalent instance was
+// solved before — the cached bytes win, keeping responses for one key
+// byte-stable across warm and cold paths.
+func (s *Server) solveDelta(ctx context.Context, p *solveParsed) ([]byte, cache.Key, string, error) {
+	ss, ok := s.sessions.Get(p.base)
+	if !ok {
+		s.sessionMisses.Add(1)
+		// Remember the base so the client's follow-up full submission
+		// parks a session even when it is answered from the byte cache.
+		s.wanted.Put(p.base, struct{}{})
+		return nil, cache.Key{}, "", errNoSession
+	}
+	if err := s.acquire(ctx); err != nil {
+		return nil, cache.Key{}, "", err
+	}
+	defer s.release()
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	s.solveRuns.Add(1)
+	res, key, err := ss.sess.Resolve(p.delta)
+	if err != nil {
+		s.solveErrors.Add(1)
+		return nil, cache.Key{}, "", err
+	}
+	status := s.countIncr(&res.Stats)
+	if body, ok := s.cache.Get(key); ok {
+		// An equivalent instance was solved before: the cached bytes win
+		// (keeping responses for one key byte-stable) and the disposition
+		// reports the cache hit, not the re-solve class.
+		return body, key, "hit", nil
+	}
+	body, err := encodeSolveBody(hex.EncodeToString(key[:]), ss.sess.Instance(), res)
+	if err != nil {
+		return nil, cache.Key{}, "", err
+	}
+	s.storeResult(key, body)
+	return body, key, status, nil
+}
+
+// countIncr classifies a completed local solve by how much warm state it
+// reused, feeding the linksynthd_incr_* counters, and returns the label.
+func (s *Server) countIncr(st *core.Stats) string {
+	switch {
+	case st.SplicedPartitions > 0:
+		s.incrPartial.Add(1)
+		return "partial"
+	case st.ProbReused || st.PlanReused:
+		s.incrWarm.Add(1)
+		return "warm"
+	default:
+		s.incrCold.Add(1)
+		return "cold"
+	}
+}
+
+// ensureSession parks a warm session for an instance this node just served
+// (or could serve) so later delta requests against its fingerprint find
+// warm state. Opening is cheap relative to a solve (one R1 clone); the
+// compiled plan and solver state materialize only when a solve actually
+// runs through it.
+func (s *Server) ensureSession(key cache.Key, in core.Input, opt core.Options) *svcSession {
+	if ss, ok := s.sessions.Get(key); ok {
+		return ss
+	}
+	sess, err := s.engine.OpenKeyed(in, opt, s.pool, key)
+	if err != nil {
+		return nil
+	}
+	ss := &svcSession{sess: sess}
+	s.sessions.Put(key, ss)
+	return ss
+}
+
+// parkSessionAsync is ensureSession off the request path, for cache hits.
+// Hits stay O(1) — no inline clone — and read-heavy traffic rotating over
+// many cached keys never churns the session LRU: a hit only parks a
+// session when a recent delta actually asked for this base and found none
+// (the 404 told the client to re-submit the full instance; this is that
+// re-submission arriving as a hit, e.g. after a restart with a warm disk
+// cache).
+func (s *Server) parkSessionAsync(key cache.Key, in core.Input, opt core.Options) {
+	if _, ok := s.sessions.Get(key); ok {
+		return
+	}
+	if !s.wanted.Delete(key) {
+		return
+	}
+	go s.ensureSession(key, in, opt)
 }
 
 // writeSolveBody writes the canonical solve response. The body bytes are
@@ -303,7 +520,7 @@ func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner stri
 		return false
 	}
 	s.forwarded.Add(1)
-	for _, h := range []string{"Content-Type", "X-Linksynth-Cache", "X-Linksynth-Node", "ETag", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "X-Linksynth-Cache", "X-Linksynth-Incr", "X-Linksynth-Node", "ETag", "Retry-After"} {
 		if v := res.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -315,20 +532,26 @@ func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner stri
 
 // resolve returns the response body for an instance, consulting the cache,
 // coalescing concurrent identical requests onto one solver run, and solving
-// on a miss. The second return is the cache disposition: "hit", "miss"
-// (this request ran the solver) or "coalesced" (another in-flight request
-// ran it).
+// on a miss. It is the async job path's entry point, so solves through it
+// never park warm sessions — a large batch must not churn the session LRU
+// (see Config.SessionEntries). The second return is the cache disposition:
+// "hit", "miss" (this request ran the solver) or "coalesced" (another
+// in-flight request ran it).
 func (s *Server) resolve(ctx context.Context, key cache.Key, in core.Input, opt core.Options) ([]byte, string, error) {
 	if body, ok := s.cache.Get(key); ok {
 		return body, "hit", nil
 	}
-	return s.resolveMiss(ctx, key, in, opt)
+	return s.resolveMissWith(ctx, key, in, opt, false)
 }
 
-// resolveMiss is resolve after a recorded cache miss: the cluster solve
-// path checks the cache itself (before routing) and must not count the
-// same lookup twice.
+// resolveMiss is resolve after a recorded cache miss on the sync path: the
+// cluster solve path checks the cache itself (before routing) and must not
+// count the same lookup twice. Sync solves park a warm session.
 func (s *Server) resolveMiss(ctx context.Context, key cache.Key, in core.Input, opt core.Options) ([]byte, string, error) {
+	return s.resolveMissWith(ctx, key, in, opt, true)
+}
+
+func (s *Server) resolveMissWith(ctx context.Context, key cache.Key, in core.Input, opt core.Options, park bool) ([]byte, string, error) {
 	for {
 		f, lead := s.tryLead(key)
 		if !lead {
@@ -351,7 +574,7 @@ func (s *Server) resolveMiss(ctx context.Context, key cache.Key, in core.Input, 
 				return nil, "", errBusy
 			}
 		}
-		body, err := s.solveAndStore(ctx, key, in, opt)
+		body, err := s.solveAndStore(ctx, key, in, opt, park)
 		s.settle(key, f, body, err)
 		if err != nil {
 			return nil, "", err
@@ -387,18 +610,36 @@ func (s *Server) settle(key cache.Key, f *flight, body []byte, err error) {
 }
 
 // solveAndStore runs the solver under admission control and caches the
-// encoded response body.
-func (s *Server) solveAndStore(ctx context.Context, key cache.Key, in core.Input, opt core.Options) ([]byte, error) {
+// encoded response body. With park set (the sync path), the solve runs
+// through a warm session — the compiled plan comes from (and feeds) the
+// shared plan cache, and the session is parked afterwards so delta
+// requests against this fingerprint re-solve incrementally; without it
+// (the async job path) the solve takes the plain pooled path and leaves no
+// per-instance state behind.
+func (s *Server) solveAndStore(ctx context.Context, key cache.Key, in core.Input, opt core.Options, park bool) ([]byte, error) {
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer s.release()
 	s.solveRuns.Add(1)
-	res, err := core.SolveOn(in, opt, s.pool)
+	var res *core.Result
+	var err error
+	var ss *svcSession
+	if park {
+		ss = s.ensureSession(key, in, opt)
+	}
+	if ss != nil {
+		ss.mu.Lock()
+		res, err = ss.sess.Solve()
+		ss.mu.Unlock()
+	} else {
+		res, err = core.SolveOn(in, opt, s.pool)
+	}
 	if err != nil {
 		s.solveErrors.Add(1)
 		return nil, err
 	}
+	s.countIncr(&res.Stats)
 	body, err := encodeSolveBody(hex.EncodeToString(key[:]), in, res)
 	if err != nil {
 		return nil, err
@@ -489,6 +730,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 	counter("jobs_accepted_total", s.jobsAccepted.Load(), "async jobs accepted")
 	counter("jobs_done_total", s.jobsDone.Load(), "async jobs finished")
 	counter("jobs_canceled_total", s.jobsCanceled.Load(), "async jobs canceled")
+	es := s.engine.Stats()
+	counter("incr_cold_solves_total", s.incrCold.Load(), "local solves with no warm-state reuse")
+	counter("incr_warm_solves_total", s.incrWarm.Load(), "local solves reusing a compiled plan or problem without splicing")
+	counter("incr_partial_solves_total", s.incrPartial.Load(), "local solves splicing partitions from a warm session")
+	counter("incr_delta_requests_total", s.deltaRequests.Load(), "warm-start (base+delta) requests received")
+	counter("incr_session_misses_total", s.sessionMisses.Load(), "delta requests whose base had no warm session here")
+	counter("incr_plan_hits_total", es.PlanHits, "compiled-plan cache hits")
+	counter("incr_plan_misses_total", es.PlanMisses, "compiled-plan cache misses (plans compiled)")
+	gauge("incr_sessions", int64(s.sessions.Len()), "warm solver sessions retained")
+	gauge("incr_plans", int64(es.Plans), "compiled plans retained")
 	gauge("jobs_known", int64(nJobs), "jobs retained in the registry")
 	gauge("job_queue_depth", int64(queued), "jobs waiting to run")
 	gauge("workers", int64(s.nWorkers), "solver pool size")

@@ -77,6 +77,45 @@ func NewColumnar(r *Relation, cols ...string) *Columnar {
 	return c
 }
 
+// NewColumnarReusing snapshots the named columns of r like NewColumnar,
+// but reuses the encoded columns of a previous snapshot wherever they are
+// provably still valid: prev covers the same schema and row count, the
+// column was captured by prev, and the column is not listed in dirtyCols.
+// Column data is immutable, so reuse is a pointer copy — a re-snapshot
+// after editing k of n columns costs O(k·rows) instead of O(n·rows). When
+// prev does not match (different schema or row count), the call degrades to
+// a full NewColumnar.
+func NewColumnarReusing(r *Relation, prev *Columnar, dirtyCols map[string]bool, cols ...string) *Columnar {
+	if prev == nil || prev.schema != r.Schema() || prev.nrows != r.Len() {
+		return NewColumnar(r, cols...)
+	}
+	s := r.Schema()
+	capture := make([]bool, s.Len())
+	if len(cols) == 0 {
+		for j := range capture {
+			capture[j] = true
+		}
+	} else {
+		for _, name := range cols {
+			if j, ok := s.Index(name); ok {
+				capture[j] = true
+			}
+		}
+	}
+	c := &Columnar{schema: s, nrows: r.Len(), cols: make([]*colData, s.Len())}
+	for j := range capture {
+		if !capture[j] {
+			continue
+		}
+		if prev.cols[j] != nil && !dirtyCols[s.Col(j).Name] {
+			c.cols[j] = prev.cols[j]
+			continue
+		}
+		c.cols[j] = buildCol(r, j, s.Col(j).Type)
+	}
+	return c
+}
+
 // Len returns the number of rows in the snapshot.
 func (c *Columnar) Len() int { return c.nrows }
 

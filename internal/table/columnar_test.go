@@ -272,3 +272,69 @@ func TestColumnarSubsetAndIntCol(t *testing.T) {
 		t.Fatal("IntCol(b) null mask wrong")
 	}
 }
+
+// TestNewColumnarReusing: untouched columns are shared with the previous
+// snapshot (pointer-equal), dirty columns are rebuilt with the new values,
+// and a shape mismatch degrades to a full rebuild.
+func TestNewColumnarReusing(t *testing.T) {
+	r := NewRelation("R", NewSchema(IntCol("a"), StrCol("b"), IntCol("c")))
+	r.MustAppend(Int(1), String("x"), Int(10))
+	r.MustAppend(Int(2), String("y"), Int(20))
+	prev := NewColumnar(r, "a", "b", "c")
+
+	r.Set(1, "c", Int(99))
+	cur := NewColumnarReusing(r, prev, map[string]bool{"c": true}, "a", "b", "c")
+
+	// The dirty column must reflect the edit; untouched columns must agree
+	// with a fresh snapshot.
+	p := cur.Bind(Predicate{Atoms: []Atom{{Col: "c", Op: OpEq, Val: Int(99)}}})
+	if got := cur.Select(p); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("dirty column not rebuilt: Select(c=99) = %v", got)
+	}
+	pa := cur.Bind(Predicate{Atoms: []Atom{{Col: "a", Op: OpEq, Val: Int(2)}}})
+	if got := cur.Select(pa); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("reused column broken: Select(a=2) = %v", got)
+	}
+	// Stale reuse would show here: prev must still see the old value.
+	pOld := prev.Bind(Predicate{Atoms: []Atom{{Col: "c", Op: OpEq, Val: Int(20)}}})
+	if got := prev.Select(pOld); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("previous snapshot mutated: Select(c=20) = %v", got)
+	}
+
+	// Row-count mismatch: full rebuild, still correct.
+	r.MustAppend(Int(3), String("z"), Int(30))
+	grown := NewColumnarReusing(r, cur, nil, "a", "b", "c")
+	pz := grown.Bind(Predicate{Atoms: []Atom{{Col: "b", Op: OpEq, Val: String("z")}}})
+	if got := grown.Select(pz); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("rebuild after growth broken: Select(b=z) = %v", got)
+	}
+	// Nil previous: identical to NewColumnar.
+	fresh := NewColumnarReusing(r, nil, nil, "a")
+	if fresh.Len() != r.Len() {
+		t.Fatalf("nil-prev rebuild has %d rows, want %d", fresh.Len(), r.Len())
+	}
+}
+
+func TestRelationTruncate(t *testing.T) {
+	r := NewRelation("R", NewSchema(IntCol("a")))
+	for i := 0; i < 5; i++ {
+		r.MustAppend(Int(int64(i)))
+	}
+	r.Truncate(3)
+	if r.Len() != 3 {
+		t.Fatalf("Len after truncate = %d, want 3", r.Len())
+	}
+	if got := r.Value(2, "a").Int(); got != 2 {
+		t.Fatalf("surviving row mutated: %d", got)
+	}
+	r.MustAppend(Int(77))
+	if got := r.Value(3, "a").Int(); got != 77 {
+		t.Fatalf("append after truncate = %d, want 77", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Truncate(99) did not panic")
+		}
+	}()
+	r.Truncate(99)
+}

@@ -1,24 +1,38 @@
 package table
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
 // WriteCSV writes the relation as CSV with a header row. Null cells render
-// as empty fields.
+// as empty fields. One record slice and one byte scratch are reused across
+// rows, so writing costs no per-row allocations beyond what encoding/csv
+// itself does (sessions exporting many synthesized relations hit this in a
+// loop).
 func WriteCSV(w io.Writer, r *Relation) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(r.Schema().Names()); err != nil {
 		return err
 	}
 	rec := make([]string, r.Schema().Len())
+	var scratch []byte
 	for i := 0; i < r.Len(); i++ {
 		for j, v := range r.Row(i) {
-			rec[j] = v.String()
+			switch v.Kind() {
+			case KindInt:
+				scratch = strconv.AppendInt(scratch[:0], v.Int(), 10)
+				rec[j] = string(scratch)
+			case KindString:
+				rec[j] = v.Str()
+			default:
+				rec[j] = ""
+			}
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -28,14 +42,20 @@ func WriteCSV(w io.Writer, r *Relation) error {
 	return cw.Error()
 }
 
-// WriteCSVFile writes the relation to the named file.
+// WriteCSVFile writes the relation to the named file through one buffered
+// writer flushed at the end, so large relations do not pay a syscall per
+// csv.Writer flush boundary.
 func WriteCSVFile(path string, r *Relation) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := WriteCSV(f, r); err != nil {
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := WriteCSV(bw, r); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
 		return err
 	}
 	return f.Close()

@@ -73,6 +73,20 @@ func (r *Relation) SetAt(i, j int, v Value) { r.rows[i][j] = v }
 // At returns the cell at row i, column index j.
 func (r *Relation) At(i, j int) Value { return r.rows[i][j] }
 
+// Truncate drops every row past the first n. It panics if n is negative or
+// exceeds the current length. Used by the incremental engine to rebase a
+// working relation after appended rows are withdrawn.
+func (r *Relation) Truncate(n int) {
+	if n < 0 || n > len(r.rows) {
+		panic(fmt.Sprintf("table: %s: truncate to %d of %d rows", r.Name, n, len(r.rows)))
+	}
+	tail := r.rows[n:]
+	r.rows = r.rows[:n]
+	for i := range tail {
+		tail[i] = nil // release the dropped rows' storage
+	}
+}
+
 // Clone returns a deep copy of the relation (rows and schema shared
 // structurally; row storage is copied).
 func (r *Relation) Clone() *Relation {

@@ -257,3 +257,20 @@ func TestStringRendering(t *testing.T) {
 		t.Error("missing ? for null cell")
 	}
 }
+
+// TestWriteCSVNullAndIntRendering pins the CSV cell rendering the buffered
+// writer path must preserve: ints in decimal, strings verbatim, nulls as
+// empty fields.
+func TestWriteCSVNullAndIntRendering(t *testing.T) {
+	r := NewRelation("R", NewSchema(IntCol("a"), StrCol("b")))
+	r.MustAppend(Int(-7), String("x,y"))
+	r.MustAppend(Null(), Null())
+	var buf strings.Builder
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n-7,\"x,y\"\n,\n"
+	if buf.String() != want {
+		t.Fatalf("WriteCSV = %q, want %q", buf.String(), want)
+	}
+}

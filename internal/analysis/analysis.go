@@ -1,0 +1,170 @@
+// Package analysis is a self-contained, stdlib-only analogue of
+// golang.org/x/tools/go/analysis, sized for this repository's needs. It
+// exists because the codebase carries invariants that are visible in the
+// syntax of the code — deterministic iteration in the solver packages, no
+// wall-clock or global randomness below the API boundary, mutex discipline
+// on shared registries, context propagation into the sched pool, and
+// pool/scratch return discipline — and those invariants are worth checking
+// mechanically on every build rather than re-auditing by hand on every
+// review.
+//
+// The model mirrors go/analysis: an Analyzer inspects one type-checked
+// package at a time through a Pass and reports Diagnostics. The runner
+// (run.go) applies the repo-wide suppression protocol: a diagnostic is
+// silenced by a `//lint:<token> <justification>` comment on the flagged
+// line or the line above it, and a directive without a justification is
+// itself a diagnostic. Packages are loaded either from source via `go list
+// -export` (load.go, used by the standalone driver and tests) or from a
+// `go vet -vettool` config (cmd/linksynthvet).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Suppress is the //lint: directive token that silences this
+	// analyzer's diagnostics (e.g. "ordered" for maporder). Empty means
+	// the analyzer's Name.
+	Suppress string
+	// Scope, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts. Nil means every package.
+	Scope func(pkgPath string) bool
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// SuppressToken returns the directive token that silences a.
+func (a *Analyzer) SuppressToken() string {
+	if a.Suppress != "" {
+		return a.Suppress
+	}
+	return a.Name
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.TypesInfo.ObjectOf(id) }
+
+// Diagnostic is one finding, positioned in the Pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// WithStack walks every file in the pass in source order, calling fn with
+// each node and the stack of its ancestors (outermost first, not including
+// n itself). Returning false prunes the subtree under n.
+func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost function body enclosing the top of
+// the stack: the nearest *ast.FuncDecl or *ast.FuncLit, or nil. A FuncLit
+// is its own unit — a goroutine closure does not inherit its creator's
+// locks — which is exactly the conservatism the guardedby check wants.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// FuncBody returns the body of a node returned by EnclosingFunc.
+func FuncBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether e denotes the package-level function pkg.name
+// (resolved through the type info, so aliased imports are handled).
+func IsPkgFunc(info *types.Info, e ast.Expr, pkgPath, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(sel.Sel)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ExprString renders a simple expression (identifiers, selectors, derefs,
+// index expressions) to a canonical string for structural comparison, e.g.
+// matching the `c.mu` in a lock call against the `c` in a field access.
+// Unrenderable expressions yield "".
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := ExprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.StarExpr:
+		return ExprString(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return ExprString(e.X)
+		}
+	case *ast.IndexExpr:
+		base := ExprString(e.X)
+		idx := ExprString(e.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return ""
+}

@@ -1,0 +1,148 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the stdlib-only
+// framework in internal/analysis.
+//
+// Fixtures live under <testdata>/src/, one directory per fixture package.
+// The harness copies the tree into a temp module (module path "fixture"),
+// loads it through the production loader — so fixtures type-check against
+// real stdlib export data — and runs the analyzer through the production
+// runner, suppression protocol included. Expectations are comments of the
+// form:
+//
+//	for k := range m { // want `ranges over map`
+//
+// where the backquoted text is a regexp that must match a diagnostic
+// reported on that line. Every expectation must be matched and every
+// diagnostic must be expected.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads <testdata>/src into a temp module, applies a to every fixture
+// package, and reports mismatches between diagnostics and expectations as
+// test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer) {
+	t.Helper()
+	root := t.TempDir()
+	src := filepath.Join(testdata, "src")
+	if err := copyTree(src, root); err != nil {
+		t.Fatalf("copying fixtures: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module fixture\n\ngo 1.23\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, root)
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Position.Filename)
+		if err != nil {
+			rel = f.Position.Filename
+		}
+		key := posKey{rel, f.Position.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w.used {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				wants[key][i].used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", rel, f.Position.Line, f.Analyzer, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+func collectWants(t *testing.T, root string) map[posKey][]want {
+	t.Helper()
+	wants := make(map[posKey][]want)
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", rel, i+1, m[1], err)
+				}
+				key := posKey{rel, i + 1}
+				wants[key] = append(wants[key], want{re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o777)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o666)
+	})
+}

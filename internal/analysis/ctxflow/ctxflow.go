@@ -1,0 +1,133 @@
+// Package ctxflow enforces context propagation on the solver path.
+//
+// Below the public API boundary, cancellation must flow in from the
+// caller: a serving layer that cannot cancel an abandoned request's solve
+// leaks a worker until the solve finishes on its own. Two rules, scoped to
+// the solver packages (internal/core, internal/incr):
+//
+//   - `context.Background()` and `context.TODO()` may not be minted inside
+//     the scope: accept a ctx parameter instead. The one legitimate shape —
+//     a nil-guard in a convenience wrapper at the API boundary — carries a
+//     `//lint:ctxflow <why>` justification.
+//
+//   - an exported function or method that spawns work on the sched pool
+//     (it has a *sched.Pool parameter, calls into package sched, or builds
+//     a pool) must accept a context.Context, so callers can cancel the
+//     fan-out it starts. Deliberate non-cancellable wrappers are annotated
+//     the same way.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name:  "ctxflow",
+	Doc:   "requires context.Context on exported sched-pool entry points and forbids context.Background below the API boundary",
+	Scope: analysis.SolverScope,
+	Run:   run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, name := range []string{"Background", "TODO"} {
+				if analysis.IsPkgFunc(pass.TypesInfo, n.Fun, "context", name) {
+					pass.Reportf(n.Pos(), "context.%s minted below the API boundary; accept a ctx parameter (annotate the boundary shim with //lint:ctxflow <why>)", name)
+				}
+			}
+		case *ast.FuncDecl:
+			checkDecl(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+func checkDecl(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Body == nil {
+		return
+	}
+	if hasCtxParam(pass, fn.Type) {
+		return
+	}
+	if why := spawnsSchedWork(pass, fn); why != "" {
+		pass.Reportf(fn.Name.Pos(), "exported %s %s but takes no context.Context; callers cannot cancel the work it spawns (annotate //lint:ctxflow <why> if deliberately non-cancellable)", fn.Name.Name, why)
+	}
+}
+
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// spawnsSchedWork reports how fn engages the sched pool: via a pool-typed
+// parameter, or by referencing package sched in its body. Empty string
+// means it does not.
+func spawnsSchedWork(pass *analysis.Pass, fn *ast.FuncDecl) string {
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if isSchedType(pass.TypeOf(field.Type)) {
+				return "takes a *sched.Pool"
+			}
+		}
+	}
+	found := ""
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(sel.Sel)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if isSchedPath(obj.Pkg().Path()) {
+			found = "drives the sched pool"
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSchedType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && isSchedPath(obj.Pkg().Path())
+}
+
+func isSchedPath(path string) bool {
+	return path == "internal/sched" || strings.HasSuffix(path, "/internal/sched")
+}

@@ -1,0 +1,50 @@
+// Package core is a ctxflow fixture standing in for a solver package (the
+// scope matches by path suffix).
+package core
+
+import (
+	"context"
+
+	"fixture/internal/sched"
+)
+
+// SolveOn fans out on a caller-owned pool but offers no cancellation.
+func SolveOn(pool *sched.Pool) { // want `exported SolveOn takes a \*sched.Pool but takes no context.Context`
+	pool.Submit(func() {})
+}
+
+// SolveOnContext is the shape the contract wants.
+func SolveOnContext(ctx context.Context, pool *sched.Pool) {
+	if ctx.Err() != nil {
+		return
+	}
+	pool.Submit(func() {})
+}
+
+// Fanout builds and drives a pool internally with no way to stop it.
+func Fanout(n int) { // want `exported Fanout drives the sched pool but takes no context.Context`
+	p := sched.New(0)
+	sched.Ordered(p, n, func(int) {})
+}
+
+// helper is unexported: its callers own the contract.
+func helper(pool *sched.Pool) {
+	pool.Submit(func() {})
+}
+
+// Mint fabricates a context below the boundary.
+func Mint(pool *sched.Pool) error { // want `takes a \*sched.Pool but takes no context.Context`
+	ctx := context.Background() // want `context.Background minted below the API boundary`
+	return ctx.Err()
+}
+
+// Solve is the deliberate no-cancellation convenience wrapper; the
+// justification marks the boundary.
+//
+//lint:ctxflow API-boundary convenience wrapper; SolveOnContext is the cancellable entry
+func Solve(pool *sched.Pool) {
+	SolveOnContext(context.TODO(), pool) // want `context.TODO minted below the API boundary`
+}
+
+// Pure has nothing to cancel.
+func Pure(x int) int { return x * 2 }

@@ -1,0 +1,19 @@
+// Package sched is a minimal stand-in for the repo's worker pool; ctxflow
+// recognizes it by path suffix.
+package sched
+
+// Pool is a bounded worker pool.
+type Pool struct{}
+
+// New builds a pool.
+func New(n int) *Pool { return &Pool{} }
+
+// Submit enqueues one task.
+func (p *Pool) Submit(f func()) { f() }
+
+// Ordered fans out n tasks and merges results in index order.
+func Ordered(p *Pool, n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}

@@ -1,0 +1,16 @@
+// Package other is outside the solver scope: the serving layer mints its
+// own root contexts legitimately.
+package other
+
+import (
+	"context"
+
+	"fixture/internal/sched"
+)
+
+// Serve owns the process lifecycle, so a root context is correct here.
+func Serve(pool *sched.Pool) {
+	ctx := context.Background()
+	_ = ctx
+	pool.Submit(func() {})
+}

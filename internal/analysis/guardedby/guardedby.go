@@ -1,0 +1,339 @@
+// Package guardedby enforces `// guarded by <mu>` field annotations: every
+// access to an annotated struct field must occur while the named sibling
+// mutex is held.
+//
+// The registry's peer map, the cache LRUs, the session park list, and the
+// gather goroutine's job state are all documented as mutex-guarded and
+// audited by hand on every change. This check turns the doc comment into a
+// contract. Annotate a field with a line or doc comment containing
+// `guarded by mu` (naming a sibling mutex field) and the analyzer verifies
+// each read or write site:
+//
+//   - the access sits after a `x.mu.Lock()` (or `RLock()`) on the same
+//     receiver chain and before any non-deferred `Unlock`, scanning the
+//     enclosing function in source order; or
+//   - the enclosing function's name ends in "Locked", the repo's
+//     caller-holds-the-lock convention.
+//
+// A function literal is its own unit unless it runs synchronously in its
+// creator (an immediate call or a plain call argument — not `go`, not
+// `defer`): a goroutine does not inherit its creator's locks, but a
+// sort.Slice comparator does. The scan is flow-insensitive across
+// branches — except that an Unlock inside a terminating branch (the
+// `if bad { mu.Unlock(); return }` early-exit idiom) does not end the
+// critical section for the code after the branch — which errs on the
+// side of flagging; silence a considered site with
+// `//lint:guardedby <why>`.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the guardedby check.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardedby",
+	Doc:  "checks that fields annotated `// guarded by <mu>` are accessed under the named mutex",
+	Run:  run,
+}
+
+var annotationRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_.]*)`)
+
+// guard is one parsed annotation: `guarded by mu` names a sibling mutex
+// field reached through the same receiver chain as the access; `guarded by
+// Server.mu` names a mutex field on another type, and any holder of that
+// type satisfies the guard.
+type guard struct {
+	owner string // type name for a qualified annotation, "" for sibling
+	field string // mutex field name
+}
+
+func (g guard) String() string {
+	if g.owner == "" {
+		return g.field
+	}
+	return g.owner + "." + g.field
+}
+
+func run(pass *analysis.Pass) error {
+	guarded := collectAnnotations(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		g, ok := guarded[selection.Obj()]
+		if !ok {
+			return true
+		}
+		var match func(ast.Expr) bool
+		if g.owner == "" {
+			base := analysis.ExprString(sel.X)
+			if base == "" {
+				pass.Reportf(sel.Pos(), "field %s is guarded by %q but the receiver expression is too complex to verify; hoist it to a local or annotate //lint:guardedby <why>", sel.Sel.Name, g)
+				return true
+			}
+			muExpr := base + "." + g.field
+			match = func(e ast.Expr) bool { return analysis.ExprString(e) == muExpr }
+		} else {
+			match = func(e ast.Expr) bool { return typeQualifiedMatch(pass, e, g) }
+		}
+		if !heldAt(pass, stack, sel.Pos(), match) {
+			pass.Reportf(sel.Pos(), "field %s is guarded by %q but accessed without holding it", sel.Sel.Name, g)
+		}
+		return true
+	})
+	return nil
+}
+
+// typeQualifiedMatch reports whether e denotes the mutex field g.field on
+// a value of type g.owner (e.g. `s.mu` with s a *Server for "Server.mu").
+func typeQualifiedMatch(pass *analysis.Pass, e ast.Expr, g guard) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != g.field {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == g.owner
+}
+
+// collectAnnotations maps annotated field objects to their guard.
+func collectAnnotations(pass *analysis.Pass) map[types.Object]guard {
+	out := make(map[types.Object]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				spec := annotationIn(field.Doc)
+				if spec == "" {
+					spec = annotationIn(field.Comment)
+				}
+				if spec == "" {
+					continue
+				}
+				g := guard{field: spec}
+				if i := strings.LastIndex(spec, "."); i >= 0 {
+					g = guard{owner: spec[:i], field: spec[i+1:]}
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = g
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func annotationIn(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := annotationRE.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// heldAt reports whether a mutex matching match is held at pos, walking
+// the chain of enclosing functions from the innermost outward as long as
+// lock state is inherited (synchronous function literals).
+func heldAt(pass *analysis.Pass, stack []ast.Node, pos token.Pos, match func(ast.Expr) bool) bool {
+	at := pos
+	for i := len(stack) - 1; i >= 0; i-- {
+		var body *ast.BlockStmt
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			if lockedConvention(fn.Name.Name) {
+				return true
+			}
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			continue
+		}
+		if lockStateAt(body, at, match) {
+			return true
+		}
+		if _, ok := stack[i].(*ast.FuncDecl); ok {
+			return false // a named function is the outermost unit
+		}
+		// A FuncLit inherits its creator's lock state only when it runs
+		// synchronously: called immediately or passed as a plain call
+		// argument. `go` and `defer` escape the locked region.
+		if !synchronousLit(stack[:i]) {
+			return false
+		}
+		at = stack[i].Pos()
+	}
+	return false
+}
+
+// lockedConvention reports the caller-holds-the-lock naming convention.
+func lockedConvention(name string) bool {
+	return len(name) > len("Locked") && name[len(name)-len("Locked"):] == "Locked"
+}
+
+// synchronousLit inspects the ancestors directly above a FuncLit (the
+// stack excludes the lit itself) and reports whether the literal executes
+// on the creator's goroutine inside the creator's critical section.
+func synchronousLit(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	if _, ok := stack[len(stack)-1].(*ast.CallExpr); !ok {
+		return false
+	}
+	if len(stack) >= 2 {
+		switch stack[len(stack)-2].(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false
+		}
+	}
+	return true
+}
+
+// lockStateAt replays the Lock/Unlock events of the matched mutex within
+// body, in source order, and reports whether the mutex is held at pos.
+// Deferred unlocks do not end the critical section. Nested function
+// literals are opaque: their lock activity belongs to their own unit.
+// Events inside a terminating branch that does not contain pos are
+// discarded: the Unlock in `if bad { mu.Unlock(); return }` cannot flow
+// to the statements after the if, so it must not end their critical
+// section.
+func lockStateAt(body *ast.BlockStmt, pos token.Pos, match func(ast.Expr) bool) bool {
+	if body == nil {
+		return false
+	}
+	type event struct {
+		pos  token.Pos
+		lock bool
+	}
+	var events []event
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && match(sel.X) {
+				var lock bool
+				known := true
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					lock = true
+				case "Unlock", "RUnlock":
+					lock = false
+				default:
+					known = false
+				}
+				if known && !underDefer(stack) && !inDeadBranch(stack, pos) {
+					events = append(events, event{call.Pos(), lock})
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := false
+	for _, e := range events {
+		if e.pos >= pos {
+			break
+		}
+		held = e.lock
+	}
+	return held
+}
+
+// underDefer reports whether the node whose ancestor stack is given runs
+// inside a defer statement.
+func underDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// inDeadBranch reports whether the node with the given ancestor stack sits
+// in a statement list that terminates (ends in return or panic) and whose
+// enclosing branch does not contain pos — control executing the node can
+// never reach pos. The stack's first element is the function body itself,
+// which always contains pos and so never counts.
+func inDeadBranch(stack []ast.Node, pos token.Pos) bool {
+	for i := 1; i < len(stack); i++ {
+		var list []ast.Stmt
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			continue
+		}
+		if stack[i].Pos() <= pos && pos < stack[i].End() {
+			continue
+		}
+		if terminates(list) {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a statement list cannot fall through: its
+// last statement is a return or a panic call.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+// Package g exercises the guardedby annotation grammar: sibling mutexes,
+// type-qualified mutexes, the Locked-suffix convention, synchronous
+// closure inheritance, and the wrong-mutex negative case.
+package g
+
+import (
+	"sort"
+	"sync"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	peers map[string]int // guarded by mu
+}
+
+func locked(r *registry) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.peers)
+}
+
+func unlocked(r *registry) int {
+	return len(r.peers) // want `field peers is guarded by "mu" but accessed without holding it`
+}
+
+func afterUnlock(r *registry) int {
+	r.mu.Lock()
+	n := len(r.peers)
+	r.mu.Unlock()
+	return n + len(r.peers) // want `accessed without holding it`
+}
+
+// flushLocked follows the caller-holds-the-lock naming convention.
+func flushLocked(r *registry) {
+	r.peers["x"] = 1
+}
+
+// snapshotSorted's comparator closure runs synchronously inside the
+// critical section and inherits the lock.
+func snapshotSorted(r *registry) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ks := make([]string, 0, len(r.peers))
+	for k := range r.peers {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return r.peers[ks[i]] < r.peers[ks[j]] })
+	return ks
+}
+
+// spawn hands the field to a goroutine: the creator's lock does not
+// travel with it.
+func spawn(r *registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.peers["x"] = 1 // want `accessed without holding it`
+	}()
+}
+
+type twoLocks struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	n     int // guarded by mu
+}
+
+// wrongMutex holds a lock — just not the one the annotation names.
+func wrongMutex(t *twoLocks) int {
+	t.other.Lock()
+	defer t.other.Unlock()
+	return t.n // want `field n is guarded by "mu" but accessed without holding it`
+}
+
+// Type-qualified annotation: the guard lives on another struct.
+type server struct {
+	mu sync.Mutex
+}
+
+type job struct {
+	status string // guarded by server.mu
+}
+
+func (s *server) set(j *job) {
+	s.mu.Lock()
+	j.status = "running"
+	s.mu.Unlock()
+}
+
+func read(j *job) string {
+	return j.status // want `field status is guarded by "server.mu" but accessed without holding it`
+}
+
+// earlyExit unlocks only on the branch that returns: the fall-through
+// path is still inside the critical section.
+func earlyExit(r *registry, bad bool) int {
+	r.mu.Lock()
+	if bad {
+		r.mu.Unlock()
+		return 0
+	}
+	n := len(r.peers)
+	r.mu.Unlock()
+	return n
+}
+
+// maybeUnlocked releases the lock on a branch that falls through, so the
+// access below may run unlocked.
+func maybeUnlocked(r *registry, early bool) int {
+	r.mu.Lock()
+	if early {
+		r.mu.Unlock()
+	}
+	n := len(r.peers) // want `accessed without holding it`
+	if !early {
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// justified sites document why the unlocked access is safe.
+func construct() *registry {
+	r := &registry{}
+	//lint:guardedby not yet shared: the registry is still construction-local
+	r.peers = map[string]int{}
+	return r
+}

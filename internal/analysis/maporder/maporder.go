@@ -1,0 +1,515 @@
+// Package maporder flags map iteration whose order can leak into output
+// inside the deterministic solver packages.
+//
+// The solver's contract — byte-identical results across serial/parallel,
+// cold/warm, and any cluster entry node — dies the moment a `for range`
+// over a map feeds an order-sensitive computation: appended slices, string
+// building, first-wins assignments, early exits. Go randomizes map
+// iteration order per run precisely so such dependence cannot hide, but
+// golden tests only sample a few instances; this check makes the rule
+// syntactic.
+//
+// A loop is accepted without annotation when its body is provably
+// order-insensitive: every statement only writes map/set entries, performs
+// commutative integer accumulation (`+=`, `-=`, `|=`, `&=`, `^=`, `++`,
+// `--`), mutates locals scoped to the iteration, deletes map keys,
+// latches a constant (`found = true`), or branches into more of the same.
+// The collect-then-sort idiom is also accepted: a body that only appends
+// iteration-local values to a slice is order-free when the first later
+// statement touching that slice sorts it. Anything else — including float
+// accumulation, which is not associative — needs the keys sorted first or
+// a `//lint:ordered <why>` justification.
+//
+// `maps.Keys`/`maps.Values` iterators inherit the same randomness and are
+// flagged unless immediately materialized through `slices.Sorted` or
+// `slices.SortedFunc`.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flags order-sensitive map iteration in the deterministic solver packages",
+	Suppress: "ordered",
+	Scope:    analysis.OrderedScope,
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := pass.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			c := &checker{pass: pass, loop: n}
+			if c.orderInsensitive(n.Body) && c.postConditionsHold(stack) {
+				return true
+			}
+			pass.Reportf(n.For, "map iteration order is observable here; sort the keys first or annotate //lint:ordered <why>")
+		case *ast.CallExpr:
+			if !analysis.IsPkgFunc(pass.TypesInfo, n.Fun, "maps", "Keys") &&
+				!analysis.IsPkgFunc(pass.TypesInfo, n.Fun, "maps", "Values") {
+				return true
+			}
+			if sortedImmediately(pass, stack) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "maps.Keys/Values yields keys in randomized order; wrap in slices.Sorted or annotate //lint:ordered <why>")
+		}
+		return true
+	})
+	return nil
+}
+
+// sortedImmediately reports whether the call at the top of the stack is a
+// direct argument of slices.Sorted/SortedFunc/SortedStableFunc.
+func sortedImmediately(pass *analysis.Pass, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, name := range []string{"Sorted", "SortedFunc", "SortedStableFunc"} {
+		if analysis.IsPkgFunc(pass.TypesInfo, call.Fun, "slices", name) {
+			return true
+		}
+	}
+	return false
+}
+
+// checker examines one range-over-map loop. The body walk proves each
+// statement order-insensitive on its own; writes whose safety depends on
+// code outside the loop (collect-then-sort appends, constant latches) are
+// recorded and discharged by postConditionsHold.
+type checker struct {
+	pass    *analysis.Pass
+	loop    *ast.RangeStmt
+	appends []string          // slice targets that must be sorted after the loop
+	latches map[string]string // lvalue -> the single constant it may be set to
+}
+
+// orderInsensitive reports whether every statement of the loop body has the
+// same effect regardless of iteration order.
+func (c *checker) orderInsensitive(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if !c.stmtInsensitive(st) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) stmtInsensitive(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		return c.assignInsensitive(st)
+	case *ast.IncDecStmt:
+		return c.commutativeTarget(st.X)
+	case *ast.ExprStmt:
+		call, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+			if b, ok := c.pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if st.Init != nil && !c.stmtInsensitive(st.Init) {
+			return false
+		}
+		if !c.orderInsensitive(st.Body) {
+			return false
+		}
+		if st.Else != nil {
+			return c.stmtInsensitive(st.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.orderInsensitive(st)
+	case *ast.SwitchStmt:
+		for _, cl := range st.Body.List {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok {
+				return false
+			}
+			for _, s := range cc.Body {
+				if !c.stmtInsensitive(s) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.RangeStmt:
+		return c.orderInsensitive(st.Body)
+	case *ast.ForStmt:
+		if st.Init != nil && !c.stmtInsensitive(st.Init) {
+			return false
+		}
+		if st.Post != nil && !c.stmtInsensitive(st.Post) {
+			return false
+		}
+		return c.orderInsensitive(st.Body)
+	case *ast.DeclStmt:
+		return true
+	case *ast.BranchStmt:
+		return st.Tok == token.CONTINUE // break/goto exit in encounter order
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// assignInsensitive accepts per-iteration locals (`:=` and writes to
+// objects declared inside the loop), map/set element writes, commutative
+// integer accumulation, self-appends of iteration-local values (recorded
+// for the sorted-after-loop check), and constant latches.
+func (c *checker) assignInsensitive(st *ast.AssignStmt) bool {
+	if st.Tok == token.DEFINE {
+		return true
+	}
+	if st.Tok == token.ASSIGN {
+		if target, ok := c.selfAppend(st); ok {
+			c.appends = append(c.appends, target)
+			return true
+		}
+		for i, lhs := range st.Lhs {
+			if c.plainWriteTarget(lhs) {
+				continue
+			}
+			if len(st.Rhs) == len(st.Lhs) && c.latchWrite(lhs, st.Rhs[i]) {
+				continue
+			}
+			return false
+		}
+		return true
+	}
+	// Compound assignment: only commutative integer accumulation is
+	// order-free (float addition is not associative; string += is
+	// concatenation in encounter order).
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return c.commutativeTarget(st.Lhs[0])
+	}
+	return false
+}
+
+// selfAppend matches `x = append(x, v...)` where every appended value is
+// built from iteration-local state — the element set is then independent
+// of visit order, and sorting the slice afterwards erases the remaining
+// order dependence.
+func (c *checker) selfAppend(st *ast.AssignStmt) (string, bool) {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := c.pass.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return "", false
+	}
+	target := analysis.ExprString(st.Lhs[0])
+	if target == "" || len(call.Args) < 1 || analysis.ExprString(call.Args[0]) != target {
+		return "", false
+	}
+	for _, arg := range call.Args[1:] {
+		if !c.iterationLocalValue(arg) {
+			return "", false
+		}
+	}
+	return target, true
+}
+
+// iterationLocalValue reports whether e is built purely from per-iteration
+// state: loop-local variables (including the range key/value), constants,
+// composite literals and arithmetic over those, and len/cap of those. A
+// value that reads accumulated loop state would make the appended elements
+// themselves order-dependent, which sorting cannot repair.
+func (c *checker) iterationLocalValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		if e.Name == "_" {
+			return true
+		}
+		switch c.pass.ObjectOf(e).(type) {
+		case *types.Const, *types.TypeName, *types.Builtin, *types.Nil:
+			return true
+		}
+		return c.loopLocal(e)
+	case *ast.SelectorExpr:
+		return c.iterationLocalValue(e.X)
+	case *ast.IndexExpr:
+		return c.iterationLocalValue(e.X) && c.iterationLocalValue(e.Index)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if _, isField := kv.Key.(*ast.Ident); !isField && !c.iterationLocalValue(kv.Key) {
+					return false
+				}
+				if !c.iterationLocalValue(kv.Value) {
+					return false
+				}
+				continue
+			}
+			if !c.iterationLocalValue(el) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		// Builtins and conversions only: a real call could read (or
+		// advance) accumulated state behind the loop's back.
+		switch fn := e.Fun.(type) {
+		case *ast.Ident:
+			switch c.pass.ObjectOf(fn).(type) {
+			case *types.Builtin, *types.TypeName:
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+		for _, arg := range e.Args {
+			if !c.iterationLocalValue(arg) {
+				return false
+			}
+		}
+		return true
+	case *ast.UnaryExpr:
+		return c.iterationLocalValue(e.X)
+	case *ast.BinaryExpr:
+		return c.iterationLocalValue(e.X) && c.iterationLocalValue(e.Y)
+	case *ast.ParenExpr:
+		return c.iterationLocalValue(e.X)
+	case *ast.StarExpr:
+		return c.iterationLocalValue(e.X)
+	}
+	return false
+}
+
+// latchWrite matches `x = <literal constant>`: every iteration that runs
+// the statement drives x to the same value, so the final state depends only
+// on whether any iteration ran it, not on order. Two latch sites driving
+// the same target to different constants are last-writer-wins and rejected
+// in postConditionsHold.
+func (c *checker) latchWrite(lhs, rhs ast.Expr) bool {
+	target := analysis.ExprString(lhs)
+	if target == "" {
+		return false
+	}
+	var val string
+	switch rhs := rhs.(type) {
+	case *ast.BasicLit:
+		val = rhs.Value
+	case *ast.Ident:
+		if _, ok := c.pass.ObjectOf(rhs).(*types.Const); !ok {
+			if _, ok := c.pass.ObjectOf(rhs).(*types.Nil); !ok {
+				return false
+			}
+		}
+		val = rhs.Name
+	default:
+		return false
+	}
+	if c.latches == nil {
+		c.latches = make(map[string]string)
+	}
+	if prev, ok := c.latches[target]; ok && prev != val {
+		c.latches[target] = "\x00conflict"
+	} else {
+		c.latches[target] = val
+	}
+	return true // a conflict is rejected in postConditionsHold
+}
+
+// postConditionsHold discharges the obligations the body walk deferred:
+// every recorded append target is sorted by the first later statement that
+// touches it, and no latch target is driven to two different constants.
+func (c *checker) postConditionsHold(stack []ast.Node) bool {
+	for _, v := range c.latches {
+		if v == "\x00conflict" {
+			return false
+		}
+	}
+	for _, target := range c.appends {
+		if !c.sortedAfterLoop(stack, target) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfterLoop reports whether, in the statement list enclosing the
+// loop, the first following statement that mentions target is a
+// sort.X(target, ...) or slices.SortX(target, ...) call.
+func (c *checker) sortedAfterLoop(stack []ast.Node, target string) bool {
+	list := enclosingList(stack, c.loop)
+	if list == nil {
+		return false
+	}
+	after := false
+	for _, st := range list {
+		if st == ast.Stmt(c.loop) {
+			after = true
+			continue
+		}
+		if !after || !mentions(st, target) {
+			continue
+		}
+		return c.isSortOf(st, target)
+	}
+	return false
+}
+
+// enclosingList finds the statement list that directly contains the loop.
+func enclosingList(stack []ast.Node, loop *ast.RangeStmt) []ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			for _, st := range n.List {
+				if st == ast.Stmt(loop) {
+					return n.List
+				}
+			}
+		case *ast.CaseClause:
+			for _, st := range n.Body {
+				if st == ast.Stmt(loop) {
+					return n.Body
+				}
+			}
+		case *ast.CommClause:
+			for _, st := range n.Body {
+				if st == ast.Stmt(loop) {
+					return n.Body
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// mentions reports whether any expression inside st renders to target.
+func mentions(st ast.Stmt, target string) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && analysis.ExprString(e) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSortOf reports whether st sorts target: sort.Ints/Strings/Float64s/
+// Slice/SliceStable or slices.Sort/SortFunc/SortStableFunc with target as
+// the first argument.
+func (c *checker) isSortOf(st ast.Stmt, target string) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if analysis.ExprString(call.Args[0]) != target {
+		return false
+	}
+	for _, name := range []string{"Ints", "Strings", "Float64s", "Slice", "SliceStable", "Stable", "Sort"} {
+		if analysis.IsPkgFunc(c.pass.TypesInfo, call.Fun, "sort", name) {
+			return true
+		}
+	}
+	for _, name := range []string{"Sort", "SortFunc", "SortStableFunc"} {
+		if analysis.IsPkgFunc(c.pass.TypesInfo, call.Fun, "slices", name) {
+			return true
+		}
+	}
+	return false
+}
+
+// plainWriteTarget accepts `=` targets whose final value cannot depend on
+// iteration order: map elements (distinct keys write distinct cells; the
+// annotation covers the same-key case poorly, but a map write is the
+// canonical set-build idiom), the blank identifier, and loop-local
+// variables.
+func (c *checker) plainWriteTarget(lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		return c.loopLocal(lhs)
+	case *ast.IndexExpr:
+		t := c.pass.TypeOf(lhs.X)
+		if t == nil {
+			return false
+		}
+		_, ok := t.Underlying().(*types.Map)
+		return ok
+	}
+	return false
+}
+
+// commutativeTarget accepts integer accumulators (and any loop-local).
+func (c *checker) commutativeTarget(e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok && c.loopLocal(id) {
+		return true
+	}
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		if t := c.pass.TypeOf(idx.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return integerType(c.pass.TypeOf(e))
+			}
+		}
+	}
+	if _, ok := e.(*ast.Ident); !ok {
+		if _, ok := e.(*ast.SelectorExpr); !ok {
+			return false
+		}
+	}
+	return integerType(c.pass.TypeOf(e))
+}
+
+func integerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsUnsigned) != 0
+}
+
+// loopLocal reports whether id resolves to an object declared within the
+// loop (including the range key/value variables): its final state cannot
+// outlive an iteration, so writes to it are order-free.
+func (c *checker) loopLocal(id *ast.Ident) bool {
+	obj := c.pass.ObjectOf(id)
+	return obj != nil && obj.Pos() >= c.loop.Pos() && obj.Pos() < c.loop.End()
+}

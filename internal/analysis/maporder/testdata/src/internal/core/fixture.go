@@ -1,0 +1,167 @@
+// Package core is a maporder fixture standing in for a deterministic
+// solver package (the scope matches by path suffix).
+package core
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// appendKeys builds a slice in iteration order: order-sensitive.
+func appendKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is observable`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sumValues is commutative integer accumulation: order-free.
+func sumValues(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// floatSum is NOT order-free: float addition is not associative.
+func floatSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `map iteration order is observable`
+		sum += v
+	}
+	return sum
+}
+
+// buildSet writes map entries keyed by the iterated key: order-free.
+func buildSet(m map[string]int, out map[string]bool) {
+	for k, v := range m {
+		if v > 0 {
+			out[k] = true
+		}
+	}
+}
+
+// counts accumulates into map cells and locals: order-free.
+func counts(m map[string]int) map[string]int {
+	out := make(map[string]int)
+	n := 0
+	for k, v := range m {
+		scaled := v * 2
+		out[k] += scaled
+		n++
+		if v < 0 {
+			delete(out, k)
+			continue
+		}
+	}
+	_ = n
+	return out
+}
+
+// firstWins assigns to a variable that outlives the loop: order decides
+// the final value.
+func firstWins(m map[string]int) string {
+	best := ""
+	for k := range m { // want `map iteration order is observable`
+		best = k
+	}
+	return best
+}
+
+// sortedAfter collects then sorts: the loop's emit order is erased by the
+// sort, so no annotation is needed.
+func sortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// conditionalCollect guards the append but still sorts afterwards: the
+// collected set, not its order, decides the result.
+func conditionalCollect(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// enumerated embeds an accumulator in the appended value: sorting cannot
+// repair the order-dependent indices baked into the elements.
+func enumerated(m map[string]int) []string {
+	var out []string
+	prefix := ""
+	for k := range m { // want `map iteration order is observable`
+		out = append(out, prefix+k)
+		prefix += "."
+	}
+	sort.Strings(out)
+	return out
+}
+
+// latch drives a flag to one constant: reachable in any order, same result.
+func latch(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v == 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// lastWins drives the flag both ways, so the final value belongs to the
+// last iteration.
+func lastWins(m map[string]bool) bool {
+	state := false
+	for _, v := range m { // want `map iteration order is observable`
+		if v {
+			state = true
+		} else {
+			state = false
+		}
+	}
+	return state
+}
+
+// anyNegative early-returns out of the loop; the boolean result is the
+// same whichever entry matches first, which the justification records.
+func anyNegative(m map[string]int) bool {
+	//lint:ordered existential scan: the result is identical whichever entry matches first
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bareDirective suppresses without saying why: that is itself a finding.
+func bareDirective(m map[string]int) []string {
+	var out []string
+	//lint:ordered
+	for k := range m { // want `suppression requires a justification`
+		out = append(out, k)
+	}
+	return out
+}
+
+// iterKeys leaks the randomized maps.Keys order.
+func iterKeys(m map[string]int) []string {
+	ks := maps.Keys(m) // want `maps.Keys/Values yields keys in randomized order`
+	return slices.Collect(ks)
+}
+
+// sortedKeys materializes through slices.Sorted: canonical.
+func sortedKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}

@@ -1,0 +1,11 @@
+// Package other is outside the deterministic and rendering scopes:
+// maporder must stay quiet here even for order-sensitive loops.
+package other
+
+func appendKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Package poolleak checks that pooled objects are returned on every path.
+//
+// Two idioms are covered:
+//
+//   - sync.Pool: a value taken with `v := p.Get()` must be handed back with
+//     `p.Put(v)` in the same function — deferred, or positioned so no
+//     return statement can escape between the Get and the Put. A Get whose
+//     result is returned to the caller transfers ownership and is exempt.
+//     A leak here is silent: the pool just stops amortizing and the
+//     allocator quietly eats the regression.
+//
+//   - acquire/release pairs: a call to a function or method named
+//     `acquireX` (the phase-2 scratch-buffer convention) must be paired
+//     with a `releaseX` call on the same receiver in the same function.
+//
+// Sites where ownership genuinely moves elsewhere carry a
+// `//lint:poolleak <why>` justification.
+package poolleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poolleak check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolleak",
+	Doc:  "checks sync.Pool Get/Put and acquire/release pairing on every path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		checkFunc(pass, fn)
+		return true
+	})
+	return nil
+}
+
+type get struct {
+	pos token.Pos
+	obj types.Object // variable holding the pooled value; nil if discarded
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var gets []get
+	var putPositions = make(map[types.Object][]token.Pos) // non-deferred Put(v)
+	deferredPut := make(map[types.Object]bool)
+	var returns []token.Pos
+	returned := make(map[types.Object]bool)
+	acquires := make(map[string]token.Pos) // "recv.acquireX" -> first call
+	releases := make(map[string]bool)      // "recv.releaseX" present
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				walk(m.Call, true)
+				// A deferred closure runs before the function's callers
+				// resume; Puts inside it count as deferred.
+				if lit, ok := m.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				}
+				return false
+			case *ast.ReturnStmt:
+				returns = append(returns, m.Pos())
+				for _, res := range m.Results {
+					if obj := resolve(pass, res); obj != nil {
+						returned[obj] = true
+					}
+				}
+			case *ast.ExprStmt:
+				if isPoolGet(pass, m.X) {
+					pass.Reportf(m.Pos(), "sync.Pool Get result discarded; the object can never be returned to the pool")
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range m.Rhs {
+					if !isPoolGet(pass, rhs) {
+						continue
+					}
+					var obj types.Object
+					if len(m.Lhs) > i {
+						obj = resolve(pass, m.Lhs[i])
+					}
+					gets = append(gets, get{m.Pos(), obj})
+				}
+			case *ast.CallExpr:
+				if name, recv, ok := methodName(pass, m); ok {
+					if isPoolType(recvType(pass, m)) && name == "Put" && len(m.Args) == 1 {
+						if obj := resolve(pass, m.Args[0]); obj != nil {
+							if deferred {
+								deferredPut[obj] = true
+							} else {
+								putPositions[obj] = append(putPositions[obj], m.Pos())
+							}
+						}
+					}
+					if rest, ok := strings.CutPrefix(name, "acquire"); ok && rest != "" {
+						key := recv + ".release" + rest
+						if _, seen := acquires[key]; !seen {
+							acquires[key] = m.Pos()
+						}
+					}
+					if rest, ok := strings.CutPrefix(name, "release"); ok && rest != "" {
+						releases[recv+".release"+rest] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body, false)
+
+	for _, g := range gets {
+		if g.obj == nil {
+			continue // handled at the call site or bound to _
+		}
+		if deferredPut[g.obj] || returned[g.obj] {
+			continue
+		}
+		puts := putPositions[g.obj]
+		if len(puts) == 0 {
+			pass.Reportf(g.pos, "%s is taken from a sync.Pool but never returned with Put (or transferred via return); use defer pool.Put(%s)", g.obj.Name(), g.obj.Name())
+			continue
+		}
+		first := puts[0]
+		for _, p := range puts[1:] {
+			if p < first {
+				first = p
+			}
+		}
+		for _, r := range returns {
+			if r > g.pos && r < first {
+				pass.Reportf(g.pos, "%s is not returned to its sync.Pool on every path: a return escapes before the first Put; use defer pool.Put(%s)", g.obj.Name(), g.obj.Name())
+				break
+			}
+		}
+	}
+	for key, pos := range acquires {
+		if !releases[key] {
+			i := strings.LastIndex(key, ".")
+			pass.Reportf(pos, "acquire call has no matching %s in this function; scratch buffers must be released on every path", key[i+1:])
+		}
+	}
+}
+
+// resolve maps v or &v to the variable object it denotes.
+func resolve(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return resolve(pass, e.X)
+		}
+	case *ast.TypeAssertExpr:
+		return resolve(pass, e.X)
+	case *ast.ParenExpr:
+		return resolve(pass, e.X)
+	}
+	return nil
+}
+
+// isPoolGet reports whether e is (possibly a type assertion around) a
+// sync.Pool Get call.
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		return isPoolGet(pass, ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name, _, ok := methodName(pass, call)
+	return ok && name == "Get" && isPoolType(recvType(pass, call))
+}
+
+// methodName returns the selector name and rendered receiver of a method
+// call expression.
+func methodName(pass *analysis.Pass, call *ast.CallExpr) (name, recv string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent {
+			return id.Name, "", true
+		}
+		return "", "", false
+	}
+	return sel.Sel.Name, analysis.ExprString(sel.X), true
+}
+
+func recvType(pass *analysis.Pass, call *ast.CallExpr) types.Type {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return pass.TypeOf(sel.X)
+}
+
+func isPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}

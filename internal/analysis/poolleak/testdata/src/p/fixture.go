@@ -1,0 +1,95 @@
+// Package p exercises poolleak: sync.Pool Get/Put pairing on every path
+// and the acquire/release scratch-buffer convention.
+package p
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// deferred is the canonical shape.
+func deferred() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(b)
+	b.Reset()
+	b.WriteString("x")
+	return b.String()
+}
+
+// closureDefer returns the buffer from a deferred closure.
+func closureDefer() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	defer func() {
+		b.Reset()
+		bufPool.Put(b)
+	}()
+	return b.String()
+}
+
+// leak never hands the buffer back.
+func leak() string {
+	b := bufPool.Get().(*bytes.Buffer) // want `never returned with Put`
+	b.Reset()
+	return b.String()
+}
+
+// earlyReturn can escape between Get and Put.
+func earlyReturn(cond bool) string {
+	b := bufPool.Get().(*bytes.Buffer) // want `not returned to its sync.Pool on every path`
+	b.Reset()
+	if cond {
+		return ""
+	}
+	out := b.String()
+	bufPool.Put(b)
+	return out
+}
+
+// straightLine puts before the only return: fine without defer.
+func straightLine() string {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	out := b.String()
+	bufPool.Put(b)
+	return out
+}
+
+// transfer moves ownership to the caller.
+func transfer() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// discard loses the object outright.
+func discard() {
+	bufPool.Get() // want `Get result discarded`
+}
+
+// justified handoff: ownership moves into a registry the caller drains.
+var parked []*bytes.Buffer
+
+func park() {
+	//lint:poolleak buffer is parked in the registry and Put by the drainer
+	b := bufPool.Get().(*bytes.Buffer)
+	parked = append(parked, b)
+}
+
+// Scratch-buffer convention: acquire must pair with release.
+type scratch struct{ bufs [][]int }
+
+func (s *scratch) acquireBufs(n int) []int { return make([]int, n) }
+func (s *scratch) releaseBufs([]int)       {}
+
+func paired(s *scratch) {
+	buf := s.acquireBufs(4)
+	defer s.releaseBufs(buf)
+	buf[0] = 1
+}
+
+func unpaired(s *scratch) int {
+	buf := s.acquireBufs(4) // want `no matching releaseBufs`
+	return buf[0]
+}

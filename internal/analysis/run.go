@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one post-suppression diagnostic, resolved to a file position.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// directive is one parsed //lint:<tokens> comment.
+type directive struct {
+	tokens        []string
+	justification string
+}
+
+func (d *directive) matches(token string) bool {
+	for _, t := range d.tokens {
+		if t == token {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirective recognizes `lint:<token>[,<token>...] [justification]`
+// comment text. The leading `//` has already been stripped.
+func parseDirective(text string) (*directive, bool) {
+	const prefix = "lint:"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	var spec string
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		spec, rest = rest[:i], strings.TrimSpace(rest[i+1:])
+	} else {
+		spec, rest = rest, ""
+	}
+	if spec == "" {
+		return nil, false
+	}
+	return &directive{tokens: strings.Split(spec, ","), justification: rest}, true
+}
+
+// directiveIndex maps file -> line -> directive for one package.
+type directiveIndex map[string]map[int]*directive
+
+func indexDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := make(directiveIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				d, ok := parseDirective(text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]*directive)
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = d
+			}
+		}
+	}
+	return idx
+}
+
+// lookup finds a directive covering line (same line or the line above).
+func (idx directiveIndex) lookup(file string, line int) *directive {
+	lines := idx[file]
+	if lines == nil {
+		return nil
+	}
+	if d := lines[line]; d != nil {
+		return d
+	}
+	return lines[line-1]
+}
+
+// Stats summarizes one Run for trend reporting: per-analyzer counts of
+// findings that survived suppression and of sites silenced by a justified
+// //lint directive. CI publishes these next to the benchmark artifacts so
+// a creeping suppression count is as visible as a creeping finding count.
+type Stats struct {
+	Findings   map[string]int
+	Suppressed map[string]int
+}
+
+// Run applies every in-scope analyzer to every package and returns the
+// findings that survive suppression, sorted by position. A `//lint:<token>
+// <justification>` comment on the diagnostic's line or the line above
+// silences the diagnostic; a matching directive with no justification text
+// is reported instead of honored — every suppression must say why.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunStats(pkgs, analyzers)
+	return findings, err
+}
+
+// RunStats is Run plus the per-analyzer finding and suppression tallies.
+func RunStats(pkgs []*Package, analyzers []*Analyzer) ([]Finding, Stats, error) {
+	stats := Stats{Findings: map[string]int{}, Suppressed: map[string]int{}}
+	for _, a := range analyzers {
+		stats.Findings[a.Name] = 0
+		stats.Suppressed[a.Name] = 0
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		idx := indexDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, Stats{}, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+			token := a.SuppressToken()
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if strings.HasSuffix(pos.Filename, "_test.go") {
+					continue
+				}
+				if dir := idx.lookup(pos.Filename, pos.Line); dir != nil && dir.matches(token) {
+					if dir.justification == "" {
+						stats.Findings[a.Name]++
+						out = append(out, Finding{
+							Position: pos,
+							Analyzer: a.Name,
+							Message:  fmt.Sprintf("//lint:%s suppression requires a justification comment", token),
+						})
+					} else {
+						stats.Suppressed[a.Name]++
+					}
+					continue
+				}
+				stats.Findings[a.Name]++
+				out = append(out, Finding{Position: pos, Analyzer: a.Name, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, stats, nil
+}

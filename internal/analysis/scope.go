@@ -1,0 +1,59 @@
+package analysis
+
+import "strings"
+
+// DeterministicPackages are the package paths (matched by suffix, so test
+// fixture modules exercise the same logic) whose output feeds
+// core.Fingerprint: any iteration-order or wall-clock dependence here
+// shows up as byte-level nondeterminism in solver output, cache keys, or
+// plan fingerprints. maporder and wallclock are scoped to these.
+var DeterministicPackages = []string{
+	"internal/core",
+	"internal/incr",
+	"internal/constraint",
+	"internal/table",
+	"internal/hasse",
+	"internal/ilp",
+}
+
+// RenderingPackages produce externally observable byte streams — /metrics
+// scrapes, /healthz peer listings, stats reports — that must be stable
+// across nodes and runs so diffs, dashboards, and the cluster smoke tests
+// can compare them byte-for-byte. maporder covers these too; wallclock
+// does not (serving-layer timing is legitimately wall-clock).
+var RenderingPackages = []string{
+	"internal/metrics",
+	"internal/service",
+	"internal/cluster",
+}
+
+// SolverPackages are the packages below the public API boundary where
+// context must flow in from callers rather than be minted locally; ctxflow
+// is scoped to these.
+var SolverPackages = []string{
+	"internal/core",
+	"internal/incr",
+}
+
+// DeterministicScope reports whether pkgPath is one of the packages under
+// the determinism contract.
+func DeterministicScope(pkgPath string) bool { return matchAny(pkgPath, DeterministicPackages) }
+
+// OrderedScope is DeterministicScope plus the rendering packages; it is
+// maporder's scope.
+func OrderedScope(pkgPath string) bool {
+	return matchAny(pkgPath, DeterministicPackages) || matchAny(pkgPath, RenderingPackages)
+}
+
+// SolverScope reports whether pkgPath is under the context-propagation
+// contract.
+func SolverScope(pkgPath string) bool { return matchAny(pkgPath, SolverPackages) }
+
+func matchAny(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

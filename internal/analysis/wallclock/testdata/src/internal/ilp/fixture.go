@@ -1,0 +1,48 @@
+// Package ilp is a wallclock fixture standing in for a deterministic
+// solver package (the scope matches by path suffix).
+package ilp
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `rand.Intn draws from the global process-wide source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the global`
+}
+
+// seeded randomness flows from the caller: the sanctioned idiom.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // methods on an owned *rand.Rand are fine
+}
+
+// constructions that do not read the clock are fine.
+func pureTime(d time.Duration) time.Time {
+	return time.Unix(0, 0).Add(d)
+}
+
+// justified stats-only timing is recorded, not flagged.
+func timed(f func()) time.Duration {
+	t0 := time.Now() //lint:wallclock stats-only timing; never reaches output bytes
+	f()
+	//lint:wallclock stats-only timing; never reaches output bytes
+	return time.Since(t0)
+}
+
+func bareDirective() int64 {
+	//lint:wallclock
+	return time.Now().UnixNano() // want `suppression requires a justification`
+}

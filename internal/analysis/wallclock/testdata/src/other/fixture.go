@@ -1,0 +1,9 @@
+// Package other is outside the deterministic scope: the serving layer may
+// read the wall clock freely.
+package other
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,71 @@
+// Package wallclock forbids wall-clock reads and global randomness in the
+// deterministic solver packages.
+//
+// core.Fingerprint, plan-cache keys, and the golden byte-identical output
+// contract all assume a solve is a pure function of (Input, Options): the
+// seed arrives via Options.Seed, and anything time-shaped must flow in
+// from the caller. A `time.Now()` (or `time.Since`, which reads the clock
+// internally) in these packages is either dead determinism risk or a
+// timestamp about to leak into output; global `math/rand` functions draw
+// from a process-wide, unseedable-per-solve source that differs across
+// nodes and runs. Explicitly seeded sources (`rand.New(rand.NewSource(
+// opt.Seed))`) are the sanctioned idiom and are not flagged.
+//
+// Stats-only timing is legitimate and common — justify those sites with
+// `//lint:wallclock <why>` so the reviewer's decision is recorded next to
+// the read.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name:  "wallclock",
+	Doc:   "forbids time.Now and global math/rand in the deterministic solver packages",
+	Scope: analysis.DeterministicScope,
+	Run:   run,
+}
+
+// clockFuncs are the package time functions that read the wall clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededCtors are the math/rand constructors that take an explicit seed or
+// source and therefore keep determinism in the caller's hands.
+var seededCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(sel.Sel)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Type().(*types.Signature).Recv() != nil {
+			return true // methods (e.g. (*rand.Rand).Intn) are fine
+		}
+		switch obj.Pkg().Path() {
+		case "time":
+			if clockFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(), "%s.%s reads the wall clock in a deterministic package; plumb time through Options or annotate //lint:wallclock <why>", obj.Pkg().Name(), obj.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededCtors[obj.Name()] {
+				pass.Reportf(sel.Pos(), "%s.%s draws from the global process-wide source; use rand.New(rand.NewSource(opt.Seed)) or annotate //lint:wallclock <why>", obj.Pkg().Name(), obj.Name())
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -267,6 +267,7 @@ func (c *Cluster) Close() {
 func (c *Cluster) ProbeNow(ctx context.Context) {
 	c.mu.Lock()
 	targets := make([]string, 0, len(c.peers))
+	//lint:ordered probes run concurrently and update per-peer state; launch order is immaterial
 	for u := range c.peers {
 		targets = append(targets, u)
 	}

@@ -205,6 +205,7 @@ func Normalize(p table.Predicate) (map[string]ColRange, bool) {
 
 // IsEmptyPred reports whether the normalized predicate admits no tuple.
 func IsEmptyPred(ranges map[string]ColRange) bool {
+	//lint:ordered existential scan: the boolean is identical whichever empty range is met first
 	for _, r := range ranges {
 		if r.Empty {
 			return true

@@ -69,6 +69,7 @@ func normalizeCC(cc CC, isR2 func(col string) bool) normCC {
 		return normCC{}
 	}
 	n := normCC{ok: true, cols: make([]normCol, 0, len(ranges))}
+	//lint:ordered isR2 is a pure column classifier and cols is sorted by name below
 	for c, r := range ranges {
 		if r.Empty {
 			n.empty = true

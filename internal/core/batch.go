@@ -21,9 +21,11 @@ import (
 // failures are isolated: a failing instance leaves a nil Result and
 // contributes its error — annotated with the instance index — to the
 // joined error; the remaining instances still solve. Cancellation is
-// checked at instance boundaries: once ctx is done no new instance starts,
-// and every unstarted instance reports ctx.Err(). Each instance's output
-// is byte-identical to a standalone Solve(inputs[i], opt).
+// checked at instance boundaries and inside each instance at the solver's
+// phase boundaries: once ctx is done no new instance starts, unstarted
+// instances report ctx.Err(), and in-flight instances stop within one
+// phase. Each completed instance's output is byte-identical to a
+// standalone Solve(inputs[i], opt).
 func SolveBatch(ctx context.Context, inputs []Input, opt Options) ([]*Result, error) {
 	return SolveBatchOn(ctx, inputs, opt, PoolFor(opt))
 }
@@ -33,17 +35,14 @@ func SolveBatch(ctx context.Context, inputs []Input, opt Options) ([]*Result, er
 // every batch and every single solve so that concurrent callers never
 // oversubscribe the host.
 func SolveBatchOn(ctx context.Context, inputs []Input, opt Options, pool *sched.Pool) ([]*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	results := make([]*Result, len(inputs))
 	errs := make([]error, len(inputs))
 	pool.ForEach(len(inputs), func(i int) {
-		if err := ctx.Err(); err != nil {
+		if err := ctxErr(ctx); err != nil {
 			errs[i] = fmt.Errorf("core: batch instance %d: %w", i, err)
 			return
 		}
-		res, err := solveOnPool(inputs[i], opt, pool)
+		res, err := solveOnPool(ctx, inputs[i], opt, pool)
 		if err != nil {
 			errs[i] = fmt.Errorf("core: batch instance %d: %w", i, err)
 			return

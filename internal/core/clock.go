@@ -1,0 +1,20 @@
+package core
+
+import "time"
+
+// now and since are the solver's only wall-clock access. All readings land
+// in Stats timing fields, which are observability metadata: no solver
+// decision reads them, the service codec scrubs them from cached response
+// bodies before they are stored under a content-addressed key, and the
+// determinism contract ("same input, same bytes") is therefore untouched
+// by clock skew. Keeping the two calls here gives the wallclock analyzer a
+// single audited escape hatch — new time.Now calls elsewhere in the solver
+// still fire.
+
+func now() time.Time {
+	return time.Now() //lint:wallclock timings feed Stats only; scrubbed from cached bodies, never read by solver decisions
+}
+
+func since(t time.Time) time.Duration {
+	return time.Since(t) //lint:wallclock timings feed Stats only; scrubbed from cached bodies, never read by solver decisions
+}

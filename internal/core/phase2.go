@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/hypergraph"
 	"repro/internal/table"
@@ -128,14 +127,14 @@ func (p *prob) runPhase2() (*phase2, error) {
 	}
 	p.ensureDCCand()
 
-	tColor := time.Now()
+	tColor := now()
 	var err error
 	if p.opt.NoPartition {
 		err = ph.colorGlobal(parts)
 	} else {
 		err = ph.colorPartitions(parts)
 	}
-	p.stat.Coloring = time.Since(tColor)
+	p.stat.Coloring = since(tColor)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"repro/internal/sched"
 	"repro/internal/table"
@@ -81,24 +81,38 @@ var errSpliceDiverged = errors.New("core: spliced partition diverged from fresh-
 //
 // plan, when non-nil and matching, supplies the CC classification for cold
 // builds. pool follows SolveOn semantics (nil = sequential).
+//
+//lint:ctxflow non-cancellable convenience wrapper; SolveSessionContext is the serving-path entry
 func SolveSession(in Input, opt Options, st *SessionState, ch Changes, plan *Plan, pool *sched.Pool) (*Result, error) {
+	return SolveSessionContext(nil, in, opt, st, ch, plan, pool)
+}
+
+// SolveSessionContext is SolveSession with cooperative cancellation
+// (SolveOnContext semantics: checked at phase boundaries, nil never
+// cancels). A canceled solve may have mutated the retained problem mid-way
+// through phase I, so the warm state is dropped before returning — the
+// session's next solve rebuilds cold, which is always correct.
+func SolveSessionContext(ctx context.Context, in Input, opt Options, st *SessionState, ch Changes, plan *Plan, pool *sched.Pool) (*Result, error) {
 	if st == nil {
 		st = NewSessionState()
 	}
-	res, err := solveSessionOnce(in, opt, st, ch, plan, pool)
+	res, err := solveSessionOnce(ctx, in, opt, st, ch, plan, pool)
 	if errors.Is(err, errSpliceDiverged) {
 		// Defensive: replay disagreed with the recorded memo. Drop every
 		// warm artifact and answer from a cold solve, which is always
 		// correct.
 		st.Reset()
-		return solveSessionOnce(in, opt, st, Changes{Full: true}, plan, pool)
+		return solveSessionOnce(ctx, in, opt, st, Changes{Full: true}, plan, pool)
+	}
+	if err != nil && ctxErr(ctx) != nil {
+		st.Reset()
 	}
 	return res, err
 }
 
-func solveSessionOnce(in Input, opt Options, st *SessionState, ch Changes, plan *Plan, pool *sched.Pool) (*Result, error) {
+func solveSessionOnce(ctx context.Context, in Input, opt Options, st *SessionState, ch Changes, plan *Plan, pool *sched.Pool) (*Result, error) {
 	var stat Stats
-	t0 := time.Now()
+	t0 := now()
 	p := st.p
 	if p == nil || ch.Full || !p.compatible(in, opt) {
 		var err error
@@ -124,6 +138,7 @@ func solveSessionOnce(in Input, opt Options, st *SessionState, ch Changes, plan 
 		}
 	}
 	p.pool = pool
+	p.ctx = ctx
 
 	// Splicing and capture only make sense for the deterministic coloring
 	// path: RandomFK consumes the rng stream (replay would desynchronize

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -19,6 +20,8 @@ import (
 // zero parallelism. It is the single source of the parallelism policy:
 // the incremental engine derives session pools through it, so a session
 // solve and a cold Solve of the same Options always parallelize alike.
+//
+//lint:ctxflow PoolFor only constructs the pool; the caller owns its lifecycle, and cancellation applies to solves, not to pool construction
 func PoolFor(opt Options) *sched.Pool {
 	var pool *sched.Pool
 	switch {
@@ -38,7 +41,7 @@ func PoolFor(opt Options) *sched.Pool {
 // default options this is the paper's hybrid; BaselineOptions and
 // BaselineMarginalsOptions reproduce the §6.1 comparison algorithms.
 func Solve(in Input, opt Options) (*Result, error) {
-	return solveOnPool(in, opt, PoolFor(opt))
+	return solveOnPool(nil, in, opt, PoolFor(opt))
 }
 
 // SolveOn is Solve against a caller-owned worker pool (nil runs fully
@@ -46,21 +49,53 @@ func Solve(in Input, opt Options) (*Result, error) {
 // one pool at startup and route every request's solve through it, so the
 // process-wide parallelism stays bounded no matter how many requests are in
 // flight. opt.Workers is ignored; the pool is the parallelism policy.
+//
+//lint:ctxflow non-cancellable convenience wrapper for tests and CLIs; SolveOnContext is the serving-path entry
 func SolveOn(in Input, opt Options, pool *sched.Pool) (*Result, error) {
-	return solveOnPool(in, opt, pool)
+	return solveOnPool(nil, in, opt, pool)
+}
+
+// SolveOnContext is SolveOn with cooperative cancellation: ctx is observed
+// at the solver's phase boundaries (before phase I, between the Hasse and
+// ILP stages, and before phase II), so a canceled request stops within one
+// phase rather than running the solve to completion. A nil ctx never
+// cancels. Results are unaffected by cancellation timing: a solve either
+// finishes byte-identical to SolveOn or returns ctx's error.
+func SolveOnContext(ctx context.Context, in Input, opt Options, pool *sched.Pool) (*Result, error) {
+	return solveOnPool(ctx, in, opt, pool)
 }
 
 // solveOnPool is Solve against a caller-provided worker pool, shared across
 // the instances of a batch.
-func solveOnPool(in Input, opt Options, pool *sched.Pool) (*Result, error) {
+func solveOnPool(ctx context.Context, in Input, opt Options, pool *sched.Pool) (*Result, error) {
 	var stat Stats
-	t0 := time.Now()
+	t0 := now()
 	p, err := newProb(in, opt, &stat)
 	if err != nil {
 		return nil, err
 	}
 	p.pool = pool
+	p.ctx = ctx
 	return p.run(t0)
+}
+
+// ctxErr is ctx.Err() with nil meaning "never canceled": the solver
+// threads an optional context without minting a Background below the API
+// boundary.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// canceled reports the problem's cancellation state, wrapping the context
+// error so callers can errors.Is against context.Canceled.
+func (p *prob) canceled() error {
+	if err := ctxErr(p.ctx); err != nil {
+		return fmt.Errorf("core: solve canceled: %w", err)
+	}
+	return nil
 }
 
 // classification returns the pairwise CC relationship matrix, computing it
@@ -99,25 +134,31 @@ func (p *prob) hybridSplit() *hybridSplitState {
 func (p *prob) run(t0 time.Time) (*Result, error) {
 	in, opt, stat := p.in, p.opt, p.stat
 	p.rng = rand.New(rand.NewSource(opt.Seed))
+	if err := p.canceled(); err != nil {
+		return nil, err
+	}
 
 	// ---------- Phase I: complete V_Join from the CCs ----------
-	tPhase1 := time.Now()
+	tPhase1 := now()
 	switch opt.Mode {
 	case ModeHybrid:
-		tw := time.Now()
+		tw := now()
 		hs := p.hybridSplit()
-		stat.Pairwise = time.Since(tw)
+		stat.Pairwise = since(tw)
 		stat.CCsToHasse, stat.CCsToILP = len(hs.s1), len(hs.s2)
 
-		tw = time.Now()
+		tw = now()
 		p.runHasse(hs.s1, hs.forest)
-		stat.Recursion = time.Since(tw)
+		stat.Recursion = since(tw)
 
-		tw = time.Now()
+		if err := p.canceled(); err != nil {
+			return nil, err
+		}
+		tw = now()
 		if err := p.runILP(hs.s2, !opt.NoMarginals); err != nil {
 			return nil, err
 		}
-		stat.ILPTime = time.Since(tw)
+		stat.ILPTime = since(tw)
 
 	case ModeILPOnly:
 		all := make([]int, len(in.CCs))
@@ -125,11 +166,11 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 			all[i] = i
 		}
 		stat.CCsToILP = len(all)
-		tw := time.Now()
+		tw := now()
 		if err := p.runILP(all, !opt.NoMarginals); err != nil {
 			return nil, err
 		}
-		stat.ILPTime = time.Since(tw)
+		stat.ILPTime = since(tw)
 
 	case ModeHasseOnly:
 		all := make([]int, len(in.CCs))
@@ -137,15 +178,15 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 			all[i] = i
 		}
 		stat.CCsToHasse = len(all)
-		tw := time.Now()
+		tw := now()
 		rel := p.classification()
-		stat.Pairwise = time.Since(tw)
-		tw = time.Now()
+		stat.Pairwise = since(tw)
+		tw = now()
 		if p.forestAll == nil {
 			p.forestAll = hasse.Build(rel)
 		}
 		p.runHasse(all, p.forestAll)
-		stat.Recursion = time.Since(tw)
+		stat.Recursion = since(tw)
 
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", opt.Mode)
@@ -163,14 +204,17 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 			p.fillLeftoversRandom() // baselines never carry invalid tuples
 		}
 	}
-	stat.Phase1 = time.Since(tPhase1)
+	stat.Phase1 = since(tPhase1)
 	stat.PlanReused = p.planReused // set by classification() during phase I
 
 	// ---------- Phase II: complete R1.FK from V_Join and the DCs ----------
 	// runPhase2 records stat.Coloring itself (graph construction + coloring
 	// only); Phase2 additionally covers invalid-tuple repair, the R̂1
 	// write-back, and the final join.
-	tPhase2 := time.Now()
+	if err := p.canceled(); err != nil {
+		return nil, err
+	}
+	tPhase2 := now()
 	ph, err := p.runPhase2()
 	if err != nil {
 		return nil, err
@@ -185,8 +229,8 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 		return nil, err
 	}
 	vj.Name = "VJoin"
-	stat.Phase2 = time.Since(tPhase2)
-	stat.Total = time.Since(t0)
+	stat.Phase2 = since(tPhase2)
+	stat.Total = since(t0)
 	return &Result{R1Hat: r1hat, R2Hat: ph.r2hat, VJoin: vj, Stats: *stat}, nil
 }
 

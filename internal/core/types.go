@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -167,7 +168,8 @@ type prob struct {
 	opt  Options
 	rng  *rand.Rand
 	stat *Stats
-	pool *sched.Pool // shared bounded worker pool; nil means sequential
+	pool *sched.Pool     // shared bounded worker pool; nil means sequential
+	ctx  context.Context // per-solve cancellation; nil never cancels
 
 	aCols     []string // R1 non-key attribute columns
 	bCols     []string // R2 non-key attribute columns

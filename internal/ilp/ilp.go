@@ -117,7 +117,12 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	}
 	deadline := time.Time{}
 	if opt.TimeLimit > 0 {
-		deadline = time.Now().Add(opt.TimeLimit)
+		// A nonzero TimeLimit is the solver's one documented determinism
+		// carve-out (see core/fingerprint.go and Options.TimeLimit): hitting
+		// the deadline truncates the search, so results may vary with host
+		// speed. Callers who need byte-stable output leave TimeLimit at 0,
+		// which keeps this branch — and the clock — out of the solve.
+		deadline = time.Now().Add(opt.TimeLimit) //lint:wallclock TimeLimit>0 is the documented determinism carve-out; zero TimeLimit never reads the clock
 	}
 
 	base, err := buildLP(p)
@@ -141,7 +146,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	bestLPObj := math.Inf(1)
 
 	for len(stack) > 0 {
-		if sol.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+		if sol.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline)) { //lint:wallclock deadline is only nonzero under the documented TimeLimit carve-out
 			break
 		}
 		nd := stack[len(stack)-1]
@@ -225,7 +230,7 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 		sol.Status = StatusRounded
 		return sol, nil
 	}
-	if sol.Status == StatusOptimal && (sol.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline))) && len(stack) > 0 {
+	if sol.Status == StatusOptimal && (sol.Nodes >= opt.MaxNodes || (!deadline.IsZero() && time.Now().After(deadline))) && len(stack) > 0 { //lint:wallclock deadline is only nonzero under the documented TimeLimit carve-out
 		sol.Status = StatusFeasible // budget expired with nodes left
 	}
 	return sol, nil

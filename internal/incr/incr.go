@@ -19,6 +19,7 @@
 package incr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -149,6 +150,8 @@ type Session struct {
 // and returns a session ready to Solve. pool, when non-nil, bounds the
 // solver's parallelism (core.SolveOn semantics); nil derives a pool from
 // opt.Workers.
+//
+//lint:ctxflow opening only clones tables and stores the pool; no solver work runs until Solve/Resolve, whose Context variants carry cancellation
 func (e *Engine) Open(in core.Input, opt core.Options, pool *sched.Pool) (*Session, error) {
 	if in.R1 == nil || in.R2 == nil {
 		return nil, fmt.Errorf("incr: nil relation")
@@ -166,6 +169,8 @@ func (e *Engine) Open(in core.Input, opt core.Options, pool *sched.Pool) (*Sessi
 // one R1 clone plus bookkeeping; the structural plan is fetched (or
 // compiled) lazily at the first solve, so a session can be parked behind a
 // cache hit without paying for classification it may never need.
+//
+//lint:ctxflow opening only clones tables and stores the pool; no solver work runs until Solve/Resolve, whose Context variants carry cancellation
 func (e *Engine) OpenKeyed(in core.Input, opt core.Options, pool *sched.Pool, baseFP [32]byte) (*Session, error) {
 	if in.R1 == nil || in.R2 == nil {
 		return nil, fmt.Errorf("incr: nil relation")
@@ -213,7 +218,15 @@ func (s *Session) Instance() core.Input { return s.work }
 // warm — fully spliced — on repeats. It also primes the warm state the
 // first Resolve builds on.
 func (s *Session) Solve() (*core.Result, error) {
-	res, _, err := s.resolve(Delta{})
+	res, _, err := s.resolve(nil, Delta{})
+	return res, err
+}
+
+// SolveContext is Solve with cooperative cancellation
+// (core.SolveOnContext semantics). A canceled solve drops the session's
+// warm state; the next solve runs cold.
+func (s *Session) SolveContext(ctx context.Context) (*core.Result, error) {
+	res, _, err := s.resolve(ctx, Delta{})
 	return res, err
 }
 
@@ -222,17 +235,34 @@ func (s *Session) Solve() (*core.Result, error) {
 // cache key an equivalent cold submission would carry). The result is
 // byte-identical to core.Solve on the patched instance.
 func (s *Session) Resolve(d Delta) (*core.Result, [32]byte, error) {
+	return s.ResolveContext(nil, d)
+}
+
+// ResolveContext is Resolve with cooperative cancellation
+// (core.SolveOnContext semantics: checked at the solver's phase
+// boundaries, nil never cancels). A canceled solve drops the session's
+// warm state; the next solve runs cold.
+func (s *Session) ResolveContext(ctx context.Context, d Delta) (*core.Result, [32]byte, error) {
 	if err := s.validate(d); err != nil {
 		return nil, [32]byte{}, err
 	}
-	return s.resolve(d)
+	return s.resolve(ctx, d)
 }
 
 // validate rejects deltas that do not type-check against the base instance.
 func (s *Session) validate(d Delta) error {
 	baseLen := s.baseLen
 	schema := s.work.R1.Schema()
-	for i, t := range d.CCTargets {
+	// Validate CC targets in ascending index order so a delta with several
+	// bad entries always reports the same one — ranging the map here made
+	// the error (and thus the service's HTTP response) vary run to run.
+	ccIdxs := make([]int, 0, len(d.CCTargets))
+	for i := range d.CCTargets {
+		ccIdxs = append(ccIdxs, i)
+	}
+	sort.Ints(ccIdxs)
+	for _, i := range ccIdxs {
+		t := d.CCTargets[i]
 		if i < 0 || i >= len(s.work.CCs) {
 			return fmt.Errorf("incr: delta: CC index %d out of range (instance has %d CCs)", i, len(s.work.CCs))
 		}
@@ -282,7 +312,7 @@ func (s *Session) validate(d Delta) error {
 
 // resolve rebases the working instance from the previously applied delta to
 // d, declares the combined change set, and runs the session solve.
-func (s *Session) resolve(d Delta) (*core.Result, [32]byte, error) {
+func (s *Session) resolve(ctx context.Context, d Delta) (*core.Result, [32]byte, error) {
 	ch := s.rebase(d)
 	if !s.solved {
 		ch.Full = true
@@ -295,7 +325,7 @@ func (s *Session) resolve(d Delta) (*core.Result, [32]byte, error) {
 			s.plan, s.sfp, s.planCached = pl, sfp, cached
 		}
 	}
-	res, err := core.SolveSession(s.work, s.opt, s.state, ch, s.plan, s.pool)
+	res, err := core.SolveSessionContext(ctx, s.work, s.opt, s.state, ch, s.plan, s.pool)
 	if res != nil && !s.planCached {
 		// The plan was compiled by this very session; classification was
 		// not reused from anywhere, whatever the solver's flag says.
@@ -328,6 +358,7 @@ func (s *Session) rebase(d Delta) core.Changes {
 
 	// Undo the previous delta: restore patched cells from the overlay,
 	// withdraw appended rows, restore patched targets.
+	//lint:ordered each overlay entry restores a distinct cell and marks set entries; no write overlaps another
 	for cell, v := range s.overlay {
 		s.work.R1.Set(cell.row, cell.col, v)
 		dirtyRows[cell.row] = true
@@ -338,6 +369,7 @@ func (s *Session) rebase(d Delta) core.Changes {
 		s.work.R1.Truncate(baseLen)
 	}
 	targets := false
+	//lint:ordered distinct CC indices write distinct slots; targets only latches true
 	for i := range s.prevTargets {
 		s.work.CCs[i].Target = s.baseTargets[i]
 		targets = true
@@ -347,6 +379,7 @@ func (s *Session) rebase(d Delta) core.Changes {
 	s.prevTargets = nil
 	if len(d.CCTargets) > 0 {
 		s.prevTargets = make(map[int]int64, len(d.CCTargets))
+		//lint:ordered distinct CC indices write distinct slots; validate already rejected bad indices deterministically
 		for i, t := range d.CCTargets {
 			s.prevTargets[i] = t
 			s.work.CCs[i].Target = t

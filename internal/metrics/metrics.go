@@ -88,6 +88,7 @@ func DCViolations(r1hat *table.Relation, fkCol string, dcs []constraint.DC) map[
 	groups := r1hat.GroupByValue(fkCol)
 	violating := make(map[int]bool)
 	bound := constraint.BindDCs(dcs, r1hat.Schema())
+	//lint:ordered groups are independent and markViolations only unions rows into the result set
 	for key, rows := range groups {
 		if len(rows) < 2 {
 			continue

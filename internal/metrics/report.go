@@ -55,6 +55,7 @@ func ReportDCs(r1hat *table.Relation, fkCol string, dcs []constraint.DC) *DCRepo
 	bound := constraint.BindDCs(dcs, r1hat.Schema())
 	for di := range bound {
 		per := make(map[int]bool)
+		//lint:ordered groups are independent and markViolations only unions rows into per
 		for key, rows := range groups {
 			if len(rows) < bound[di].K || key.IsNull() {
 				continue

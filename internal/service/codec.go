@@ -92,13 +92,21 @@ type CellEditJSON struct {
 func (dj *DeltaJSON) toDelta() (incr.Delta, error) {
 	var d incr.Delta
 	if len(dj.CCTargets) > 0 {
+		// Decode in sorted key order so a request with several malformed
+		// keys always gets the same 400 body — ranging the map made the
+		// reported key vary run to run.
+		keys := make([]string, 0, len(dj.CCTargets))
+		for k := range dj.CCTargets {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
 		d.CCTargets = make(map[int]int64, len(dj.CCTargets))
-		for k, t := range dj.CCTargets {
+		for _, k := range keys {
 			i, err := strconv.Atoi(k)
 			if err != nil {
 				return d, badRequest("delta: cc_targets key %q is not a CC index", k)
 			}
-			d.CCTargets[i] = t
+			d.CCTargets[i] = dj.CCTargets[k]
 		}
 	}
 	for n, ed := range dj.R1Edits {
@@ -395,13 +403,24 @@ func assembleInput(r1, r2 *table.Relation, k1, k2, fk, consDSL string) (core.Inp
 // instance. The same instance always produces the same bytes, which is what
 // the cache stores and what makes hits byte-identical to cold solves.
 func encodeSolveBody(keyHex string, in core.Input, res *core.Result) ([]byte, error) {
+	// The body is stored in the content-addressed cache under a key that
+	// promises byte-identical responses — a cluster gather fallback
+	// re-solves a lost peer's group expecting to reproduce its bytes
+	// exactly, and warm and cold solves of one key must agree. Wall-clock
+	// timings and warm-state reuse flags vary run to run and node to node,
+	// so they are canonicalized to zero before encoding; the deterministic
+	// counters (partitions, ILP nodes, added tuples, ...) stay.
+	st := res.Stats
+	st.Pairwise, st.Recursion, st.ILPTime, st.Coloring = 0, 0, 0, 0
+	st.Phase1, st.Phase2, st.Total = 0, 0, 0
+	st.PlanReused, st.ProbReused, st.SplicedPartitions = false, false, 0
 	body := SolveResponse{
 		Key: keyHex,
 		Result: ResultJSON{
 			R1Hat:    encodeRelation(res.R1Hat),
 			R2Hat:    encodeRelation(res.R2Hat),
 			VJoin:    encodeRelation(res.VJoin),
-			Stats:    res.Stats,
+			Stats:    st,
 			CCErrors: metrics.CCErrors(res.VJoin, in.CCs),
 			DCError:  metrics.DCErrorFraction(res.R1Hat, in.FK, in.DCs),
 		},

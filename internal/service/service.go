@@ -197,6 +197,7 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	close(s.shutdown)
+	//lint:ordered shutdown cancels every job; cancellation order is unobservable
 	for _, j := range s.jobs {
 		j.cancel()
 	}
@@ -422,7 +423,7 @@ func (s *Server) solveDelta(ctx context.Context, p *solveParsed) ([]byte, cache.
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 	s.solveRuns.Add(1)
-	res, key, err := ss.sess.Resolve(p.delta)
+	res, key, err := ss.sess.ResolveContext(ctx, p.delta)
 	if err != nil {
 		s.solveErrors.Add(1)
 		return nil, cache.Key{}, "", err
@@ -630,10 +631,10 @@ func (s *Server) solveAndStore(ctx context.Context, key cache.Key, in core.Input
 	}
 	if ss != nil {
 		ss.mu.Lock()
-		res, err = ss.sess.Solve()
+		res, err = ss.sess.SolveContext(ctx)
 		ss.mu.Unlock()
 	} else {
-		res, err = core.SolveOn(in, opt, s.pool)
+		res, err = core.SolveOnContext(ctx, in, opt, s.pool)
 	}
 	if err != nil {
 		s.solveErrors.Add(1)
@@ -774,14 +775,32 @@ func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	return false
 }
 
+// jsonBufPool recycles encode buffers across responses: status, error,
+// metrics, and job-listing bodies are written on every request, and
+// re-encoding them into a fresh allocation each time is the service's
+// steadiest garbage source. Buffers are returned on every path — the
+// poolleak analyzer enforces this.
+var jsonBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	b, err := json.Marshal(v)
-	if err != nil {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		jsonBufPool.Put(buf)
+	}()
+	// Encode before touching the ResponseWriter so an encoding failure can
+	// still change the status line instead of corrupting a committed 200.
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
 		return
 	}
-	w.Write(b)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode appends a newline Marshal would not; trim it so bodies stay
+	// byte-identical to the pre-pool encoding.
+	w.Write(bytes.TrimSuffix(buf.Bytes(), []byte("\n")))
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/incr"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 func main() {
@@ -49,6 +51,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	batch := flag.Int("batch", 0, "solve this many instances via SolveBatch instead of running experiments")
 	incr := flag.Bool("incr", false, "benchmark cold vs warm-plan vs delta re-solve on a repeated-structure workload")
+	storeBench := flag.Bool("store", false, "benchmark durable-store restart shapes: cold start vs warm restart vs mapped-snapshot load")
 	iters := flag.Int("iters", 15, "iterations per -incr benchmark")
 	workers := flag.Int("workers", -1, "worker pool size for -batch (-1 = GOMAXPROCS, 0/1 = serial)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
@@ -96,6 +99,10 @@ func main() {
 	}
 	if *incr {
 		runIncr(*iters, *unit, *ccs, *seed)
+		return
+	}
+	if *storeBench {
+		runStore(*iters, *unit, *ccs, *seed)
 		return
 	}
 	if *batch > 0 {
@@ -380,6 +387,191 @@ func runIncr(iters, unit, nCC int, seed int64) {
 		}
 	})
 	report("BenchmarkIncrDeltaTarget", deltaTarget, cold)
+}
+
+// runStore is the restart workload behind BENCH_store.json: what a process
+// pays to answer the first solve after it comes up. Cold start solves the
+// instance from nothing (no durable state); warm restart replays the full
+// recovery path the daemon takes — open the store, load the session record,
+// materialize both relation snapshots, verify the content fingerprint,
+// adopt the persisted plan, open the session, solve; mapped load isolates
+// the state-materialization share of that (snapshot decode + verify, no
+// solve); persist is the write side the persister goroutine pays off the
+// request path. Output is `go test -bench`-shaped lines for
+// .github/bench_to_json.sh.
+func runStore(iters, unit, nCC int, seed int64) {
+	if unit <= 0 {
+		unit = 1000
+	}
+	if nCC <= 0 {
+		nCC = 150
+	}
+	if iters <= 0 {
+		iters = 15
+	}
+	d := census.Generate(census.Config{Households: unit, Areas: 6, Seed: seed})
+	in := linksynth.Input{R1: d.Persons, R2: d.Housing,
+		K1: "pid", K2: "hid", FK: "hid", CCs: d.GoodCCs(nCC), DCs: census.AllDCs()}
+	opt := linksynth.Options{Seed: seed}
+
+	fmt.Printf("store workload: %d households, %d CCs, %d iters, seed %d\n", unit, nCC, iters, seed)
+
+	median := func(run func(i int)) time.Duration {
+		times := make([]time.Duration, iters)
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			run(i)
+			times[i] = time.Since(t0)
+		}
+		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+		return times[iters/2]
+	}
+	report := func(name string, med time.Duration, cold time.Duration) {
+		if cold > 0 && med > 0 {
+			fmt.Printf("%-28s %8d %12d ns/op %12.2f speedup-vs-cold\n",
+				name, iters, med.Nanoseconds(), float64(cold)/float64(med))
+			return
+		}
+		fmt.Printf("%-28s %8d %12d ns/op\n", name, iters, med.Nanoseconds())
+	}
+
+	cold := median(func(int) {
+		if _, err := linksynth.Solve(in, opt); err != nil {
+			fatal("-store cold solve: %v", err)
+		}
+	})
+	report("BenchmarkStoreColdStart", cold, 0)
+
+	// Build the durable state a previous process would have left behind:
+	// one solved session, persisted exactly as the daemon's persister does.
+	dir, err := os.MkdirTemp("", "benchtab-store-*")
+	if err != nil {
+		fatal("-store: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	fp, err := linksynth.Fingerprint(in, opt)
+	if err != nil {
+		fatal("-store fingerprint: %v", err)
+	}
+	eng := incr.NewEngine(64)
+	sess, err := eng.OpenKeyed(in, opt, nil, fp)
+	if err != nil {
+		fatal("-store open: %v", err)
+	}
+	if _, err := sess.Solve(); err != nil {
+		fatal("-store prime solve: %v", err)
+	}
+	seedStore, err := store.Open(dir)
+	if err != nil {
+		fatal("-store open store: %v", err)
+	}
+	persistInto := func(st *store.Store) {
+		r1fp, err := st.PutRelation(in.R1)
+		if err != nil {
+			fatal("-store put R1: %v", err)
+		}
+		r2fp, err := st.PutRelation(in.R2)
+		if err != nil {
+			fatal("-store put R2: %v", err)
+		}
+		rec := &store.SessionRecord{
+			BaseFP: fp, SFP: sess.StructuralFingerprint(), R1FP: r1fp, R2FP: r2fp,
+			K1: in.K1, K2: in.K2, FK: in.FK, Opt: opt,
+			CCs: in.CCs, DCs: in.DCs, Plan: sess.Plan(),
+		}
+		if err := st.PutSession(rec); err != nil {
+			fatal("-store put session: %v", err)
+		}
+	}
+	persistInto(seedStore)
+	rec, err := seedStore.LoadSession(fp)
+	if err != nil {
+		fatal("-store reload session: %v", err)
+	}
+
+	// Persist: encode + atomic write + fsync of both snapshots and the
+	// session record, into a fresh directory each iteration so the
+	// content-addressed dedup of an already-present snapshot never hides
+	// the write cost.
+	persist := median(func(i int) {
+		sub := filepath.Join(dir, fmt.Sprintf("p%d", i))
+		st, err := store.Open(sub)
+		if err != nil {
+			fatal("-store: %v", err)
+		}
+		persistInto(st)
+	})
+	report("BenchmarkStorePersist", persist, cold)
+
+	// Mapped load: what materializing the base state from disk costs —
+	// snapshot decode over the mapping, content verification, relation
+	// materialization — without the solve that follows.
+	mappedLoad := median(func(int) {
+		st, err := store.Open(dir)
+		if err != nil {
+			fatal("-store: %v", err)
+		}
+		if _, err := st.LoadRelation(rec.R1FP); err != nil {
+			fatal("-store load R1: %v", err)
+		}
+		if _, err := st.LoadRelation(rec.R2FP); err != nil {
+			fatal("-store load R2: %v", err)
+		}
+	})
+	report("BenchmarkStoreMappedLoad", mappedLoad, cold)
+
+	// Warm restart: the daemon's full per-session recovery path in a fresh
+	// "process" (new store handle, new engine) — load the record, materialize
+	// both snapshots, verify the content fingerprint, adopt the plan, open
+	// the session. No solve: a restored session serves its previously cached
+	// deltas from the byte cache with zero solver work, so this is the whole
+	// restart cost for replayed traffic. The speedup column is the claim —
+	// restoring is this many times cheaper than re-solving the base.
+	restore := func() *incr.Session {
+		st, err := store.Open(dir)
+		if err != nil {
+			fatal("-store: %v", err)
+		}
+		rec, err := st.LoadSession(fp)
+		if err != nil {
+			fatal("-store load session: %v", err)
+		}
+		r1, err := st.LoadRelation(rec.R1FP)
+		if err != nil {
+			fatal("-store load R1: %v", err)
+		}
+		r2, err := st.LoadRelation(rec.R2FP)
+		if err != nil {
+			fatal("-store load R2: %v", err)
+		}
+		rin := linksynth.Input{R1: r1, R2: r2, K1: rec.K1, K2: rec.K2, FK: rec.FK, CCs: rec.CCs, DCs: rec.DCs}
+		got, err := linksynth.Fingerprint(rin, rec.Opt)
+		if err != nil || got != fp {
+			fatal("-store restored fingerprint mismatch (err %v)", err)
+		}
+		reng := incr.NewEngine(64)
+		reng.AdoptPlan(rec.Plan)
+		rsess, err := reng.OpenKeyed(rin, rec.Opt, nil, fp)
+		if err != nil {
+			fatal("-store reopen: %v", err)
+		}
+		return rsess
+	}
+	warmRestart := median(func(int) { restore() })
+	report("BenchmarkStoreWarmRestart", warmRestart, cold)
+
+	// First solve a restored session runs — a delta never seen before the
+	// restart. The adopted plan makes it a warm-plan solve, not a cold one.
+	restored := make([]*incr.Session, iters)
+	for i := range restored {
+		restored[i] = restore()
+	}
+	firstSolve := median(func(i int) {
+		if _, err := restored[i].Solve(); err != nil {
+			fatal("-store restored solve: %v", err)
+		}
+	})
+	report("BenchmarkStoreRestoredFirstSolve", firstSolve, cold)
 }
 
 func emitJSON(v any) {

@@ -1,17 +1,32 @@
 // Command linksynthd serves the C-Extension solver over HTTP with a
-// content-addressed result cache: identical instances are solved once and
-// served byte-identically from the cache thereafter, including across
-// restarts when -cache-dir is set.
+// content-addressed result cache and a durable store: identical instances
+// are solved once and served byte-identically from the cache thereafter —
+// including across restarts when -data-dir is set, in which case warm
+// solver sessions are also persisted and revived, so previously seen
+// {base, delta} traffic restarts with zero cold solves.
 //
 // Usage:
 //
-//	linksynthd -addr :8080 -workers -1 -cache-dir /var/lib/linksynth \
+//	linksynthd -addr :8080 -workers -1 -data-dir /var/lib/linksynth \
 //	    -cache-entries 4096 -max-body 64000000
+//
+// The data directory holds three kinds of state:
+//
+//	data/cache      append-only result-cache log (cache.aol)
+//	data/snapshots  content-addressed columnar relation snapshots (*.snap)
+//	data/sessions   session records: constraints, options, plan (*.sess)
+//
+// -cache-dir is the pre-durable-store spelling of the same root and is kept
+// as an alias; a legacy flat cache.aol at the root is migrated into
+// data/cache on startup.
 //
 // Scaling out: give every node the same -peers list and its own -advertise
 // URL and the nodes form a shared-nothing sharded cluster — each instance's
 // fingerprint hashes to one owning node, non-owners forward to it, and
-// batch jobs scatter across the owners:
+// batch jobs scatter across the owners. Nodes with a data directory also
+// serve their store files to peers (GET /v1/store/{fingerprint}), so a node
+// that inherits a base after ring movement pulls the warm state through
+// instead of re-solving.
 //
 //	linksynthd -addr :8081 -advertise http://10.0.0.1:8081 \
 //	    -peers http://10.0.0.1:8081,http://10.0.0.2:8081,http://10.0.0.3:8081
@@ -20,8 +35,9 @@
 // carry a "base" fingerprint plus "delta" for an incremental warm-start
 // re-solve against a retained session — see -sessions), POST /v1/batch
 // (async, returns a job id), GET /v1/jobs (list), GET /v1/jobs/{id},
-// DELETE /v1/jobs/{id} (cancel), GET /healthz, GET /metrics. See the
-// repository README for request shapes and curl examples.
+// DELETE /v1/jobs/{id} (cancel), GET /v1/store/{fingerprint}, GET /healthz,
+// GET /metrics. See the repository README for request shapes and curl
+// examples.
 package main
 
 import (
@@ -33,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -40,12 +57,14 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", -1, "solver pool size shared by all requests (-1 = GOMAXPROCS)")
-	cacheDir := flag.String("cache-dir", "", "persist the result cache to this directory (empty = memory only)")
+	dataDir := flag.String("data-dir", "", "root directory for all durable state: result cache, relation snapshots, session records (empty = memory only)")
+	cacheDir := flag.String("cache-dir", "", "deprecated alias for -data-dir (the pre-store flag name)")
 	cacheEntries := flag.Int("cache-entries", 1024, "maximum cached results (LRU beyond that)")
 	maxBody := flag.Int64("max-body", 32<<20, "maximum request body bytes (413 beyond that)")
 	queue := flag.Int("queue", 64, "bound on queued solves and pending async jobs (503 beyond that)")
@@ -56,13 +75,36 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer /healthz probing period")
 	flag.Parse()
 
-	c, err := cache.Open(*cacheDir, *cacheEntries)
+	root := *dataDir
+	if root == "" {
+		root = *cacheDir
+	} else if *cacheDir != "" && *cacheDir != *dataDir {
+		fatalf("-cache-dir %q conflicts with -data-dir %q; -cache-dir is an alias, set only one", *cacheDir, *dataDir)
+	}
+
+	var st *store.Store
+	cacheRoot := ""
+	if root != "" {
+		var err error
+		if st, err = store.Open(root); err != nil {
+			fatalf("open store at -data-dir %q: %v", root, err)
+		}
+		cacheRoot = st.CacheDir()
+		migrateFlatCacheLog(root, cacheRoot)
+	}
+
+	c, err := cache.Open(cacheRoot, *cacheEntries)
 	if err != nil {
-		fatalf("open cache at -cache-dir %q: %v", *cacheDir, err)
+		fatalf("open cache under -data-dir %q: %v", root, err)
 	}
 	defer c.Close()
-	if st := c.Stats(); st.Replayed > 0 {
-		log.Printf("cache: replayed %d entries from %s", st.Replayed, *cacheDir)
+	if cs := c.Stats(); cs.Replayed > 0 {
+		log.Printf("cache: replayed %d entries from %s", cs.Replayed, cacheRoot)
+	}
+	if st != nil {
+		ds := st.Stats()
+		log.Printf("store: %d snapshots (%d bytes), %d sessions (%d bytes) at %s",
+			ds.Snapshots, ds.SnapshotBytes, ds.Sessions, ds.SessionBytes, root)
 	}
 
 	var clu *cluster.Cluster
@@ -97,6 +139,7 @@ func main() {
 		Cluster:        clu,
 		SessionEntries: *sessions,
 		PlanEntries:    *plans,
+		Store:          st,
 	})
 	defer srv.Close()
 
@@ -110,8 +153,8 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("linksynthd listening on %s (workers=%d, cache-entries=%d, cache-dir=%q)",
-		*addr, *workers, *cacheEntries, *cacheDir)
+	log.Printf("linksynthd listening on %s (workers=%d, cache-entries=%d, data-dir=%q)",
+		*addr, *workers, *cacheEntries, root)
 
 	select {
 	case err := <-errCh:
@@ -126,6 +169,28 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 	}
+}
+
+// migrateFlatCacheLog moves a pre-durable-store cache log (written by
+// `-cache-dir <root>`, directly at the root) into the data/cache
+// subdirectory the consolidated layout uses, so upgrading in place keeps
+// every cached result. The move is skipped if the new location is already
+// populated — never overwrite newer state with older.
+func migrateFlatCacheLog(root, cacheRoot string) {
+	old := filepath.Join(root, "cache.aol")
+	dst := filepath.Join(cacheRoot, "cache.aol")
+	if _, err := os.Stat(old); err != nil {
+		return
+	}
+	if _, err := os.Stat(dst); err == nil {
+		log.Printf("store: legacy cache log %s left in place (%s already exists)", old, dst)
+		return
+	}
+	if err := os.Rename(old, dst); err != nil {
+		log.Printf("store: could not migrate legacy cache log %s: %v", old, err)
+		return
+	}
+	log.Printf("store: migrated legacy cache log %s -> %s", old, dst)
 }
 
 func fatalf(format string, args ...any) {

@@ -14,6 +14,7 @@ var DeterministicPackages = []string{
 	"internal/table",
 	"internal/hasse",
 	"internal/ilp",
+	"internal/store", // snapshot/record bytes are content-addressed: encoding must be canonical
 }
 
 // RenderingPackages produce externally observable byte streams — /metrics

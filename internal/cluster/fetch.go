@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxStoreFetch bounds a single store-file transfer; snapshots of instances
+// this large should not be moving over the intra-cluster handoff path.
+const maxStoreFetch = 1 << 30
+
+// FetchStore retrieves a durable-store file (a session record or a
+// snapshot) from a peer's /v1/store endpoint, for warm handoff when ring
+// ownership moves. fpHex is the lowercase hex fingerprint. A 404 from the
+// peer is reported as an error but does not mark the peer down; transport
+// failures do.
+func (c *Cluster) FetchStore(ctx context.Context, peer, fpHex string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/store/"+fpHex, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch store from %s: %w", peer, err)
+	}
+	req.Header.Set(HopHeader, "1")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.observeTransportErr(peer, err)
+		return nil, fmt.Errorf("cluster: fetch store from %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: fetch store from %s: status %d", peer, resp.StatusCode)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxStoreFetch+1))
+	if err != nil {
+		c.observeTransportErr(peer, err)
+		return nil, fmt.Errorf("cluster: fetch store from %s: read response: %w", peer, err)
+	}
+	if len(b) > maxStoreFetch {
+		return nil, fmt.Errorf("cluster: fetch store from %s: file exceeds %d bytes", peer, maxStoreFetch)
+	}
+	return b, nil
+}

@@ -24,6 +24,10 @@ const (
 	RelIntersecting
 )
 
+// ValidRelationship reports whether r is one of the defined relationship
+// values; used when decoding persisted classification matrices.
+func ValidRelationship(r Relationship) bool { return r <= RelIntersecting }
+
 func (r Relationship) String() string {
 	switch r {
 	case RelDisjoint:

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/constraint"
+)
+
+// Plan blob encoding for the durable store: little-endian, length-prefixed,
+// self-delimiting. Plans are small (a render list plus an n×n relationship
+// matrix of bytes), so the codec copies rather than aliasing.
+
+var planMagic = [8]byte{'L', 'S', 'P', 'L', 'A', 'N', '1', '\n'}
+
+// EncodePlan returns the canonical binary form of the plan.
+func EncodePlan(pl *Plan) []byte {
+	n := len(pl.renders)
+	size := 8 + 32 + 4
+	for _, r := range pl.renders {
+		size += 4 + len(r)
+	}
+	size += n * n
+	out := make([]byte, 0, size)
+	out = append(out, planMagic[:]...)
+	out = append(out, pl.key[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	for _, r := range pl.renders {
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(r)))
+		out = append(out, r...)
+	}
+	for _, row := range pl.rel {
+		for _, rel := range row {
+			out = append(out, byte(rel))
+		}
+	}
+	return out
+}
+
+// DecodePlan reconstructs a plan from data, which must hold exactly one
+// encoded blob. Structural inconsistencies fail with an error; the decoded
+// plan is usable anywhere a freshly compiled one is.
+func DecodePlan(data []byte) (*Plan, error) {
+	off := 0
+	take := func(n int) ([]byte, bool) {
+		if n < 0 || off+n > len(data) {
+			return nil, false
+		}
+		b := data[off : off+n]
+		off += n
+		return b, true
+	}
+	magic, ok := take(8)
+	if !ok || string(magic) != string(planMagic[:]) {
+		return nil, fmt.Errorf("core: plan blob: bad magic")
+	}
+	keyb, ok := take(32)
+	if !ok {
+		return nil, fmt.Errorf("core: plan blob truncated")
+	}
+	pl := &Plan{}
+	copy(pl.key[:], keyb)
+	nb, ok := take(4)
+	if !ok {
+		return nil, fmt.Errorf("core: plan blob truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(nb))
+	if n*4 > len(data)-off { // each render carries at least a length prefix
+		return nil, fmt.Errorf("core: plan blob truncated")
+	}
+	pl.renders = make([]string, n)
+	for i := range pl.renders {
+		lb, ok := take(4)
+		if !ok {
+			return nil, fmt.Errorf("core: plan blob truncated")
+		}
+		sb, ok := take(int(binary.LittleEndian.Uint32(lb)))
+		if !ok {
+			return nil, fmt.Errorf("core: plan blob truncated")
+		}
+		pl.renders[i] = string(sb)
+	}
+	pl.rel = make([][]constraint.Relationship, n)
+	for i := range pl.rel {
+		row, ok := take(n)
+		if !ok {
+			return nil, fmt.Errorf("core: plan blob truncated")
+		}
+		pl.rel[i] = make([]constraint.Relationship, n)
+		for j, b := range row {
+			if !constraint.ValidRelationship(constraint.Relationship(b)) {
+				return nil, fmt.Errorf("core: plan blob: invalid relationship %d", b)
+			}
+			pl.rel[i][j] = constraint.Relationship(b)
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("core: plan blob: %d trailing bytes", len(data)-off)
+	}
+	return pl, nil
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestPlanCodecRoundTrip(t *testing.T) {
+	in := censusInput(t, 40, 8, true, false)
+	opt := Options{Seed: 3}
+	pl, err := CompilePlan(in, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodePlan(pl)
+	got, err := DecodePlan(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.key != pl.key || !reflect.DeepEqual(got.renders, pl.renders) || !reflect.DeepEqual(got.rel, pl.rel) {
+		t.Fatal("decoded plan differs from original")
+	}
+	if !bytes.Equal(EncodePlan(got), enc) {
+		t.Fatal("re-encoding not canonical")
+	}
+	// A decoded plan must serve the remap path like a compiled one.
+	rel, ok := got.relFor(in.CCs)
+	if !ok || rel == nil {
+		t.Fatal("decoded plan did not remap onto its own CC set")
+	}
+}
+
+func TestPlanCodecRejectsCorruption(t *testing.T) {
+	in := censusInput(t, 30, 6, true, false)
+	pl, err := CompilePlan(in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodePlan(pl)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodePlan(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	if _, err := DecodePlan(append(bytes.Clone(enc), 0)); err == nil {
+		t.Fatal("trailing bytes decoded without error")
+	}
+	bad := bytes.Clone(enc)
+	bad[len(bad)-1] = 0xee // relationship byte out of range
+	if _, err := DecodePlan(bad); err == nil {
+		t.Fatal("invalid relationship decoded without error")
+	}
+}

@@ -249,6 +249,65 @@ func (s *Session) ResolveContext(ctx context.Context, d Delta) (*core.Result, [3
 	return s.resolve(ctx, d)
 }
 
+// Plan returns the session's resolved structural plan — nil until the first
+// cold solve resolves it. The serving layer persists it alongside parked
+// session state so a restarted process skips re-classification.
+func (s *Session) Plan() *core.Plan { return s.plan }
+
+// AdoptPlan inserts an externally obtained plan (e.g. one restored from the
+// durable store) into the engine's cache under its own structural key, so
+// sessions opened after a restart find it and classify as warm rather than
+// compiling cold.
+func (e *Engine) AdoptPlan(pl *core.Plan) {
+	if pl != nil {
+		e.plans.Put(pl.Key(), pl)
+	}
+}
+
+// PatchedFingerprint computes the full content fingerprint of the base
+// instance patched by d — the cache key Resolve(d) would return — WITHOUT
+// solving and without touching the session's mutable state. The serving
+// layer uses it to answer a delta from the result cache with zero solver
+// work. It costs one R1 clone; the session's working copy, overlay, and
+// warm state are untouched.
+func (s *Session) PatchedFingerprint(d Delta) ([32]byte, error) {
+	if err := s.validate(d); err != nil {
+		return [32]byte{}, err
+	}
+	if d.IsZero() {
+		return s.baseFP, nil
+	}
+	// Reconstruct the pristine base from the working copy: undo the overlay,
+	// withdraw appended rows, restore patched targets — all on clones.
+	in := s.work
+	r1 := s.work.R1.Clone()
+	//lint:ordered each overlay entry restores a distinct cell of the clone
+	for cell, v := range s.overlay {
+		r1.Set(cell.row, cell.col, v)
+	}
+	if r1.Len() > s.baseLen {
+		r1.Truncate(s.baseLen)
+	}
+	ccs := append([]constraint.CC(nil), s.work.CCs...)
+	for i := range ccs {
+		ccs[i].Target = s.baseTargets[i]
+	}
+	// Apply d to the reconstruction.
+	//lint:ordered distinct CC indices write distinct slots; validate already rejected bad indices
+	for i, t := range d.CCTargets {
+		ccs[i].Target = t
+	}
+	for _, ed := range d.R1Edits {
+		r1.Set(ed.Row, ed.Col, ed.Val)
+	}
+	for _, row := range d.R1Appends {
+		r1.MustAppend(row...)
+	}
+	in.R1 = r1
+	in.CCs = ccs
+	return core.Fingerprint(in, s.opt)
+}
+
 // validate rejects deltas that do not type-check against the base instance.
 func (s *Session) validate(d Delta) error {
 	baseLen := s.baseLen

@@ -306,3 +306,107 @@ func TestDeltaValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestPatchedFingerprint: the key computed without solving must equal the
+// key Resolve returns for the same delta, and computing it must not disturb
+// the session — the subsequent resolve stays byte-identical to the cold
+// oracle.
+func TestPatchedFingerprint(t *testing.T) {
+	base := censusInstance(40, 12, 5)
+	opt := core.Options{Seed: 9}
+	eng := NewEngine(8)
+	s, err := eng.Open(base, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if fp, err := s.PatchedFingerprint(Delta{}); err != nil || fp != s.BaseFingerprint() {
+		t.Fatalf("zero delta: fp=%x err=%v, want base fingerprint", fp, err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 8; iter++ {
+		d := randomDelta(rng, base)
+		pre, err := s.PatchedFingerprint(d)
+		if err != nil {
+			t.Fatalf("iter %d: patched fingerprint: %v", iter, err)
+		}
+		res, key, err := s.Resolve(d)
+		if err != nil {
+			t.Fatalf("iter %d: resolve: %v", iter, err)
+		}
+		if pre != key {
+			t.Fatalf("iter %d: PatchedFingerprint %x != Resolve key %x", iter, pre, key)
+		}
+		// The pre-computed key must also match a from-scratch fingerprint of
+		// the patched input, and the session must still match the cold oracle.
+		cold := applyDeltaCold(t, base, d)
+		want, err := core.Fingerprint(cold, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pre != want {
+			t.Fatalf("iter %d: fingerprint differs from cold oracle", iter)
+		}
+		coldRes, err := core.Solve(cold, opt)
+		if err != nil {
+			t.Fatalf("iter %d: cold solve: %v", iter, err)
+		}
+		if resultFingerprint(res) != resultFingerprint(coldRes) {
+			t.Fatalf("iter %d: warm result diverged from cold after PatchedFingerprint", iter)
+		}
+	}
+	// Invalid deltas are rejected without touching state.
+	if _, err := s.PatchedFingerprint(Delta{CCTargets: map[int]int64{999: 1}}); err == nil {
+		t.Fatal("out-of-range CC index accepted")
+	}
+}
+
+// TestAdoptPlan: a plan decoded from its binary form and adopted into a
+// fresh engine must serve the first solve as a cache hit (warm
+// classification), matching the original solve byte for byte.
+func TestAdoptPlan(t *testing.T) {
+	in := censusInstance(40, 12, 3)
+	opt := core.Options{Seed: 4}
+
+	eng1 := NewEngine(8)
+	s1, err := eng1.Open(in, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := s1.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := s1.Plan()
+	if pl == nil {
+		t.Fatal("no plan after first solve")
+	}
+
+	enc := core.EncodePlan(pl)
+	restored, err := core.DecodePlan(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewEngine(8)
+	eng2.AdoptPlan(restored)
+	s2, err := eng2.Open(in, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultFingerprint(res1) != resultFingerprint(res2) {
+		t.Fatal("solve with adopted plan diverged")
+	}
+	st := eng2.Stats()
+	if st.PlanHits != 1 || st.PlanMisses != 0 {
+		t.Fatalf("adopted plan not hit: hits=%d misses=%d", st.PlanHits, st.PlanMisses)
+	}
+	if !res2.Stats.PlanReused {
+		t.Fatal("solve with adopted plan not classified as plan reuse")
+	}
+}

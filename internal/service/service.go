@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/sched"
+	"repro/internal/store"
 )
 
 // Config assembles a Server.
@@ -68,6 +69,12 @@ type Config struct {
 	// PlanEntries bounds the compiled-plan cache shared by the sessions
 	// (<= 0 selects 128).
 	PlanEntries int
+	// Store, when non-nil, is the durable tier: parked sessions and their
+	// relation snapshots are persisted under it off the request path, warm
+	// state is restored from it after a restart, and peers may pull files
+	// through /v1/store/{fingerprint} for warm handoff. Nil disables
+	// persistence; the server is then RAM-only like before.
+	Store *store.Store
 }
 
 // Server implements http.Handler for the linksynthd API.
@@ -78,6 +85,7 @@ type Server struct {
 	engine     *incr.Engine
 	sessions   *cache.LRU[*svcSession]
 	wanted     *cache.LRU[struct{}] // bases recent deltas asked for but found no session
+	store      *store.Store         // nil = no durable tier
 	nWorkers   int
 	maxBody    int64
 	queueDepth int
@@ -111,6 +119,16 @@ type Server struct {
 	hopServed        atomic.Uint64 // hop-guarded requests answered locally
 	scatterJobs      atomic.Uint64 // batch jobs that scattered sub-jobs to peers
 	gatherFallbacks  atomic.Uint64 // scattered groups re-solved locally after a peer failure
+
+	persistQ    chan persistReq // nil when store is nil
+	persistDone chan struct{}
+
+	sessionsPersisted atomic.Uint64 // session records flushed to the store
+	sessionsRestored  atomic.Uint64 // warm sessions rebuilt from the store
+	persistErrors     atomic.Uint64 // persists dropped or failed
+	restoreFails      atomic.Uint64 // restores refused (bad state, fingerprint mismatch)
+	handoffFetches    atomic.Uint64 // warm handoffs completed from a peer
+	handoffServed     atomic.Uint64 // store files served to peers
 
 	incrCold      atomic.Uint64 // local solves with no reuse (fresh compile, no splice)
 	incrWarm      atomic.Uint64 // local solves reusing a plan or compiled problem, no splicing
@@ -183,6 +201,12 @@ func New(cfg Config) *Server {
 		jobQueue:   make(chan *job, depth),
 		shutdown:   make(chan struct{}),
 	}
+	if cfg.Store != nil {
+		s.store = cfg.Store
+		s.persistQ = make(chan persistReq, depth)
+		s.persistDone = make(chan struct{})
+		go s.persistLoop()
+	}
 	go s.jobLoop()
 	return s
 }
@@ -202,6 +226,13 @@ func (s *Server) Close() {
 		j.cancel()
 	}
 	s.mu.Unlock()
+	if s.persistQ != nil {
+		// Graceful-shutdown flush: every persist accepted before the close
+		// reaches disk before Close returns. enqueuePersist checks closed
+		// under s.mu, so no send can race the close.
+		close(s.persistQ)
+		<-s.persistDone
+	}
 }
 
 // ServeHTTP routes the API. Routing is deliberately manual (method checks
@@ -235,6 +266,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleJobList(w)
+	case strings.HasPrefix(r.URL.Path, "/v1/store/"):
+		if !wantMethod(w, r, http.MethodGet) {
+			return
+		}
+		s.handleStoreGet(w, r)
 	case strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		if id == "" || strings.Contains(id, "/") {
@@ -410,11 +446,31 @@ func (s *Server) resolveDelta(ctx context.Context, p *solveParsed) ([]byte, cach
 func (s *Server) solveDelta(ctx context.Context, p *solveParsed) ([]byte, cache.Key, string, error) {
 	ss, ok := s.sessions.Get(p.base)
 	if !ok {
+		// The base may have warm state outside process memory: the durable
+		// store (we restarted) or a peer's store (ownership moved here).
+		if rss := s.reviveSession(ctx, p.base); rss != nil {
+			ss, ok = rss, true
+		}
+	}
+	if !ok {
 		s.sessionMisses.Add(1)
 		// Remember the base so the client's follow-up full submission
 		// parks a session even when it is answered from the byte cache.
 		s.wanted.Put(p.base, struct{}{})
 		return nil, cache.Key{}, "", errNoSession
+	}
+	// Cache-first: the patched instance's fingerprint is computable without
+	// solving, so a delta whose equivalent instance was ever solved — here
+	// or before a restart — is answered from the byte cache with zero
+	// solver work. A validation error falls through to Resolve, which
+	// reports it on the usual path.
+	ss.mu.Lock()
+	pkey, perr := ss.sess.PatchedFingerprint(p.delta)
+	ss.mu.Unlock()
+	if perr == nil {
+		if body, hit := s.cache.Get(pkey); hit {
+			return body, pkey, "hit", nil
+		}
 	}
 	if err := s.acquire(ctx); err != nil {
 		return nil, cache.Key{}, "", err
@@ -641,6 +697,12 @@ func (s *Server) solveAndStore(ctx context.Context, key cache.Key, in core.Input
 		return nil, err
 	}
 	s.countIncr(&res.Stats)
+	if ss != nil && s.store != nil {
+		// The base solved and left a warm session; make it durable. The
+		// request input is pristine (the session solves on its own clones),
+		// so it is exactly the base instance the record must reproduce.
+		s.enqueuePersist(persistReq{key: key, in: in, opt: opt, ss: ss})
+	}
 	body, err := encodeSolveBody(hex.EncodeToString(key[:]), in, res)
 	if err != nil {
 		return nil, err
@@ -762,6 +824,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 		counter("cluster_hop_served_total", s.hopServed.Load(), "hop-guarded requests answered locally")
 		counter("cluster_scatter_jobs_total", s.scatterJobs.Load(), "batch jobs scattered across the cluster")
 		counter("cluster_gather_fallbacks_total", s.gatherFallbacks.Load(), "scattered groups re-solved locally after a peer failure")
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		gauge("store_snapshot_bytes", st.SnapshotBytes, "bytes of columnar snapshots on disk")
+		gauge("store_session_bytes", st.SessionBytes, "bytes of session records on disk")
+		gauge("store_cache_bytes", st.CacheBytes, "bytes of the result-cache log on disk")
+		gauge("store_snapshots", int64(st.Snapshots), "columnar snapshots resident on disk")
+		gauge("store_sessions", int64(st.Sessions), "session records resident on disk")
+		gauge("store_snapshots_mapped", st.MappedNow, "snapshots currently memory-mapped")
+		counter("store_sessions_persisted_total", s.sessionsPersisted.Load(), "parked sessions written to the durable store")
+		counter("store_sessions_restored_total", s.sessionsRestored.Load(), "sessions revived from the durable store")
+		counter("store_persist_errors_total", s.persistErrors.Load(), "session persists dropped or failed")
+		counter("store_restore_errors_total", s.restoreFails.Load(), "session restores refused (verification or rebuild failure)")
+		counter("store_corrupt_files_total", st.CorruptFiles, "store files quarantined after failing validation")
+		counter("store_ingested_files_total", st.IngestedFiles, "store files accepted from peers")
+		counter("store_handoff_fetches_total", s.handoffFetches.Load(), "warm sessions pulled from a peer")
+		counter("store_handoff_served_total", s.handoffServed.Load(), "store files served to peers")
 	}
 	w.Write([]byte(b.String()))
 }

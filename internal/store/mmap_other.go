@@ -1,0 +1,41 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+const mmapSupported = false
+
+// mapped is the no-mmap fallback: the file is read through io.ReaderAt in
+// page-sized chunks into one buffer. Decoders may still alias into the
+// buffer; it is private to the mapping object.
+type mapped struct {
+	data []byte
+}
+
+const fallbackPage = 1 << 20
+
+func mapFile(f *os.File, size int64) (*mapped, error) {
+	buf := make([]byte, size)
+	var r io.ReaderAt = f
+	for off := int64(0); off < size; off += fallbackPage {
+		end := off + fallbackPage
+		if end > size {
+			end = size
+		}
+		if _, err := r.ReadAt(buf[off:end], off); err != nil {
+			return nil, err
+		}
+	}
+	return &mapped{data: buf}, nil
+}
+
+func (m *mapped) bytes() []byte { return m.data }
+
+func (m *mapped) close() error {
+	m.data = nil
+	return nil
+}

@@ -1,0 +1,39 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported selects the zero-copy read path on Unix; elsewhere the
+// store falls back to paged io.ReaderAt reads.
+const mmapSupported = true
+
+// mapped is a read-only memory mapping of a whole file.
+type mapped struct {
+	data []byte
+}
+
+func mapFile(f *os.File, size int64) (*mapped, error) {
+	if size == 0 {
+		return &mapped{}, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mapped{data: b}, nil
+}
+
+func (m *mapped) bytes() []byte { return m.data }
+
+func (m *mapped) close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# check_metrics.sh — promtool-style validator for a Prometheus text
+# exposition read on stdin. Pure awk (no promtool in the CI image), but it
+# enforces the parts of the format the scrape pipeline and our tests rely
+# on:
+#
+#   * every sample line parses as `name[{labels}] value`
+#   * every sample belongs to a family declared with # HELP and # TYPE
+#     (histogram samples fold _bucket/_sum/_count onto their family)
+#   * TYPE is counter, gauge, or histogram; no family declared twice
+#   * families appear in strictly sorted order (the endpoint's
+#     determinism contract: two scrapes are comparable byte-for-byte)
+#   * counter/histogram values are non-negative; histogram buckets are
+#     cumulative (monotone in le order, ending with +Inf == _count)
+#
+# Usage: curl -fsS "$url/metrics" | ./.github/check_metrics.sh
+set -euo pipefail
+
+awk '
+function fail(msg) { printf "check_metrics: line %d: %s: %s\n", NR, msg, $0; bad = 1 }
+function family(name) {
+  if (name ~ /_bucket$/) { sub(/_bucket$/, "", name) }
+  else if (name ~ /_sum$/ && (substr(name, 1, length(name) - 4) in istype) && type[substr(name, 1, length(name) - 4)] == "histogram") { sub(/_sum$/, "", name) }
+  else if (name ~ /_count$/ && (substr(name, 1, length(name) - 6) in istype) && type[substr(name, 1, length(name) - 6)] == "histogram") { sub(/_count$/, "", name) }
+  return name
+}
+/^$/ { next }
+/^# HELP / {
+  name = $3
+  if (name in helped) fail("duplicate HELP for " name)
+  if (lasthelp != "" && !(lasthelp < name)) fail("families out of order: " lasthelp " then " name)
+  lasthelp = name
+  helped[name] = 1
+  next
+}
+/^# TYPE / {
+  name = $3; t = $4
+  if (!(name in helped)) fail("TYPE without preceding HELP for " name)
+  if (name in istype) fail("duplicate TYPE for " name)
+  if (t != "counter" && t != "gauge" && t != "histogram") fail("bad type " t)
+  istype[name] = 1
+  type[name] = t
+  next
+}
+/^#/ { fail("unexpected comment form"); next }
+{
+  if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$/) { fail("unparseable sample"); next }
+  name = $1
+  sub(/\{.*/, "", name)
+  fam = family(name)
+  if (!(fam in istype)) { fail("sample for undeclared family " fam); next }
+  val = $NF
+  if ((type[fam] == "counter" || type[fam] == "histogram") && val + 0 < 0) fail("negative " type[fam] " value")
+  if (name ~ /_bucket$/ && fam in istype) {
+    if (val + 0 < lastbucket[fam] + 0) fail("histogram buckets not cumulative for " fam)
+    lastbucket[fam] = val
+    if ($0 ~ /le="\+Inf"/) inf[fam] = val
+  }
+  if (type[fam] == "histogram" && name == fam "_count") {
+    if (!(fam in inf)) fail("histogram " fam " has no +Inf bucket before _count")
+    else if (val + 0 != inf[fam] + 0) fail("histogram " fam " +Inf bucket != _count")
+  }
+  samples[fam]++
+}
+END {
+  for (f in istype) if (!(f in samples)) { printf "check_metrics: family %s declared but has no samples\n", f; bad = 1 }
+  if (NR == 0) { print "check_metrics: empty exposition"; bad = 1 }
+  if (bad) exit 1
+  printf "check_metrics: OK (%d lines)\n", NR
+}
+'

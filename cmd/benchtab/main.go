@@ -10,6 +10,7 @@
 //	benchtab -batch 8 -workers -1                  # batched multi-instance workload
 //	benchtab -batch 8 -json                        # machine-readable Stats breakdown
 //	benchtab -incr -iters 11                       # cold vs warm-plan vs delta re-solve
+//	benchtab -trace                                # one traced solve, span timeline printed
 //	benchtab -batch 8 -cpuprofile cpu.pprof -memprofile mem.pprof  # profile the run
 //
 // With -json, output is a single JSON document: per-experiment tables, or —
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,9 +36,11 @@ import (
 
 	linksynth "repro"
 	"repro/internal/census"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/incr"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/store"
 )
 
@@ -52,6 +56,7 @@ func main() {
 	batch := flag.Int("batch", 0, "solve this many instances via SolveBatch instead of running experiments")
 	incr := flag.Bool("incr", false, "benchmark cold vs warm-plan vs delta re-solve on a repeated-structure workload")
 	storeBench := flag.Bool("store", false, "benchmark durable-store restart shapes: cold start vs warm restart vs mapped-snapshot load")
+	traceRun := flag.Bool("trace", false, "solve one instance under a trace and print its span timeline")
 	iters := flag.Int("iters", 15, "iterations per -incr benchmark")
 	workers := flag.Int("workers", -1, "worker pool size for -batch (-1 = GOMAXPROCS, 0/1 = serial)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
@@ -103,6 +108,10 @@ func main() {
 	}
 	if *storeBench {
 		runStore(*iters, *unit, *ccs, *seed)
+		return
+	}
+	if *traceRun {
+		runTrace(*unit, *ccs, *seed, *workers, *asJSON)
 		return
 	}
 	if *batch > 0 {
@@ -572,6 +581,46 @@ func runStore(iters, unit, nCC int, seed int64) {
 		}
 	})
 	report("BenchmarkStoreRestoredFirstSolve", firstSolve, cold)
+}
+
+// runTrace solves one census instance under a live trace and prints the
+// span timeline — the same spans linksynthd records per request (compile,
+// classify, hasse, ilp, phase2, coloring, write-back) — so the phase
+// breakdown is inspectable without standing up a server. With -json the
+// trace's wire form (the same shape /debug/flight dumps) is emitted.
+func runTrace(unit, nCC int, seed int64, workers int, asJSON bool) {
+	if unit <= 0 {
+		unit = 1000
+	}
+	if nCC <= 0 {
+		nCC = 150
+	}
+	d := census.Generate(census.Config{Households: unit, Areas: 6, Seed: seed})
+	in := linksynth.Input{R1: d.Persons, R2: d.Housing,
+		K1: "pid", K2: "hid", FK: "hid", CCs: d.GoodCCs(nCC), DCs: census.AllDCs()}
+	opt := linksynth.Options{Seed: seed, Workers: workers}
+
+	tr := obsv.NewTrace(obsv.NewID(), "benchtab-solve", "benchtab")
+	ctx := obsv.WithTrace(context.Background(), tr)
+	if _, err := core.SolveOnContext(ctx, in, opt, core.PoolFor(opt)); err != nil {
+		fatal("-trace solve: %v", err)
+	}
+	tr.SetStatus("ok")
+	tr.Finish()
+	tj := tr.Snapshot()
+	if asJSON {
+		emitJSON(tj)
+		return
+	}
+	fmt.Printf("trace %s: %d households, %d CCs, seed %d, total %v\n",
+		tj.ID, unit, nCC, seed, tj.Dur.Round(time.Microsecond))
+	for _, sp := range tj.Spans {
+		fmt.Printf("  %-12s +%-12v %v\n", sp.Name,
+			sp.Start.Sub(tj.Start).Round(time.Microsecond), sp.Dur.Round(time.Microsecond))
+	}
+	for _, ev := range tj.Events {
+		fmt.Printf("  event +%v %s\n", ev.Time.Sub(tj.Start).Round(time.Microsecond), ev.Msg)
+	}
 }
 
 func emitJSON(v any) {

@@ -36,8 +36,14 @@
 // re-solve against a retained session — see -sessions), POST /v1/batch
 // (async, returns a job id), GET /v1/jobs (list), GET /v1/jobs/{id},
 // DELETE /v1/jobs/{id} (cancel), GET /v1/store/{fingerprint}, GET /healthz,
-// GET /metrics. See the repository README for request shapes and curl
-// examples.
+// GET /metrics, GET /debug/flight (recent traces — see -flight-entries).
+// See the repository README for request shapes and curl examples.
+//
+// Observability: every API request runs under a trace (X-Linksynth-Trace,
+// echoed on the response and propagated across cluster hops), /metrics
+// serves deterministic Prometheus exposition with latency histograms, and
+// -debug-addr starts a separate listener serving net/http/pprof — kept off
+// the API port so profiling is never exposed where the API is.
 package main
 
 import (
@@ -47,6 +53,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -debug-addr mux
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -56,6 +63,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cluster"
+	"repro/internal/obsv"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -73,7 +81,16 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated seed list of cluster node URLs (empty = single-node)")
 	advertise := flag.String("advertise", "", "this node's URL as peers reach it (required with -peers)")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer /healthz probing period")
+	flightEntries := flag.Int("flight-entries", 256, "recent traces retained in the flight recorder (GET /debug/flight)")
+	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = profiling disabled)")
+	version := flag.Bool("version", false, "print build metadata and exit")
 	flag.Parse()
+
+	if *version {
+		bi := obsv.BuildInfo()
+		fmt.Printf("linksynthd %s (%s, revision %s, modified %s)\n", bi.Version, bi.GoVersion, bi.Revision, bi.Modified)
+		return
+	}
 
 	root := *dataDir
 	if root == "" {
@@ -140,8 +157,22 @@ func main() {
 		SessionEntries: *sessions,
 		PlanEntries:    *plans,
 		Store:          st,
+		FlightEntries:  *flightEntries,
 	})
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		// pprof rides its own listener (and the default mux, where the
+		// blank import registered it), so profiling exposure is an explicit
+		// operator decision separate from the API address.
+		go func() {
+			dbg := &http.Server{Addr: *debugAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			log.Printf("pprof listening on %s (/debug/pprof/)", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -103,16 +103,33 @@ func main() {
 	// runs the solver exactly once.
 	req := service.SolveRequest{InstanceJSON: instance(0), Options: &service.OptionsJSON{Seed: 1}}
 	var first []byte
+	edgeURL, ownerURL, traceID := "", "", ""
 	for i, nd := range nodes {
 		body, hdr := post(nd.url+"/v1/solve", req)
 		identical := first == nil || bytes.Equal(first, body)
 		if first == nil {
 			first = body
 		}
+		if served := hdr.Get("X-Linksynth-Node"); served != nd.url && traceID == "" {
+			edgeURL, ownerURL, traceID = nd.url, served, hdr.Get("X-Linksynth-Trace")
+		}
 		fmt.Printf("POST node%d/v1/solve  -> cache %-9s served by %-27s byte-identical: %v\n",
 			i, hdr.Get("X-Linksynth-Cache"), hdr.Get("X-Linksynth-Node"), identical)
 	}
 	fmt.Printf("cluster-wide solver runs: %d (one owner solved; the others forwarded)\n\n", totalRuns(nodes))
+
+	// 1b. A forwarded solve is one distributed trace: the edge node mints an
+	// id (X-Linksynth-Trace, echoed on the response), the hop carries it to
+	// the owner, and each node's flight recorder holds its half of the story
+	// under that shared id — the forward span on the edge, the solver phase
+	// breakdown on the owner.
+	if traceID != "" {
+		fmt.Printf("trace %s spans a forwarded solve:\n", traceID)
+		for _, u := range []string{edgeURL, ownerURL} {
+			fmt.Printf("  %s /debug/flight -> %s\n", u, flightSpans(u, traceID))
+		}
+		fmt.Println()
+	}
 
 	// 2. A batch posted to node 0 scatters across the owners: each
 	// instance is solved on — and cached by — the node that owns its
@@ -162,6 +179,46 @@ func main() {
 	for _, name := range []string{"linksynthd_cluster_peers_up", "linksynthd_cluster_forwarded_total", "linksynthd_cluster_forward_fallbacks_total"} {
 		fmt.Printf("  %s\n", metricLine(nodes[0].url, name))
 	}
+}
+
+// flightSpans polls a node's flight recorder for a trace id and renders
+// what that node contributed to it: span names, or events when the node
+// answered without timed work (a byte-cache hit has no solver spans). The
+// recorder files a trace just after the response bytes are on the wire,
+// hence the brief retry loop.
+func flightSpans(url, id string) string {
+	var dump struct {
+		Traces []struct {
+			ID    string `json:"id"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+			Events []struct {
+				Msg string `json:"msg"`
+			} `json:"events"`
+		} `json:"traces"`
+	}
+	for i := 0; i < 100; i++ {
+		body, _ := get(url + "/debug/flight")
+		if err := json.Unmarshal(body, &dump); err != nil {
+			log.Fatal(err)
+		}
+		for _, tr := range dump.Traces {
+			if tr.ID != id {
+				continue
+			}
+			if len(tr.Spans) == 0 && len(tr.Events) > 0 {
+				return "event: " + tr.Events[0].Msg
+			}
+			names := make([]string, len(tr.Spans))
+			for j, sp := range tr.Spans {
+				names[j] = sp.Name
+			}
+			return "spans: " + strings.Join(names, " ")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return "(trace not recorded)"
 }
 
 func totalRuns(nodes []*node) int {

@@ -22,6 +22,7 @@ func (c *Cluster) FetchStore(ctx context.Context, peer, fpHex string) ([]byte, e
 		return nil, fmt.Errorf("cluster: fetch store from %s: %w", peer, err)
 	}
 	req.Header.Set(HopHeader, "1")
+	setTraceHeader(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.observeTransportErr(peer, err)

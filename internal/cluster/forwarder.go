@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"repro/internal/obsv"
 )
 
 // HopHeader marks a request that already crossed one node boundary. A node
@@ -36,6 +38,7 @@ func (c *Cluster) ForwardSolve(ctx context.Context, owner, contentType string, b
 		req.Header.Set("Content-Type", contentType)
 	}
 	req.Header.Set(HopHeader, "1")
+	setTraceHeader(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.observeTransportErr(owner, err)
@@ -48,4 +51,13 @@ func (c *Cluster) ForwardSolve(ctx context.Context, owner, contentType string, b
 		return nil, fmt.Errorf("cluster: forward to %s: read response: %w", owner, err)
 	}
 	return &ForwardResult{StatusCode: resp.StatusCode, Header: resp.Header, Body: b}, nil
+}
+
+// setTraceHeader stamps the context's trace id (if any) onto an
+// intra-cluster request, so the receiving node's edge adopts the id and
+// both halves of the exchange group under one distributed trace.
+func setTraceHeader(ctx context.Context, req *http.Request) {
+	if id := obsv.FromContext(ctx).ID(); id != "" {
+		req.Header.Set(obsv.TraceHeader, id)
+	}
 }

@@ -80,6 +80,7 @@ func (c *Cluster) SubmitBatch(ctx context.Context, owner string, body []byte) (s
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(HopHeader, "1")
+	setTraceHeader(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.observeTransportErr(owner, err)
@@ -139,6 +140,7 @@ func (c *Cluster) pollJob(ctx context.Context, owner, id string) (*jobWire, erro
 	if err != nil {
 		return nil, fmt.Errorf("cluster: poll job %s on %s: %w", id, owner, err)
 	}
+	setTraceHeader(ctx, req)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.observeTransportErr(owner, err)

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sort"
 	"testing"
+
+	"repro/internal/obsv"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/solver_golden.json from the current solver")
@@ -54,9 +56,17 @@ func TestSolverOutputGolden(t *testing.T) {
 			for _, seed := range []int64{1, 7, 42} {
 				opt := mode.opt
 				opt.Seed = seed
-				res, err := Solve(inst.in(), opt)
+				// Every golden solve runs with a live trace attached: the
+				// hashes below were pinned without tracing, so matching them
+				// here proves span recording never perturbs output bytes.
+				tr := obsv.NewTrace(obsv.NewID(), "golden", "test")
+				ctx := obsv.WithTrace(nil, tr)
+				res, err := SolveOnContext(ctx, inst.in(), opt, PoolFor(opt))
 				if err != nil {
 					t.Fatalf("%s/%s seed %d: %v", inst.name, mode.name, seed, err)
+				}
+				if tr.SpanCount() < 4 {
+					t.Fatalf("%s/%s seed %d: trace recorded %d spans, want >= 4 (compile + phases)", inst.name, mode.name, seed, tr.SpanCount())
 				}
 				fp := resultFingerprint(res)
 				h := sha256.Sum256([]byte(fp[0] + "\x00" + fp[1] + "\x00" + fp[2]))

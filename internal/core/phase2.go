@@ -135,6 +135,7 @@ func (p *prob) runPhase2() (*phase2, error) {
 		err = ph.colorPartitions(parts)
 	}
 	p.stat.Coloring = since(tColor)
+	p.trace.Span("coloring", tColor, p.stat.Coloring)
 	if err != nil {
 		return nil, err
 	}

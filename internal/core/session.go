@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obsv"
 	"repro/internal/sched"
 	"repro/internal/table"
 )
@@ -112,6 +113,7 @@ func SolveSessionContext(ctx context.Context, in Input, opt Options, st *Session
 
 func solveSessionOnce(ctx context.Context, in Input, opt Options, st *SessionState, ch Changes, plan *Plan, pool *sched.Pool) (*Result, error) {
 	var stat Stats
+	tr := obsv.FromContext(ctx)
 	t0 := now()
 	p := st.p
 	if p == nil || ch.Full || !p.compatible(in, opt) {
@@ -120,6 +122,7 @@ func solveSessionOnce(ctx context.Context, in Input, opt Options, st *SessionSta
 		if err != nil {
 			return nil, err
 		}
+		tr.Span("compile", t0, since(t0))
 		p.plan = plan
 		st.p, st.memos = p, nil
 	} else {
@@ -127,18 +130,22 @@ func solveSessionOnce(ctx context.Context, in Input, opt Options, st *SessionSta
 			// Patch failure leaves the problem in an undefined state;
 			// rebuild from scratch.
 			st.Reset()
+			tr.Event("session: patch failed; rebuilding cold")
 			p, err = newProb(in, opt, &stat)
 			if err != nil {
 				return nil, err
 			}
+			tr.Span("compile", t0, since(t0))
 			p.plan = plan
 			st.p = p
 		} else {
 			stat.ProbReused = true
+			tr.Span("rebase", t0, since(t0))
 		}
 	}
 	p.pool = pool
 	p.ctx = ctx
+	p.trace = tr
 
 	// Splicing and capture only make sense for the deterministic coloring
 	// path: RandomFK consumes the rng stream (replay would desynchronize

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/hasse"
+	"repro/internal/obsv"
 	"repro/internal/sched"
 	"repro/internal/table"
 )
@@ -69,13 +70,16 @@ func SolveOnContext(ctx context.Context, in Input, opt Options, pool *sched.Pool
 // the instances of a batch.
 func solveOnPool(ctx context.Context, in Input, opt Options, pool *sched.Pool) (*Result, error) {
 	var stat Stats
+	tr := obsv.FromContext(ctx)
 	t0 := now()
 	p, err := newProb(in, opt, &stat)
 	if err != nil {
 		return nil, err
 	}
+	tr.Span("compile", t0, since(t0))
 	p.pool = pool
 	p.ctx = ctx
+	p.trace = tr
 	return p.run(t0)
 }
 
@@ -145,11 +149,13 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 		tw := now()
 		hs := p.hybridSplit()
 		stat.Pairwise = since(tw)
+		p.trace.Span("classify", tw, stat.Pairwise)
 		stat.CCsToHasse, stat.CCsToILP = len(hs.s1), len(hs.s2)
 
 		tw = now()
 		p.runHasse(hs.s1, hs.forest)
 		stat.Recursion = since(tw)
+		p.trace.Span("hasse", tw, stat.Recursion)
 
 		if err := p.canceled(); err != nil {
 			return nil, err
@@ -159,6 +165,7 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 			return nil, err
 		}
 		stat.ILPTime = since(tw)
+		p.trace.Span("ilp", tw, stat.ILPTime)
 
 	case ModeILPOnly:
 		all := make([]int, len(in.CCs))
@@ -171,6 +178,7 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 			return nil, err
 		}
 		stat.ILPTime = since(tw)
+		p.trace.Span("ilp", tw, stat.ILPTime)
 
 	case ModeHasseOnly:
 		all := make([]int, len(in.CCs))
@@ -181,12 +189,14 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 		tw := now()
 		rel := p.classification()
 		stat.Pairwise = since(tw)
+		p.trace.Span("classify", tw, stat.Pairwise)
 		tw = now()
 		if p.forestAll == nil {
 			p.forestAll = hasse.Build(rel)
 		}
 		p.runHasse(all, p.forestAll)
 		stat.Recursion = since(tw)
+		p.trace.Span("hasse", tw, stat.Recursion)
 
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", opt.Mode)
@@ -220,6 +230,7 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 		return nil, err
 	}
 
+	tWriteBack := now()
 	r1hat := in.R1.Clone()
 	for i := 0; i < r1hat.Len(); i++ {
 		r1hat.Set(i, in.FK, ph.fk[i])
@@ -229,7 +240,9 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 		return nil, err
 	}
 	vj.Name = "VJoin"
+	p.trace.Span("write-back", tWriteBack, since(tWriteBack))
 	stat.Phase2 = since(tPhase2)
+	p.trace.Span("phase2", tPhase2, stat.Phase2)
 	stat.Total = since(t0)
 	return &Result{R1Hat: r1hat, R2Hat: ph.r2hat, VJoin: vj, Stats: *stat}, nil
 }

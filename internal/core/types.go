@@ -21,6 +21,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/hasse"
 	"repro/internal/ilp"
+	"repro/internal/obsv"
 	"repro/internal/sched"
 	"repro/internal/table"
 )
@@ -170,6 +171,14 @@ type prob struct {
 	stat *Stats
 	pool *sched.Pool     // shared bounded worker pool; nil means sequential
 	ctx  context.Context // per-solve cancellation; nil never cancels
+
+	// trace receives per-phase spans for the solve in flight; nil (the
+	// common non-served case) records nothing. All span clock readings go
+	// through the audited now()/since() helpers — the trace only ever
+	// receives explicit (start, duration) pairs, so this package still
+	// reads the wall clock in exactly one audited place and trace data
+	// stays out of Stats, fingerprints, and solver decisions.
+	trace *obsv.Trace
 
 	aCols     []string // R1 non-key attribute columns
 	bCols     []string // R2 non-key attribute columns

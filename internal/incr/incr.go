@@ -27,6 +27,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/constraint"
 	"repro/internal/core"
+	"repro/internal/obsv"
 	"repro/internal/sched"
 	"repro/internal/table"
 )
@@ -372,6 +373,7 @@ func (s *Session) validate(d Delta) error {
 // resolve rebases the working instance from the previously applied delta to
 // d, declares the combined change set, and runs the session solve.
 func (s *Session) resolve(ctx context.Context, d Delta) (*core.Result, [32]byte, error) {
+	tr := obsv.FromContext(ctx)
 	ch := s.rebase(d)
 	if !s.solved {
 		ch.Full = true
@@ -382,9 +384,18 @@ func (s *Session) resolve(ctx context.Context, d Delta) (*core.Result, [32]byte,
 		// classifies directly.
 		if pl, sfp, cached, err := s.eng.PlanFor(s.work, s.opt); err == nil {
 			s.plan, s.sfp, s.planCached = pl, sfp, cached
+			if cached {
+				tr.Event("session: structural plan cache hit")
+			} else {
+				tr.Event("session: structural plan compiled")
+			}
 		}
 	}
 	res, err := core.SolveSessionContext(ctx, s.work, s.opt, s.state, ch, s.plan, s.pool)
+	if res != nil {
+		tr.Event(fmt.Sprintf("session: solve reuse prob=%t plan=%t spliced=%d",
+			res.Stats.ProbReused, res.Stats.PlanReused, res.Stats.SplicedPartitions))
+	}
 	if res != nil && !s.planCached {
 		// The plan was compiled by this very session; classification was
 		// not reused from anywhere, whatever the solver's flag says.

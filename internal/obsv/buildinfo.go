@@ -1,0 +1,35 @@
+package obsv
+
+import "runtime/debug"
+
+// Build describes the running binary for -version output and the
+// linksynthd_build_info gauge.
+type Build struct {
+	Version   string // main module version ("(devel)" for local builds)
+	GoVersion string
+	Revision  string // VCS commit, when stamped
+	Modified  string // "true" when built from a dirty tree, else "false"
+}
+
+// BuildInfo reads the binary's embedded build metadata. Every field is
+// always non-empty so label sets stay stable across build environments.
+func BuildInfo() Build {
+	b := Build{Version: "unknown", GoVersion: "unknown", Revision: "unknown", Modified: "false"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = bi.GoVersion
+	if bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value
+		}
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package obsv
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// family is one metric family ready to render: HELP/TYPE header plus its
+// sample lines in final form.
+type family struct {
+	name  string
+	help  string
+	typ   string // counter | gauge | histogram
+	lines []string
+}
+
+// Exposition accumulates metric families and renders them in Prometheus
+// text exposition format with deterministic ordering: families sorted by
+// name, every family preceded by its HELP and TYPE lines. Two scrapes
+// that observe the same values produce byte-identical output, so diffs,
+// the cluster smoke tests, and promtool-style validators can compare
+// scrapes directly.
+//
+// It is a per-scrape value, not a registry: handlers rebuild one on every
+// scrape from live counters, which keeps the exposition layer free of
+// registration state and lock ordering concerns.
+type Exposition struct {
+	fams []family
+}
+
+// Counter adds a counter family with a single unlabeled sample.
+func (e *Exposition) Counter(name, help string, v uint64) {
+	e.fams = append(e.fams, family{name: name, help: help, typ: "counter",
+		lines: []string{name + " " + strconv.FormatUint(v, 10)}})
+}
+
+// Gauge adds a gauge family with a single unlabeled sample.
+func (e *Exposition) Gauge(name, help string, v int64) {
+	e.fams = append(e.fams, family{name: name, help: help, typ: "gauge",
+		lines: []string{name + " " + strconv.FormatInt(v, 10)}})
+}
+
+// Info adds an info-style gauge: constant value 1 with the given label
+// pairs (the build_info idiom). Labels are emitted sorted by key.
+func (e *Exposition) Info(name, help string, labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteString("} 1")
+	e.fams = append(e.fams, family{name: name, help: help, typ: "gauge", lines: []string{b.String()}})
+}
+
+// Histogram adds a histogram family from its live counters.
+func (e *Exposition) Histogram(h *Histogram) {
+	if h == nil {
+		return
+	}
+	e.fams = append(e.fams, h.expose())
+}
+
+// Render emits the full exposition: families sorted by name, each as
+//
+//	# HELP <name> <help>
+//	# TYPE <name> <type>
+//	<samples...>
+func (e *Exposition) Render() string {
+	sort.SliceStable(e.fams, func(i, j int) bool { return e.fams[i].name < e.fams[j].name })
+	var b strings.Builder
+	for _, f := range e.fams {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.help)
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		for _, ln := range f.lines {
+			b.WriteString(ln)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

@@ -1,0 +1,102 @@
+package obsv
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBuckets are the fixed log-spaced latency bucket bounds, in
+// seconds: a 1–2.5–5 progression per decade from 100µs to 100s. Fixed
+// bounds (rather than adaptive ones) keep scrape output byte-comparable
+// across nodes and runs, and the log spacing holds relative error roughly
+// constant from cache-hit to worst-case solve latencies.
+func DefaultBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5,
+		1, 2.5, 5,
+		10, 25, 50, 100,
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation: one atomic counter per bucket, a count, and a nanosecond
+// sum. Rendering is cumulative (Prometheus `le` semantics).
+type Histogram struct {
+	name    string // full metric family name, e.g. linksynthd_solve_duration_seconds
+	help    string
+	bounds  []float64 // upper bounds in seconds, ascending; +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumNano atomic.Int64
+}
+
+// NewHistogram builds a histogram over DefaultBuckets.
+func NewHistogram(name, help string) *Histogram {
+	bounds := DefaultBuckets()
+	return &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Name returns the metric family name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one duration. Nil-safe so call sites need no guards.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	secs := d.Seconds()
+	// Linear scan: 20 comparisons against contiguous memory is cheaper
+	// than a branchy binary search at this size, and observation is off
+	// the byte-serving fast path anyway.
+	i := len(h.bounds)
+	for b, ub := range h.bounds {
+		if secs <= ub {
+			i = b
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// expose renders the family in Prometheus exposition format. A concurrent
+// Observe may land between bucket reads; the cumulative counts are made
+// monotone by construction (running sum), and count is taken as the
+// cumulative total of the buckets so `le="+Inf"` always equals `_count`.
+func (h *Histogram) expose() family {
+	f := family{name: h.name, help: h.help, typ: "histogram"}
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		f.lines = append(f.lines, h.name+`_bucket{le="`+formatBound(ub)+`"} `+strconv.FormatUint(cum, 10))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	f.lines = append(f.lines,
+		h.name+`_bucket{le="+Inf"} `+strconv.FormatUint(cum, 10),
+		h.name+"_sum "+strconv.FormatFloat(float64(h.sumNano.Load())/1e9, 'g', -1, 64),
+		h.name+"_count "+strconv.FormatUint(cum, 10),
+	)
+	return f
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect:
+// shortest decimal round-trip, no exponent for these magnitudes.
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

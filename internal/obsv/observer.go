@@ -1,0 +1,44 @@
+package obsv
+
+// Observer bundles one process's observability state: its flight
+// recorder and the latency histograms for the serving paths. The service
+// owns exactly one and threads it everywhere a duration is worth keeping.
+type Observer struct {
+	Node     string
+	Recorder *FlightRecorder
+
+	// Latency histograms, one per serving path. Solve covers a local
+	// solver run (miss path, admission to response body); CacheHit covers
+	// requests answered from the byte cache; Delta covers warm-start
+	// (base+delta) requests end to end; Restore covers rebuilding a warm
+	// session from the durable store; Forward covers relaying a solve to
+	// its owning node and reading the answer back.
+	Solve    *Histogram
+	CacheHit *Histogram
+	Delta    *Histogram
+	Restore  *Histogram
+	Forward  *Histogram
+}
+
+// NewObserver builds an observer with a flight ring of flightEntries
+// slots (<= 0 selects 256) and error-trace snapshots under snapshotDir
+// ("" disables them).
+func NewObserver(node string, flightEntries int, snapshotDir string) *Observer {
+	return &Observer{
+		Node:     node,
+		Recorder: NewFlightRecorder(flightEntries, snapshotDir),
+		Solve:    NewHistogram("linksynthd_solve_duration_seconds", "local solver run latency (cache-miss path)"),
+		CacheHit: NewHistogram("linksynthd_cache_hit_duration_seconds", "latency of requests answered from the byte cache"),
+		Delta:    NewHistogram("linksynthd_delta_duration_seconds", "warm-start (base+delta) request latency"),
+		Restore:  NewHistogram("linksynthd_restore_duration_seconds", "durable-store warm session restore latency"),
+		Forward:  NewHistogram("linksynthd_forward_duration_seconds", "latency of solves relayed to their owning node"),
+	}
+}
+
+// Histograms returns every histogram, for exposition loops.
+func (o *Observer) Histograms() []*Histogram {
+	if o == nil {
+		return nil
+	}
+	return []*Histogram{o.Solve, o.CacheHit, o.Delta, o.Restore, o.Forward}
+}

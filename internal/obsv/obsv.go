@@ -1,0 +1,268 @@
+// Package obsv is the observability layer: end-to-end solve traces,
+// log-spaced latency histograms, a flight recorder of recent traces, and a
+// deterministic Prometheus exposition writer. It is stdlib-only and sits
+// below every other serving package — core, incr, service, and cluster all
+// record into it, and nothing in it imports them back.
+//
+// The central object is the Trace: one per request, minted at the HTTP
+// edge (or adopted from the X-Linksynth-Trace header a forwarding node
+// set, so a cross-node solve is a single distributed trace), carried on
+// the request's context.Context, and filled with Spans (named timed
+// phases: compile, classify, hasse, ilp, phase2, coloring, write-back,
+// forward, ...) and Events (point-in-time annotations: cache hits, store
+// restores, session reuse). Completed traces land in the FlightRecorder
+// ring and are dumped via GET /debug/flight.
+//
+// Determinism contract: trace data is diagnostics only. It never feeds
+// core.Fingerprint, never enters a content-addressed cached body, and the
+// deterministic solver packages never *read* a clock through this package
+// — core measures its spans with its own audited now()/since() helpers
+// and hands explicit (start, duration) pairs to Span. The convenience
+// helpers that do read the wall clock (StartSpan, Event) exist for the
+// serving layer, where timing is legitimately wall-clock.
+package obsv
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// TraceHeader carries a trace id across node boundaries: the HTTP edge
+// adopts an inbound value instead of minting, and every intra-cluster
+// request (forwarded solve, scattered sub-batch, store handoff fetch)
+// sends the current trace's id — so one cross-node solve is one
+// distributed trace, grouped by id across the nodes' flight recorders.
+// Responses echo the id so clients can quote it when reporting a slow or
+// failed request.
+const TraceHeader = "X-Linksynth-Trace"
+
+// Span is one named, timed phase of a trace. Start is wall-clock so spans
+// recorded on different nodes of a distributed trace order onto one
+// timeline; Dur is the measured duration.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// Event is a point-in-time annotation on a trace.
+type Event struct {
+	Time time.Time `json:"time"`
+	Msg  string    `json:"msg"`
+}
+
+// Trace is one request's record: identity, outcome, and the spans and
+// events accumulated while serving it. All methods are safe on a nil
+// receiver (instrumented code never guards) and safe for concurrent use
+// (parallel solver phases record concurrently).
+type Trace struct {
+	mu     sync.Mutex
+	id     string
+	op     string
+	node   string
+	start  time.Time
+	end    time.Time
+	status string
+	err    string
+	spans  []Span
+	events []Event
+}
+
+// TraceJSON is the wire/dump form of a completed trace.
+type TraceJSON struct {
+	ID     string        `json:"id"`
+	Op     string        `json:"op"`
+	Node   string        `json:"node,omitempty"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur_ns"`
+	Status string        `json:"status,omitempty"`
+	Err    string        `json:"error,omitempty"`
+	Spans  []Span        `json:"spans,omitempty"`
+	Events []Event       `json:"events,omitempty"`
+}
+
+// NewID mints a fresh 16-hex-digit trace id from the system CSPRNG. IDs
+// identify traces across nodes; they carry no ordering or meaning.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The CSPRNG failing is effectively fatal elsewhere; here a
+		// constant id only degrades trace grouping, never correctness.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace opens a trace. id may come from NewID (the edge minting a fresh
+// trace) or from a peer's X-Linksynth-Trace header (adopting the caller's
+// id so both halves of a forwarded solve group under one trace).
+func NewTrace(id, op, node string) *Trace {
+	return &Trace{id: id, op: op, node: node, start: time.Now()}
+}
+
+// ID returns the trace id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the trace's opening time (zero on nil).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Span records a completed phase with an explicitly measured start and
+// duration — the deterministic solver packages clock their spans through
+// their own audited helpers and report here.
+func (t *Trace) Span(name string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: dur})
+	t.mu.Unlock()
+}
+
+// StartSpan opens a phase and returns its closer; serving-layer
+// convenience, clocked by this package.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Span(name, start, time.Since(start)) }
+}
+
+// Event records a point-in-time annotation.
+func (t *Trace) Event(msg string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{Time: time.Now(), Msg: msg})
+	t.mu.Unlock()
+}
+
+// SetStatus records the request's disposition (cache hit/miss/coalesced,
+// incremental class, ...). Last write wins.
+func (t *Trace) SetStatus(status string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.status = status
+	t.mu.Unlock()
+}
+
+// SetError marks the trace failed. The flight recorder auto-snapshots
+// failed traces to disk so the evidence survives the ring.
+func (t *Trace) SetError(msg string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.err = msg
+	t.mu.Unlock()
+}
+
+// Failed reports whether SetError was called.
+func (t *Trace) Failed() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err != ""
+}
+
+// Finish stamps the trace's end time. Idempotent; the recorder calls it
+// defensively before snapshotting.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// Elapsed is the time since the trace opened (while live) or its total
+// duration (once finished).
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.end.IsZero() {
+		return t.end.Sub(t.start)
+	}
+	return time.Since(t.start)
+}
+
+// SpanCount returns the number of recorded spans.
+func (t *Trace) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Snapshot renders the trace's current state for dumping. The returned
+// value shares no mutable state with the trace.
+func (t *Trace) Snapshot() TraceJSON {
+	if t == nil {
+		return TraceJSON{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	out := TraceJSON{
+		ID:     t.id,
+		Op:     t.op,
+		Node:   t.node,
+		Start:  t.start,
+		Dur:    end.Sub(t.start),
+		Status: t.status,
+		Err:    t.err,
+	}
+	out.Spans = append([]Span(nil), t.spans...)
+	out.Events = append([]Event(nil), t.events...)
+	return out
+}
+
+// ctxKey keys the trace on a context.
+type ctxKey struct{}
+
+// WithTrace attaches a trace to a context for the solver layers to find.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil (on which every Trace
+// method is a no-op) — instrumented code calls unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,214 @@
+package obsv
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Span("x", time.Time{}, 0)
+	tr.Event("x")
+	tr.SetStatus("ok")
+	tr.SetError("boom")
+	tr.Finish()
+	tr.StartSpan("x")()
+	if tr.ID() != "" || tr.SpanCount() != 0 || tr.Failed() || tr.Elapsed() != 0 {
+		t.Fatal("nil trace leaked state")
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext on bare context = %v, want nil", got)
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTrace(NewID(), "solve", "node-a")
+	ctx := WithTrace(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+	tr.Span("hasse", time.Now(), 5*time.Millisecond)
+	tr.Event("cache miss")
+	tr.SetStatus("miss")
+	tr.Finish()
+	sj := tr.Snapshot()
+	if sj.ID != tr.ID() || len(sj.Spans) != 1 || len(sj.Events) != 1 || sj.Status != "miss" {
+		t.Fatalf("snapshot %+v does not reflect the trace", sj)
+	}
+}
+
+func TestNewIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if len(id) != 16 {
+			t.Fatalf("id %q: want 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	h := NewHistogram("test_duration_seconds", "test latencies")
+	h.Observe(50 * time.Microsecond) // below first bound
+	h.Observe(3 * time.Millisecond)  // into the 0.005 bucket
+	h.Observe(2 * time.Hour)         // beyond the last bound -> +Inf only
+	var e Exposition
+	e.Histogram(h)
+	out := e.Render()
+	for _, want := range []string{
+		"# HELP test_duration_seconds test latencies",
+		"# TYPE test_duration_seconds histogram",
+		`test_duration_seconds_bucket{le="0.0001"} 1`,
+		`test_duration_seconds_bucket{le="0.005"} 2`,
+		`test_duration_seconds_bucket{le="100"} 2`,
+		`test_duration_seconds_bucket{le="+Inf"} 3`,
+		"test_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative counts must be monotone.
+	prev := uint64(0)
+	for _, ln := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(ln, "test_duration_seconds_bucket") {
+			continue
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(ln[strings.LastIndex(ln, " ")+1:], "%d", &v); err != nil {
+			t.Fatalf("parse %q: %v", ln, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not monotone at %q", ln)
+		}
+		prev = v
+	}
+}
+
+func TestExpositionSortedAndStable(t *testing.T) {
+	build := func() string {
+		var e Exposition
+		e.Gauge("zzz_gauge", "last alphabetically", 1)
+		e.Counter("aaa_total", "first alphabetically", 2)
+		e.Info("mmm_build_info", "build metadata", map[string]string{"version": "v1", "goversion": "go1.24"})
+		e.Histogram(NewHistogram("kkk_duration_seconds", "empty histogram"))
+		return e.Render()
+	}
+	out := build()
+	if out != build() {
+		t.Fatal("two identical expositions rendered differently")
+	}
+	// Families must appear in sorted order.
+	var fams []string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "# TYPE ") {
+			fams = append(fams, strings.Fields(ln)[2])
+		}
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1] > fams[i] {
+			t.Fatalf("families out of order: %v", fams)
+		}
+	}
+	if want := `mmm_build_info{goversion="go1.24",version="v1"} 1`; !strings.Contains(out, want) {
+		t.Errorf("info line missing %q:\n%s", want, out)
+	}
+}
+
+func TestFlightRecorderRingOrderAndWrap(t *testing.T) {
+	r := NewFlightRecorder(4, "")
+	for i := 0; i < 10; i++ {
+		tr := NewTrace(fmt.Sprintf("%016d", i), "solve", "n")
+		r.Record(tr)
+	}
+	if r.Len() != 4 || r.Recorded() != 10 {
+		t.Fatalf("Len=%d Recorded=%d, want 4/10", r.Len(), r.Recorded())
+	}
+	got := r.Traces()
+	if len(got) != 4 {
+		t.Fatalf("Traces len %d, want 4", len(got))
+	}
+	for i, tj := range got {
+		if want := fmt.Sprintf("%016d", 6+i); tj.ID != want {
+			t.Errorf("slot %d id %q, want %q (oldest-first after wrap)", i, tj.ID, want)
+		}
+	}
+}
+
+func TestFlightRecorderErrorSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	r := NewFlightRecorder(8, dir)
+	ok := NewTrace("aaaaaaaaaaaaaaaa", "solve", "n")
+	r.Record(ok) // no error -> no file
+	bad := NewTrace("bbbbbbbbbbbbbbbb", "solve", "n")
+	bad.SetError("solver exploded")
+	r.Record(bad)
+	var files []string
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = files[:0]
+		for _, e := range ents {
+			files = append(files, e.Name())
+		}
+		if len(files) == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(files) != 1 || !strings.Contains(files[0], "bbbbbbbbbbbbbbbb") {
+		t.Fatalf("snapshot files %v, want exactly one for the failed trace", files)
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), "solver exploded") {
+		t.Fatalf("snapshot body missing the error: %s", buf)
+	}
+	written, failed := r.SnapshotStats()
+	if written != 1 || failed != 0 {
+		t.Fatalf("snapshot stats written=%d failed=%d", written, failed)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(16, "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := NewTrace(NewID(), "solve", "n")
+				tr.Span("phase", time.Now(), time.Microsecond)
+				r.Record(tr)
+				_ = r.Traces()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Recorded() != 8*200 {
+		t.Fatalf("Recorded=%d, want %d", r.Recorded(), 8*200)
+	}
+}
+
+func TestBuildInfoFieldsNonEmpty(t *testing.T) {
+	b := BuildInfo()
+	if b.Version == "" || b.GoVersion == "" || b.Revision == "" || b.Modified == "" {
+		t.Fatalf("BuildInfo has empty fields: %+v", b)
+	}
+}

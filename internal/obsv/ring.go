@@ -1,0 +1,156 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+)
+
+// FlightRecorder keeps the last N completed traces in a fixed-size ring.
+// Recording is lock-cheap — one atomic ticket plus one atomic pointer
+// store, no allocation, no mutex — so it sits on the request completion
+// path without contending with the solves it observes. Readers snapshot
+// whatever is resident; a slot being overwritten mid-read yields either
+// the old or the new trace, never a torn one (the pointer swap is atomic
+// and traces are effectively frozen once recorded).
+//
+// With a snapshot directory configured, traces that completed with an
+// error are additionally written to disk as JSON — the MOD lesson that
+// an invariant violation must be observable at failure time, not
+// reconstructed after the ring has wrapped past it. Snapshot files are
+// pruned oldest-first beyond a fixed cap so a crash loop cannot fill the
+// disk with flight dumps.
+type FlightRecorder struct {
+	slots   []atomic.Pointer[Trace]
+	next    atomic.Uint64
+	dir     string // "" = no disk snapshots
+	snapSeq atomic.Uint64
+	snaps   atomic.Uint64 // snapshots written
+	snapErr atomic.Uint64 // snapshot writes that failed
+}
+
+// maxSnapshotFiles caps the error-trace dumps retained on disk.
+const maxSnapshotFiles = 64
+
+// NewFlightRecorder builds a ring of n slots (n <= 0 selects 256). dir,
+// when non-empty, enables error-trace snapshots into it; the directory is
+// created on first use.
+func NewFlightRecorder(n int, dir string) *FlightRecorder {
+	if n <= 0 {
+		n = 256
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[Trace], n), dir: dir}
+}
+
+// Record finishes a trace and files it in the ring; failed traces are
+// also snapshotted to disk (off the caller's path — the write happens in
+// a goroutine, the request does not wait on the filesystem). Nil-safe on
+// both receiver and trace.
+func (r *FlightRecorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	t.Finish()
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+	if r.dir != "" && t.Failed() {
+		go r.writeSnapshot(t.Snapshot())
+	}
+}
+
+// Len reports how many traces are resident (at most the ring size).
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Recorded returns the total number of traces ever recorded.
+func (r *FlightRecorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// SnapshotStats returns (written, failed) disk-snapshot counts.
+func (r *FlightRecorder) SnapshotStats() (uint64, uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.snaps.Load(), r.snapErr.Load()
+}
+
+// Traces returns the resident traces, oldest first. Each entry is an
+// independent snapshot; the ring keeps rotating underneath.
+func (r *FlightRecorder) Traces() []TraceJSON {
+	if r == nil {
+		return nil
+	}
+	n := r.next.Load()
+	size := uint64(len(r.slots))
+	start := uint64(0)
+	if n > size {
+		start = n - size
+	}
+	out := make([]TraceJSON, 0, n-start)
+	for i := start; i < n; i++ {
+		if t := r.slots[i%size].Load(); t != nil {
+			out = append(out, t.Snapshot())
+		}
+	}
+	return out
+}
+
+// writeSnapshot dumps one failed trace to <dir>/<start>-<id>-<seq>.json
+// and prunes the directory back under the file cap. Failures only bump a
+// counter: flight dumps are evidence, never load-bearing state.
+func (r *FlightRecorder) writeSnapshot(tj TraceJSON) {
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		r.snapErr.Add(1)
+		return
+	}
+	seq := r.snapSeq.Add(1)
+	name := fmt.Sprintf("%s-%s-%d.json", tj.Start.UTC().Format("20060102T150405.000000000"), tj.ID, seq)
+	buf, err := json.MarshalIndent(tj, "", "  ")
+	if err != nil {
+		r.snapErr.Add(1)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(r.dir, name), append(buf, '\n'), 0o644); err != nil {
+		r.snapErr.Add(1)
+		return
+	}
+	r.snaps.Add(1)
+	r.prune()
+}
+
+// prune deletes the oldest snapshot files beyond maxSnapshotFiles. The
+// timestamp-prefixed names make lexicographic order chronological.
+func (r *FlightRecorder) prune() {
+	ents, err := os.ReadDir(r.dir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) <= maxSnapshotFiles {
+		return
+	}
+	sort.Strings(names)
+	for _, n := range names[:len(names)-maxSnapshotFiles] {
+		os.Remove(filepath.Join(r.dir, n))
+	}
+}

@@ -18,11 +18,41 @@ package sched
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool bounds the number of concurrently running tasks.
 type Pool struct {
-	slots chan struct{}
+	slots  chan struct{}
+	claims atomic.Uint64 // slot acquisitions (tasks dispatched to goroutines)
+	inline atomic.Uint64 // tasks run inline because the pool was saturated
+}
+
+// PoolStats counts dispatch outcomes since the pool was created. A high
+// Inline share means stages routinely find the pool saturated and degrade
+// to sequential execution — the signal that Workers is undersized for the
+// offered load (or that nesting is deep enough to matter).
+type PoolStats struct {
+	Claims uint64
+	Inline uint64
+}
+
+// Stats returns the dispatch counters. Nil-safe (a nil pool is the
+// sequential path and dispatches nothing).
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{Claims: p.claims.Load(), Inline: p.inline.Load()}
+}
+
+// Busy reports how many worker slots are held right now — the live pool
+// occupancy gauge. Nil-safe.
+func (p *Pool) Busy() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.slots)
 }
 
 // New returns a pool running at most workers tasks concurrently.
@@ -45,8 +75,10 @@ func (p *Pool) Workers() int { return cap(p.slots) }
 func (p *Pool) TryAcquire() bool {
 	select {
 	case p.slots <- struct{}{}:
+		p.claims.Add(1)
 		return true
 	default:
+		p.inline.Add(1)
 		return false
 	}
 }

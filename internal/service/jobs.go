@@ -14,6 +14,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obsv"
 )
 
 // Job lifecycle: queued -> running -> done | canceled. A job whose request
@@ -101,7 +102,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	// The job runs on its own trace (the POST's trace ends with the 202),
+	// adopting the edge trace's id so the acceptance and the asynchronous
+	// execution — including sub-batches scattered to peers, which propagate
+	// the id further — group as one distributed trace. It is recorded when
+	// the job finishes (finishJob).
+	traceID := obsv.FromContext(r.Context()).ID()
+	if traceID == "" {
+		traceID = obsv.NewID()
+	}
+	jobTr := obsv.NewTrace(traceID, "batch-job", s.obs.Node)
+	ctx, cancel := context.WithCancel(obsv.WithTrace(context.Background(), jobTr))
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -297,7 +308,7 @@ func (s *Server) solveInstances(j *job, idxs []int, results []json.RawMessage) {
 	}
 }
 
-// finishJob publishes a job's results and retires it.
+// finishJob publishes a job's results, retires it, and records its trace.
 func (s *Server) finishJob(j *job, results []json.RawMessage) {
 	s.mu.Lock()
 	j.results = results
@@ -309,7 +320,12 @@ func (s *Server) finishJob(j *job, results []json.RawMessage) {
 		s.jobsDone.Add(1)
 	}
 	s.retireLocked(j)
+	status := j.status
 	s.mu.Unlock()
+	if tr := obsv.FromContext(j.ctx); tr != nil {
+		tr.SetStatus(status + " " + j.id)
+		s.obs.Recorder.Record(tr)
+	}
 	j.cancel() // release the context's resources once the job settles
 }
 
@@ -341,7 +357,10 @@ func (s *Server) runGatherJob(j *job, req *BatchRequest, groups []cluster.Group)
 				s.solveInstances(j, g.Indices, results)
 				return
 			}
-			if err := s.gatherRemote(j, req, g, results); err != nil {
+			done := obsv.FromContext(j.ctx).StartSpan("gather:" + g.Owner)
+			err := s.gatherRemote(j, req, g, results)
+			done()
+			if err != nil {
 				if j.ctx.Err() != nil {
 					for _, i := range g.Indices {
 						results[i] = errResult("%v", j.ctx.Err())
@@ -349,6 +368,7 @@ func (s *Server) runGatherJob(j *job, req *BatchRequest, groups []cluster.Group)
 					return
 				}
 				s.gatherFallbacks.Add(1)
+				obsv.FromContext(j.ctx).Event("gather: owner " + g.Owner + " failed; solving group locally")
 				s.solveInstances(j, g.Indices, results)
 			}
 		}(g)

@@ -1,0 +1,245 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// fetchFlight reads a node's /debug/flight dump.
+func fetchFlight(t *testing.T, url string) flightJSON {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/flight: status %d", resp.StatusCode)
+	}
+	var fj flightJSON
+	if err := json.Unmarshal(readBody(t, resp), &fj); err != nil {
+		t.Fatal(err)
+	}
+	return fj
+}
+
+// waitForTrace polls a node's flight recorder for a trace id: the recorder
+// files a trace after the response bytes are already on the wire, so an
+// immediate read can race the epilogue.
+func waitForTrace(t *testing.T, url, id string) obsv.TraceJSON {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		for _, tj := range fetchFlight(t, url).Traces {
+			if tj.ID == id {
+				return tj
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("trace %s never appeared in %s/debug/flight", id, url)
+	return obsv.TraceJSON{}
+}
+
+func spanNames(tj obsv.TraceJSON) map[string]bool {
+	out := make(map[string]bool, len(tj.Spans))
+	for _, sp := range tj.Spans {
+		out[sp.Name] = true
+	}
+	return out
+}
+
+// Acceptance: a solve submitted to a non-owner is one distributed trace.
+// The edge mints an id, the forward carries it to the owner, and both
+// nodes' flight recorders hold a trace under the shared id — the
+// forwarding node's with the forward span, the owner's with the full
+// solver phase breakdown — with at least 6 spans covering
+// edge -> forward -> phases between them.
+func TestForwardedSolveIsOneDistributedTrace(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	urls := []string{nodes[0].url, nodes[1].url}
+	opt := &OptionsJSON{Seed: 1}
+	inst := instanceOwnedBy(t, urls, nodes[1].url, opt, 400)
+
+	resp := postJSON(t, nodes[0].url+"/v1/solve", SolveRequest{InstanceJSON: inst, Options: opt})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	id := resp.Header.Get(obsv.TraceHeader)
+	if id == "" {
+		t.Fatalf("response carries no %s header", obsv.TraceHeader)
+	}
+	if got := resp.Header.Get("X-Linksynth-Node"); got != nodes[1].url {
+		t.Fatalf("solve answered by %q, want owner %q (not forwarded?)", got, nodes[1].url)
+	}
+	body := readBody(t, resp)
+	if strings.Contains(string(body), id) {
+		t.Errorf("trace id %s leaked into the response body", id)
+	}
+
+	edge := waitForTrace(t, nodes[0].url, id)
+	owner := waitForTrace(t, nodes[1].url, id)
+	if !spanNames(edge)["forward"] {
+		t.Errorf("forwarding node's trace has spans %v, want a forward span", spanNames(edge))
+	}
+	ownerSpans := spanNames(owner)
+	for _, want := range []string{"compile", "phase2"} {
+		if !ownerSpans[want] {
+			t.Errorf("owner's trace is missing the %s span (has %v)", want, ownerSpans)
+		}
+	}
+	if total := len(edge.Spans) + len(owner.Spans); total < 6 {
+		t.Errorf("distributed trace %s has %d spans across both nodes, want >= 6", id, total)
+	}
+	if edge.Node == owner.Node {
+		t.Errorf("both trace halves claim node %q; want distinct nodes", edge.Node)
+	}
+}
+
+// A client-supplied trace id is adopted, echoed, and retrievable from the
+// flight recorder.
+func TestTraceIDAdoptedFromRequestHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	b, err := json.Marshal(SolveRequest{InstanceJSON: testInstance(0), Options: &OptionsJSON{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obsv.TraceHeader, "feedfacecafebeef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, resp)
+	if got := resp.Header.Get(obsv.TraceHeader); got != "feedfacecafebeef" {
+		t.Fatalf("response echoes trace id %q, want the supplied feedfacecafebeef", got)
+	}
+	tj := waitForTrace(t, ts.URL, "feedfacecafebeef")
+	if tj.Status != "200 miss" {
+		t.Errorf("trace status = %q, want \"200 miss\"", tj.Status)
+	}
+	if len(tj.Spans) < 4 {
+		t.Errorf("solve trace has %d spans, want >= 4", len(tj.Spans))
+	}
+}
+
+// The scrape is deterministically ordered: families sorted by name, each
+// preceded by HELP and TYPE, and two scrapes expose the identical family
+// sequence. The histograms and build_info ride along.
+func TestMetricsDeterministicOrderingAndExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(0), Options: &OptionsJSON{Seed: 1}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+
+	scrape := func() string {
+		r, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(readBody(t, r))
+	}
+	families := func(body string) []string {
+		var fams []string
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, "# HELP ") {
+				fams = append(fams, strings.SplitN(line, " ", 4)[2])
+			}
+		}
+		return fams
+	}
+
+	a, b := scrape(), scrape()
+	fa, fb := families(a), families(b)
+	if len(fa) == 0 {
+		t.Fatal("no metric families in scrape")
+	}
+	if fmt.Sprint(fa) != fmt.Sprint(fb) {
+		t.Errorf("family sequence changed across scrapes:\n%v\n%v", fa, fb)
+	}
+	for i := 1; i < len(fa); i++ {
+		if fa[i-1] >= fa[i] {
+			t.Errorf("families not strictly sorted: %q before %q", fa[i-1], fa[i])
+		}
+	}
+	// Every family's TYPE line must directly follow its HELP line.
+	lines := strings.Split(a, "\n")
+	for i, line := range lines {
+		if strings.HasPrefix(line, "# HELP ") {
+			name := strings.SplitN(line, " ", 4)[2]
+			if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+				t.Errorf("family %s has no TYPE line after its HELP line", name)
+			}
+		}
+	}
+	for _, want := range []string{
+		"linksynthd_build_info{",
+		"# TYPE linksynthd_solve_duration_seconds histogram",
+		`linksynthd_solve_duration_seconds_bucket{le="+Inf"}`,
+		"linksynthd_solve_duration_seconds_sum",
+		"linksynthd_solve_duration_seconds_count 1",
+		"linksynthd_flight_recorded_total 1",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+}
+
+// Concurrent scrapes, flight dumps, and solves: exercised together so the
+// race detector sees the metrics read path, the recorder's ring writes,
+// and the histograms under real traffic.
+func TestConcurrentScrapesAndFlightWrites(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, FlightEntries: 8})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/metrics", "/debug/flight"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					readBody(t, resp)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 24; i++ {
+		resp := postJSON(t, ts.URL+"/v1/solve", SolveRequest{InstanceJSON: testInstance(int64(i % 6)), Options: &OptionsJSON{Seed: 1}})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, resp.StatusCode, readBody(t, resp))
+		}
+		readBody(t, resp)
+	}
+	close(stop)
+	wg.Wait()
+
+	fj := fetchFlight(t, ts.URL)
+	if fj.RecordedTotal < 24 {
+		t.Errorf("flight recorder saw %d traces, want >= 24", fj.RecordedTotal)
+	}
+	if len(fj.Traces) > 8 {
+		t.Errorf("ring of 8 holds %d traces", len(fj.Traces))
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/incr"
+	"repro/internal/obsv"
 	"repro/internal/sched"
 	"repro/internal/store"
 )
@@ -75,6 +76,10 @@ type Config struct {
 	// through /v1/store/{fingerprint} for warm handoff. Nil disables
 	// persistence; the server is then RAM-only like before.
 	Store *store.Store
+	// FlightEntries sizes the flight recorder's ring of recent traces
+	// (<= 0 selects 256). With a Store configured, traces that end in an
+	// error are additionally snapshotted under its flight/ directory.
+	FlightEntries int
 }
 
 // Server implements http.Handler for the linksynthd API.
@@ -86,6 +91,7 @@ type Server struct {
 	sessions   *cache.LRU[*svcSession]
 	wanted     *cache.LRU[struct{}] // bases recent deltas asked for but found no session
 	store      *store.Store         // nil = no durable tier
+	obs        *obsv.Observer       // traces, histograms, flight recorder
 	nWorkers   int
 	maxBody    int64
 	queueDepth int
@@ -183,6 +189,14 @@ func New(cfg Config) *Server {
 	if sessions <= 0 {
 		sessions = 64
 	}
+	node := "local"
+	if cfg.Cluster != nil {
+		node = cfg.Cluster.Self()
+	}
+	flightDir := ""
+	if cfg.Store != nil {
+		flightDir = cfg.Store.FlightDir()
+	}
 	s := &Server{
 		cache:      cfg.Cache,
 		pool:       pool,
@@ -190,6 +204,7 @@ func New(cfg Config) *Server {
 		engine:     incr.NewEngine(cfg.PlanEntries),
 		sessions:   cache.NewLRU[*svcSession](sessions, nil),
 		wanted:     cache.NewLRU[struct{}](sessions, nil),
+		obs:        obsv.NewObserver(node, cfg.FlightEntries, flightDir),
 		nWorkers:   n,
 		maxBody:    maxBody,
 		queueDepth: depth,
@@ -235,22 +250,34 @@ func (s *Server) Close() {
 	}
 }
 
-// ServeHTTP routes the API. Routing is deliberately manual (method checks
-// plus a prefix match for /v1/jobs/) so behavior does not depend on
-// http.ServeMux pattern semantics.
+// ServeHTTP dispatches the API: introspection endpoints (liveness, scrape,
+// flight dump) are answered directly, everything else runs under a trace —
+// see serveTraced. Routing is deliberately manual (method checks plus a
+// prefix match for /v1/jobs/) so behavior does not depend on http.ServeMux
+// pattern semantics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	switch r.URL.Path {
+	case "/healthz":
+		if wantMethod(w, r, http.MethodGet) {
+			s.handleHealthz(w)
+		}
+	case "/metrics":
+		if wantMethod(w, r, http.MethodGet) {
+			s.handleMetrics(w)
+		}
+	case "/debug/flight":
+		if wantMethod(w, r, http.MethodGet) {
+			s.handleFlight(w)
+		}
+	default:
+		s.serveTraced(w, r)
+	}
+}
+
+// route serves the traced API surface.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	switch {
-	case r.URL.Path == "/healthz":
-		if !wantMethod(w, r, http.MethodGet) {
-			return
-		}
-		s.handleHealthz(w)
-	case r.URL.Path == "/metrics":
-		if !wantMethod(w, r, http.MethodGet) {
-			return
-		}
-		s.handleMetrics(w)
 	case r.URL.Path == "/v1/solve":
 		if !wantMethod(w, r, http.MethodPost) {
 			return
@@ -332,6 +359,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// (fallback solves populate it), so skipping the hop is always safe.
 		if body, ok := s.cache.Get(key); ok {
 			s.parkSessionAsync(key, p.in, p.opt)
+			obsv.FromContext(r.Context()).Event("cache: byte cache answered")
 			s.writeSolveBody(w, key, "hit", body)
 			return
 		}
@@ -353,6 +381,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	if body, ok := s.cache.Get(key); ok {
 		s.parkSessionAsync(key, p.in, p.opt)
+		obsv.FromContext(r.Context()).Event("cache: byte cache answered")
 		s.writeSolveBody(w, key, "hit", body)
 		return
 	}
@@ -420,6 +449,7 @@ func (s *Server) resolveDelta(ctx context.Context, p *solveParsed) ([]byte, cach
 					return nil, cache.Key{}, "", f.err
 				}
 				s.coalesced.Add(1)
+				obsv.FromContext(ctx).Event("solve: coalesced onto in-flight delta leader")
 				return f.body, f.key, "coalesced", nil
 			case <-ctx.Done():
 				return nil, cache.Key{}, "", ctx.Err()
@@ -457,6 +487,7 @@ func (s *Server) solveDelta(ctx context.Context, p *solveParsed) ([]byte, cache.
 		// Remember the base so the client's follow-up full submission
 		// parks a session even when it is answered from the byte cache.
 		s.wanted.Put(p.base, struct{}{})
+		obsv.FromContext(ctx).Event("session: no warm session for base")
 		return nil, cache.Key{}, "", errNoSession
 	}
 	// Cache-first: the patched instance's fingerprint is computable without
@@ -571,9 +602,15 @@ func (s *Server) writeSolveBody(w http.ResponseWriter, key cache.Key, status str
 // down) or a 5xx from an owner that is up but overloaded — shedding to the
 // non-owner keeps capacity usable at the cost of a duplicate cache entry.
 func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner string, raw []byte) bool {
+	tr := obsv.FromContext(r.Context())
+	start := time.Now()
 	res, err := s.clu.ForwardSolve(r.Context(), owner, r.Header.Get("Content-Type"), raw)
+	dur := time.Since(start)
+	tr.Span("forward", start, dur)
+	s.obs.Forward.Observe(dur)
 	if err != nil || res.StatusCode >= http.StatusInternalServerError {
 		s.forwardFallbacks.Add(1)
+		tr.Event("forward: owner " + owner + " unavailable; solving locally")
 		return false
 	}
 	s.forwarded.Add(1)
@@ -624,6 +661,7 @@ func (s *Server) resolveMissWith(ctx context.Context, key cache.Key, in core.Inp
 					return nil, "", f.err
 				}
 				s.coalesced.Add(1)
+				obsv.FromContext(ctx).Event("solve: coalesced onto in-flight leader")
 				return f.body, "coalesced", nil
 			case <-ctx.Done():
 				return nil, "", ctx.Err()
@@ -765,19 +803,44 @@ func (s *Server) handleHealthz(w http.ResponseWriter) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleMetrics renders the Prometheus scrape. Families are accumulated
+// into an obsv.Exposition and emitted sorted by name with HELP/TYPE
+// headers, so two scrapes observing the same values are byte-identical —
+// the ordering is part of the endpoint's contract (tests and the CI
+// exposition check rely on it).
 func (s *Server) handleMetrics(w http.ResponseWriter) {
 	cs := s.cache.Stats()
 	s.mu.Lock()
 	nJobs := len(s.jobs)
 	queued := len(s.jobQueue)
 	s.mu.Unlock()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	var b strings.Builder
+	var e obsv.Exposition
 	counter := func(name string, v uint64, help string) {
-		fmt.Fprintf(&b, "# HELP linksynthd_%s %s\n# TYPE linksynthd_%s counter\nlinksynthd_%s %d\n", name, help, name, name, v)
+		e.Counter("linksynthd_"+name, help, v)
 	}
 	gauge := func(name string, v int64, help string) {
-		fmt.Fprintf(&b, "# HELP linksynthd_%s %s\n# TYPE linksynthd_%s gauge\nlinksynthd_%s %d\n", name, help, name, name, v)
+		e.Gauge("linksynthd_"+name, help, v)
+	}
+	bi := obsv.BuildInfo()
+	e.Info("linksynthd_build_info", "build metadata of the running binary; value is constant 1", map[string]string{
+		"goversion": bi.GoVersion,
+		"modified":  bi.Modified,
+		"revision":  bi.Revision,
+		"version":   bi.Version,
+	})
+	for _, h := range s.obs.Histograms() {
+		e.Histogram(h)
+	}
+	gauge("flight_traces", int64(s.obs.Recorder.Len()), "traces resident in the flight-recorder ring")
+	counter("flight_recorded_total", s.obs.Recorder.Recorded(), "completed traces recorded")
+	snaps, snapErrs := s.obs.Recorder.SnapshotStats()
+	counter("flight_snapshots_total", snaps, "failed traces snapshotted to disk")
+	counter("flight_snapshot_errors_total", snapErrs, "trace snapshots that could not be written")
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		gauge("pool_busy", int64(s.pool.Busy()), "solver pool slots held right now")
+		counter("pool_claims_total", ps.Claims, "pool slots claimed for parallel dispatch")
+		counter("pool_inline_total", ps.Inline, "dispatches run inline because the pool was saturated")
 	}
 	counter("requests_total", s.requests.Load(), "HTTP requests received")
 	counter("cache_hits_total", cs.Hits, "result cache hits")
@@ -842,7 +905,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 		counter("store_handoff_fetches_total", s.handoffFetches.Load(), "warm sessions pulled from a peer")
 		counter("store_handoff_served_total", s.handoffServed.Load(), "store files served to peers")
 	}
-	w.Write([]byte(b.String()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(e.Render()))
 }
 
 func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {

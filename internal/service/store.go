@@ -5,8 +5,10 @@ import (
 	"encoding/hex"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obsv"
 	"repro/internal/store"
 )
 
@@ -88,18 +90,33 @@ func (s *Server) persistSession(req persistReq) {
 // reviveSession recovers a warm session for base from outside process
 // memory: the local durable store first, then — in a cluster — a warm
 // handoff fetch from a peer. Returns nil when no recoverable state exists;
-// the caller falls back to the no-session 404.
+// the caller falls back to the no-session 404. The whole recovery is timed
+// onto the Restore histogram and the request's trace, and a store file
+// quarantined during the attempt marks the trace failed so the flight
+// recorder snapshots the evidence.
 func (s *Server) reviveSession(ctx context.Context, base cache32) *svcSession {
 	if s.store == nil {
 		return nil
 	}
-	if ss := s.restoreSession(base); ss != nil {
-		return ss
+	tr := obsv.FromContext(ctx)
+	start := time.Now()
+	corruptBefore := s.store.Stats().CorruptFiles
+	ss := s.restoreSession(base)
+	if ss != nil {
+		tr.Event("store: session restored from local store")
+	} else if s.clu != nil && s.fetchSessionFromPeers(ctx, base) {
+		if ss = s.restoreSession(base); ss != nil {
+			tr.Event("store: session restored via peer handoff")
+		}
 	}
-	if s.clu != nil && s.fetchSessionFromPeers(ctx, base) {
-		return s.restoreSession(base)
+	if ss != nil {
+		dur := time.Since(start)
+		tr.Span("restore", start, dur)
+		s.obs.Restore.Observe(dur)
+	} else if s.store.Stats().CorruptFiles > corruptBefore {
+		tr.SetError("store: file quarantined during session restore")
 	}
-	return nil
+	return ss
 }
 
 // restoreSession rebuilds a warm session from the durable store. The

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// This file is the service's tracing edge. Every API request runs under an
+// obsv.Trace: the id is adopted from the X-Linksynth-Trace header when a
+// peer (or a client quoting an earlier response) sent one — so a forwarded
+// solve or a scattered sub-batch is one distributed trace — and minted
+// fresh otherwise. The response echoes the id, the handler runs with the
+// trace on its context for the solver layers to fill with spans, and the
+// completed trace lands in the flight recorder. The introspection
+// endpoints (/healthz, /metrics, /debug/flight) are served untraced so
+// scrape traffic never rotates real requests out of the ring.
+
+// statusWriter captures the response status code so the edge can classify
+// the trace and pick a latency histogram after the handler returns.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// serveTraced wraps one API request in a trace and records it on completion.
+func (s *Server) serveTraced(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get(obsv.TraceHeader)
+	if id == "" {
+		id = obsv.NewID()
+	}
+	tr := obsv.NewTrace(id, r.Method+" "+r.URL.Path, s.obs.Node)
+	w.Header().Set(obsv.TraceHeader, id)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	s.route(sw, r.WithContext(obsv.WithTrace(r.Context(), tr)))
+	elapsed := time.Since(start)
+	status := sw.status
+	if status == 0 {
+		// The handler wrote nothing (e.g. a hijacked or empty response);
+		// net/http would have sent a 200.
+		status = http.StatusOK
+	}
+	tr.SetStatus(traceStatus(status, sw.Header()))
+	if status >= http.StatusInternalServerError || status == http.StatusUnprocessableEntity {
+		// 5xx and solver rejections are the traces worth keeping beyond the
+		// ring: SetError makes the recorder snapshot them to disk.
+		tr.SetError(http.StatusText(status))
+	}
+	s.observeLatency(r.URL.Path, sw.Header(), status, elapsed)
+	s.obs.Recorder.Record(tr)
+}
+
+// traceStatus renders a trace's disposition line: the HTTP status plus the
+// cache/incremental classification the handler set on the response.
+func traceStatus(status int, h http.Header) string {
+	st := strconv.Itoa(status)
+	if incr := h.Get("X-Linksynth-Incr"); incr != "" {
+		return st + " delta/" + incr
+	}
+	if c := h.Get("X-Linksynth-Cache"); c != "" {
+		return st + " " + c
+	}
+	return st
+}
+
+// observeLatency feeds the per-path latency histograms from the response
+// the handler produced. Only successful solves classify; in a cluster, an
+// answer another node produced is skipped here — its latency is already on
+// this node's Forward histogram and on the owner's Solve histogram, and
+// counting it again would double-book the same request.
+func (s *Server) observeLatency(path string, h http.Header, status int, d time.Duration) {
+	if path != "/v1/solve" || status != http.StatusOK {
+		return
+	}
+	if s.clu != nil {
+		if node := h.Get("X-Linksynth-Node"); node != "" && node != s.clu.Self() {
+			return
+		}
+	}
+	switch {
+	case h.Get("X-Linksynth-Incr") != "":
+		s.obs.Delta.Observe(d)
+	case h.Get("X-Linksynth-Cache") == "hit":
+		s.obs.CacheHit.Observe(d)
+	default:
+		s.obs.Solve.Observe(d)
+	}
+}
+
+// flightJSON is the wire form of GET /debug/flight.
+type flightJSON struct {
+	Node           string           `json:"node"`
+	RecordedTotal  uint64           `json:"recorded_total"`
+	Snapshots      uint64           `json:"snapshots_written"`
+	SnapshotErrors uint64           `json:"snapshot_errors"`
+	Traces         []obsv.TraceJSON `json:"traces"`
+}
+
+// handleFlight dumps the flight recorder: the resident traces oldest first
+// plus recorder totals. The dump is a diagnostic read; the ring keeps
+// rotating underneath it.
+func (s *Server) handleFlight(w http.ResponseWriter) {
+	snaps, snapErrs := s.obs.Recorder.SnapshotStats()
+	writeJSON(w, http.StatusOK, flightJSON{
+		Node:           s.obs.Node,
+		RecordedTotal:  s.obs.Recorder.Recorded(),
+		Snapshots:      snaps,
+		SnapshotErrors: snapErrs,
+		Traces:         s.obs.Recorder.Traces(),
+	})
+}

@@ -45,6 +45,7 @@ const (
 //	<dir>/snapshots/<fp>.snap  immutable relation snapshots, named by content
 //	<dir>/sessions/<fp>.sess   session records, named by base fingerprint
 //	<dir>/cache/               home of the result cache's append-only log
+//	<dir>/flight/              flight-recorder dumps of failed traces (JSON)
 //
 // All files are published atomically (write-temp → fsync → rename), so the
 // store is crash-consistent by construction; CRC framing catches anything
@@ -65,7 +66,7 @@ type Store struct {
 // are quarantined lazily when a read detects corruption.
 func Open(dir string) (*Store, error) {
 	s := &Store{dir: dir}
-	for _, sub := range []string{s.snapDir(), s.sessDir(), s.CacheDir()} {
+	for _, sub := range []string{s.snapDir(), s.sessDir(), s.CacheDir(), s.FlightDir()} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			return nil, err
 		}
@@ -87,6 +88,11 @@ func (s *Store) Dir() string { return s.dir }
 
 // CacheDir returns the directory the result cache's log lives in.
 func (s *Store) CacheDir() string { return filepath.Join(s.dir, "cache") }
+
+// FlightDir returns the directory the flight recorder dumps failed-request
+// traces into (data/flight). The store only owns the location; the obsv
+// layer writes and prunes the dumps.
+func (s *Store) FlightDir() string { return filepath.Join(s.dir, "flight") }
 
 func (s *Store) snapDir() string { return filepath.Join(s.dir, "snapshots") }
 func (s *Store) sessDir() string { return filepath.Join(s.dir, "sessions") }

@@ -20,16 +20,22 @@
 // as an alias; a legacy flat cache.aol at the root is migrated into
 // data/cache on startup.
 //
-// Scaling out: give every node the same -peers list and its own -advertise
-// URL and the nodes form a shared-nothing sharded cluster — each instance's
-// fingerprint hashes to one owning node, non-owners forward to it, and
-// batch jobs scatter across the owners. Nodes with a data directory also
-// serve their store files to peers (GET /v1/store/{fingerprint}), so a node
-// that inherits a base after ring movement pulls the warm state through
-// instead of re-solving.
+// Scaling out: seed every node with -peers (or point a new node at any
+// existing member with -join) plus its own -advertise URL and the nodes
+// form a shared-nothing sharded cluster — each instance's fingerprint
+// hashes to one owning node, non-owners forward to it, batch jobs scatter
+// across the owners, and the member set is gossiped on the health-probe
+// cycle so joins and leaves need no fleet restart. With -replicas K, each
+// solved key's cache entry and durable session artifacts are pushed to
+// its K ring-successors, so killing the owner leaves the first successor
+// answering warm (byte-identical, zero re-solves for replicated keys).
+// On SIGTERM a node leaves gracefully: it tombstones itself cluster-wide
+// and streams parked sessions to their new owners before exiting.
 //
-//	linksynthd -addr :8081 -advertise http://10.0.0.1:8081 \
+//	linksynthd -addr :8081 -advertise http://10.0.0.1:8081 -replicas 2 \
 //	    -peers http://10.0.0.1:8081,http://10.0.0.2:8081,http://10.0.0.3:8081
+//	linksynthd -addr :8084 -advertise http://10.0.0.4:8084 -replicas 2 \
+//	    -join http://10.0.0.1:8081
 //
 // Endpoints: POST /v1/solve (JSON or multipart CSV; a JSON body may also
 // carry a "base" fingerprint plus "delta" for an incremental warm-start
@@ -79,7 +85,9 @@ func main() {
 	sessions := flag.Int("sessions", 64, "warm solver sessions retained for incremental delta re-solves (LRU beyond that)")
 	plans := flag.Int("plans", 128, "compiled structural plans retained (LRU beyond that)")
 	peers := flag.String("peers", "", "comma-separated seed list of cluster node URLs (empty = single-node)")
-	advertise := flag.String("advertise", "", "this node's URL as peers reach it (required with -peers)")
+	join := flag.String("join", "", "URL of an existing cluster member to announce this node to (requires -advertise; combinable with -peers)")
+	replicas := flag.Int("replicas", 0, "ring-successors each solved key is asynchronously replicated to for warm failover (0 = no replication)")
+	advertise := flag.String("advertise", "", "this node's URL as peers reach it (required with -peers or -join)")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer /healthz probing period")
 	flightEntries := flag.Int("flight-entries", 256, "recent traces retained in the flight recorder (GET /debug/flight)")
 	debugAddr := flag.String("debug-addr", "", "separate listen address for net/http/pprof (empty = profiling disabled)")
@@ -125,9 +133,9 @@ func main() {
 	}
 
 	var clu *cluster.Cluster
-	if *peers != "" {
+	if *peers != "" || *join != "" {
 		if *advertise == "" {
-			fatalf("-peers requires -advertise (this node's URL as peers reach it)")
+			fatalf("-peers and -join require -advertise (this node's URL as peers reach it)")
 		}
 		var list []string
 		for _, p := range strings.Split(*peers, ",") {
@@ -143,9 +151,22 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+		if *join != "" {
+			// Announce to the seed before serving: once JoinVia returns, the
+			// seed owes the rest of the cluster our membership via gossip and
+			// we hold the full member view — no fleet restart, no -peers edit.
+			jctx, jcancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := clu.JoinVia(jctx, *join)
+			jcancel()
+			if err != nil {
+				fatalf("%v", err)
+			}
+			log.Printf("cluster: joined via %s", *join)
+		}
 		clu.Start()
 		defer clu.Close()
-		log.Printf("cluster: node %s with %d peers (probe every %s)", clu.Self(), len(clu.Nodes())-1, *probeInterval)
+		log.Printf("cluster: node %s with %d peers (probe every %s, replicas=%d)",
+			clu.Self(), len(clu.Nodes())-1, *probeInterval, *replicas)
 	}
 
 	srv := service.New(service.Config{
@@ -154,6 +175,7 @@ func main() {
 		MaxBody:        *maxBody,
 		QueueDepth:     *queue,
 		Cluster:        clu,
+		Replicas:       *replicas,
 		SessionEntries: *sessions,
 		PlanEntries:    *plans,
 		Store:          st,
@@ -196,6 +218,13 @@ func main() {
 		log.Printf("shutting down")
 		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if clu != nil {
+			// Graceful leave: tombstone this node on its peers and stream
+			// parked sessions to their new owners while the listener still
+			// answers pull-side handoff fetches, then stop accepting.
+			srv.Leave(shCtx)
+			log.Printf("cluster: left the member set; sessions migrated")
+		}
 		if err := httpSrv.Shutdown(shCtx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}

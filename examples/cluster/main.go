@@ -1,16 +1,21 @@
-// The cluster example walks through linksynthd's shared-nothing sharding
-// with three in-process nodes on loopback ports. Each node owns the key
-// range its fingerprints rendezvous-hash to: a solve posted to any node is
-// forwarded to the owner, batches scatter sub-jobs across the owners, and
-// a killed node's keys fail over to local solving on the survivors.
+// The cluster example walks through linksynthd's elastic shared-nothing
+// sharding with in-process nodes on loopback ports. Three nodes start
+// with -replicas 2 semantics: each key rendezvous-hashes to one owning
+// node, the owner solves it once and pushes the entry to the key's two
+// ring-successors. The walkthrough forwards a solve across nodes under
+// one trace id, scatters a batch, kills the *owner* of a key and shows a
+// successor answering it warm — byte-identical, cache hit, zero new
+// solver runs — and finally joins a fourth node into the live cluster
+// without restarting anything.
 //
-// A real deployment runs one `linksynthd` process per node with the same
-// -peers list and a per-node -advertise URL; see the README's "Scaling
-// out" section.
+// A real deployment runs one `linksynthd` process per node (seed nodes
+// with -peers, later nodes with -join) and a per-node -advertise URL;
+// see the README's "Scaling out" section.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -59,13 +64,37 @@ func instance(bump int64) service.InstanceJSON {
 type node struct {
 	url string
 	srv *service.Server
+	clu *cluster.Cluster
 	ln  net.Listener
 	hs  *http.Server
 }
 
+// startNode wires a cache, cluster view and server onto a pre-opened
+// listener. peers is the bootstrap seed list; a joiner passes nil and
+// calls JoinVia afterwards.
+func startNode(nd *node, peers []string) {
+	c, err := cache.Open("", 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clu, err := cluster.New(cluster.Config{
+		Self:          nd.url,
+		Peers:         peers,
+		ProbeInterval: 200 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	clu.Start()
+	nd.clu = clu
+	nd.srv = service.New(service.Config{Cache: c, Workers: -1, Cluster: clu, Replicas: 2})
+	nd.hs = &http.Server{Handler: nd.srv}
+	go nd.hs.Serve(nd.ln)
+}
+
 func main() {
 	// Three nodes: listeners first (so every URL is known), then a cluster
-	// view and a server per node, all sharing the same peer list.
+	// view and a server per node, all sharing the same seed list.
 	const n = 3
 	nodes := make([]*node, n)
 	urls := make([]string, n)
@@ -78,51 +107,45 @@ func main() {
 		urls[i] = nodes[i].url
 	}
 	for i, nd := range nodes {
-		c, err := cache.Open("", 256)
-		if err != nil {
-			log.Fatal(err)
-		}
-		clu, err := cluster.New(cluster.Config{
-			Self:          nd.url,
-			Peers:         urls,
-			ProbeInterval: 200 * time.Millisecond,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		clu.Start()
-		nd.srv = service.New(service.Config{Cache: c, Workers: -1, Cluster: clu})
-		nd.hs = &http.Server{Handler: nd.srv}
-		go nd.hs.Serve(nd.ln)
-		fmt.Printf("node %d listening on %s\n", i, nd.url)
+		startNode(nd, urls)
+		fmt.Printf("node %d listening on %s (replicas=2)\n", i, nd.url)
 	}
 	fmt.Println()
 
-	// 1. The same solve posted to every node: each non-owner forwards to
-	// the owner, so all three answers are byte-identical and the cluster
-	// runs the solver exactly once.
+	// 1. The same solve posted to every node. The first post routes to the
+	// key's owner, which solves once and asynchronously pushes the entry to
+	// its two ring-successors — so the later posts are answered either by a
+	// forward to the owner or straight from the receiving node's own
+	// replica. Either way: byte-identical, one solver run cluster-wide.
 	req := service.SolveRequest{InstanceJSON: instance(0), Options: &service.OptionsJSON{Seed: 1}}
 	var first []byte
-	edgeURL, ownerURL, traceID := "", "", ""
+	ownerOf0 := ""
 	for i, nd := range nodes {
 		body, hdr := post(nd.url+"/v1/solve", req)
 		identical := first == nil || bytes.Equal(first, body)
 		if first == nil {
 			first = body
-		}
-		if served := hdr.Get("X-Linksynth-Node"); served != nd.url && traceID == "" {
-			edgeURL, ownerURL, traceID = nd.url, served, hdr.Get("X-Linksynth-Trace")
+			ownerOf0 = hdr.Get("X-Linksynth-Node") // fresh key: served by its owner
 		}
 		fmt.Printf("POST node%d/v1/solve  -> cache %-9s served by %-27s byte-identical: %v\n",
 			i, hdr.Get("X-Linksynth-Cache"), hdr.Get("X-Linksynth-Node"), identical)
 	}
-	fmt.Printf("cluster-wide solver runs: %d (one owner solved; the others forwarded)\n\n", totalRuns(nodes))
+	fmt.Printf("cluster-wide solver runs: %d (the owner %s solved; everyone else relayed or replicated)\n\n",
+		totalRuns(nodes), ownerOf0)
 
 	// 1b. A forwarded solve is one distributed trace: the edge node mints an
 	// id (X-Linksynth-Trace, echoed on the response), the hop carries it to
 	// the owner, and each node's flight recorder holds its half of the story
 	// under that shared id — the forward span on the edge, the solver phase
-	// breakdown on the owner.
+	// breakdown on the owner. Fresh fingerprints until node 0 isn't the owner.
+	edgeURL, ownerURL, traceID := "", "", ""
+	for b := int64(100); traceID == "" && b < 120; b++ {
+		_, hdr := post(nodes[0].url+"/v1/solve",
+			service.SolveRequest{InstanceJSON: instance(b), Options: &service.OptionsJSON{Seed: 1}})
+		if served := hdr.Get("X-Linksynth-Node"); served != nodes[0].url {
+			edgeURL, ownerURL, traceID = nodes[0].url, served, hdr.Get("X-Linksynth-Trace")
+		}
+	}
 	if traceID != "" {
 		fmt.Printf("trace %s spans a forwarded solve:\n", traceID)
 		for _, u := range []string{edgeURL, ownerURL} {
@@ -133,7 +156,7 @@ func main() {
 
 	// 2. A batch posted to node 0 scatters across the owners: each
 	// instance is solved on — and cached by — the node that owns its
-	// fingerprint.
+	// fingerprint, then replicated to the successors.
 	batch := service.BatchRequest{
 		Instances: []service.InstanceJSON{instance(1), instance(2), instance(3), instance(4)},
 		Options:   &service.OptionsJSON{Seed: 1},
@@ -159,33 +182,93 @@ func main() {
 	}
 	fmt.Println()
 
-	// 3. Kill node 2: its key range fails over to the survivors. The same
-	// request that node 2 owned still answers — solved locally by whichever
-	// node receives it.
-	victim := nodes[2]
-	victim.hs.Close()
-	fmt.Printf("killed node 2 (%s)\n", victim.url)
-	for _, inst := range batch.Instances {
-		body, hdr := post(nodes[0].url+"/v1/solve", service.SolveRequest{InstanceJSON: inst, Options: batch.Options})
-		_ = body
-		fmt.Printf("POST node0/v1/solve  -> cache %-9s served by %s\n",
-			hdr.Get("X-Linksynth-Cache"), hdr.Get("X-Linksynth-Node"))
+	// 3. Kill the OWNER of the step-1 key — the worst-case victim for that
+	// fingerprint. Its two ring-successors already hold the replicated
+	// entry, and under rendezvous hashing the first successor is exactly
+	// the node the survivors now agree owns the key: the same request
+	// answers warm from the replica, byte-identical, zero new solver runs.
+	victim := nodeByURL(nodes, ownerOf0)
+	survivors := make([]*node, 0, n-1)
+	for _, nd := range nodes {
+		if nd != victim {
+			survivors = append(survivors, nd)
+		}
 	}
-	fmt.Println()
+	// Let replication land first: each survivor answers the key from its
+	// own replica (served-by = itself) once the push has been ingested.
+	for _, sv := range survivors {
+		waitUntil("replica on "+sv.url, func() bool {
+			_, hdr := post(sv.url+"/v1/solve", req)
+			return hdr.Get("X-Linksynth-Node") == sv.url
+		})
+	}
+	runsBefore := totalRuns(survivors)
+	victim.hs.Close()
+	fmt.Printf("killed %s — the owner of the step-1 key\n", victim.url)
+	for _, sv := range survivors {
+		waitUntil("probes to mark the owner down", func() bool {
+			return metricValue(sv.url, "linksynthd_cluster_peers_up") == 1
+		})
+	}
+	for _, sv := range survivors {
+		body, hdr := post(sv.url+"/v1/solve", req)
+		fmt.Printf("POST %s/v1/solve -> cache %-4s served by %-27s byte-identical: %v\n",
+			sv.url, hdr.Get("X-Linksynth-Cache"), hdr.Get("X-Linksynth-Node"), bytes.Equal(body, first))
+		if tid := hdr.Get("X-Linksynth-Trace"); tid != "" {
+			fmt.Printf("  trace %s -> %s\n", tid, flightSpans(sv.url, tid))
+		}
+	}
+	fmt.Printf("survivor solver runs for the failover: %d (warm — nothing re-solved)\n\n",
+		totalRuns(survivors)-runsBefore)
 
-	// 4. The cluster's own view of the failure.
-	hz, _ := get(nodes[0].url + "/healthz")
-	fmt.Printf("GET node0/healthz    -> %s\n", hz)
-	for _, name := range []string{"linksynthd_cluster_peers_up", "linksynthd_cluster_forwarded_total", "linksynthd_cluster_forward_fallbacks_total"} {
-		fmt.Printf("  %s\n", metricLine(nodes[0].url, name))
+	// 4. Elastic growth: a fourth node joins through any live member — no
+	// restarts, no -peers edits on the incumbents. Gossip on the probe
+	// cycle spreads the new member set, the ring recomputes incrementally
+	// (only the joiner's key ranges move), and the joiner starts owning
+	// and serving fresh fingerprints immediately.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	joiner := &node{ln: ln, url: "http://" + ln.Addr().String()}
+	startNode(joiner, nil)
+	if err := joiner.clu.JoinVia(context.Background(), survivors[0].url); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node 3 (%s) joined via %s\n", joiner.url, survivors[0].url)
+	for _, sv := range survivors {
+		waitUntil("gossip to spread the join", func() bool {
+			return metricValue(sv.url, "linksynthd_cluster_members") == 4
+		})
+	}
+	for b := int64(200); b < 240; b++ {
+		_, hdr := post(survivors[0].url+"/v1/solve",
+			service.SolveRequest{InstanceJSON: instance(b), Options: &service.OptionsJSON{Seed: 1}})
+		if hdr.Get("X-Linksynth-Node") == joiner.url {
+			fmt.Printf("new fingerprint routed from %s to the joiner: served by %s\n\n",
+				survivors[0].url, hdr.Get("X-Linksynth-Node"))
+			break
+		}
+	}
+
+	// 5. The cluster's own view of the chaos.
+	hz, _ := get(survivors[0].url + "/healthz")
+	fmt.Printf("GET %s/healthz -> %s\n", survivors[0].url, hz)
+	for _, name := range []string{
+		"linksynthd_cluster_members", "linksynthd_cluster_peers_up",
+		"linksynthd_cluster_membership_epoch", "linksynthd_cluster_replica_ingested_total",
+		"linksynthd_cluster_replica_served_total", "linksynthd_cluster_failovers_total",
+	} {
+		fmt.Printf("  %s\n", metricLine(survivors[0].url, name))
 	}
 }
 
 // flightSpans polls a node's flight recorder for a trace id and renders
 // what that node contributed to it: span names, or events when the node
-// answered without timed work (a byte-cache hit has no solver spans). The
-// recorder files a trace just after the response bytes are on the wire,
-// hence the brief retry loop.
+// answered without timed work (a warm failover is a byte-cache hit, so
+// its trail is the failover event plus the cache event). The recorder
+// files a trace just after the response bytes are on the wire, hence the
+// brief retry loop.
 func flightSpans(url, id string) string {
 	var dump struct {
 		Traces []struct {
@@ -208,7 +291,11 @@ func flightSpans(url, id string) string {
 				continue
 			}
 			if len(tr.Spans) == 0 && len(tr.Events) > 0 {
-				return "event: " + tr.Events[0].Msg
+				msgs := make([]string, len(tr.Events))
+				for j, ev := range tr.Events {
+					msgs[j] = ev.Msg
+				}
+				return "events: " + strings.Join(msgs, " | ")
 			}
 			names := make([]string, len(tr.Spans))
 			for j, sp := range tr.Spans {
@@ -221,15 +308,38 @@ func flightSpans(url, id string) string {
 	return "(trace not recorded)"
 }
 
+func nodeByURL(nodes []*node, url string) *node {
+	for _, nd := range nodes {
+		if nd.url == url {
+			return nd
+		}
+	}
+	log.Fatalf("no node advertises %s", url)
+	return nil
+}
+
+func waitUntil(what string, cond func() bool) {
+	for i := 0; i < 400; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	log.Fatalf("timed out waiting for %s", what)
+}
+
 func totalRuns(nodes []*node) int {
 	total := 0
 	for _, nd := range nodes {
-		line := metricLine(nd.url, "linksynthd_solver_runs_total")
-		var v int
-		fmt.Sscanf(line, "linksynthd_solver_runs_total %d", &v)
-		total += v
+		total += metricValue(nd.url, "linksynthd_solver_runs_total")
 	}
 	return total
+}
+
+func metricValue(url, name string) int {
+	var v int
+	fmt.Sscanf(metricLine(url, name), name+" %d", &v)
+	return v
 }
 
 func metricLine(url, name string) string {

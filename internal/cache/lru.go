@@ -99,6 +99,19 @@ func (l *LRU[V]) Delete(key Key) bool {
 	return true
 }
 
+// Keys returns every live key, most recently used first, without touching
+// recency. The list-order iteration is deterministic, so callers may range
+// over the result in rendering paths.
+func (l *LRU[V]) Keys() []Key {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Key, 0, l.ll.Len())
+	for el := l.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[V]).key)
+	}
+	return out
+}
+
 // Len returns the number of live entries.
 func (l *LRU[V]) Len() int {
 	l.mu.Lock()

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// Retry policy for inter-node RPCs. Retries are short and bounded: the
+// point is to ride out a connection blip or pick the next node in a
+// failover chain quickly, not to mask a dead cluster — callers surface
+// 503 + Retry-After once a chain is exhausted (see service.forwardSolve).
+const (
+	// backoffBase is the first retry delay; attempt n waits
+	// backoffBase << n, capped at backoffCap.
+	backoffBase = 25 * time.Millisecond
+	backoffCap  = 250 * time.Millisecond
+	// attemptCap bounds one RPC attempt when the caller's context has no
+	// deadline of its own.
+	attemptCap = 30 * time.Second
+)
+
+// Backoff sleeps the capped-exponential delay for a retry attempt
+// (attempt 0 = first retry), or returns early with the context's error.
+func Backoff(ctx context.Context, attempt int) error {
+	d := backoffBase << uint(attempt)
+	if d > backoffCap || d <= 0 {
+		d = backoffCap
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// AttemptTimeout derives one attempt's deadline from the caller's
+// remaining budget split across the attempts still available, so a
+// 3-attempt call under a 6s deadline gives each attempt ~2s instead of
+// letting the first attempt eat the whole budget. Without a caller
+// deadline, attempts are capped at attemptCap.
+func AttemptTimeout(ctx context.Context, attemptsLeft int) time.Duration {
+	if attemptsLeft < 1 {
+		attemptsLeft = 1
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return attemptCap
+	}
+	per := time.Until(dl) / time.Duration(attemptsLeft)
+	if per <= 0 {
+		return time.Millisecond // let the attempt fail fast with the real ctx error
+	}
+	if per > attemptCap {
+		return attemptCap
+	}
+	return per
+}

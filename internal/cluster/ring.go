@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"crypto/sha256"
+	"sort"
 )
 
 // Owner picks the owning node for a content address among nodes via
@@ -38,6 +39,42 @@ func Owner(key [32]byte, nodes []string) string {
 	return best
 }
 
+// Rank orders nodes by descending rendezvous score for key (ties broken
+// by lower URL), so Rank(...)[0] == Owner(...) and Rank(...)[1:] are the
+// key's successors in failover order. The ranking has the same stability
+// property as Owner: removing one node deletes its slot and shifts the
+// rest up without reordering them, so the first successor of a dead
+// owner is exactly the node the survivors now agree owns the key.
+func Rank(key [32]byte, nodes []string) []string {
+	type scored struct {
+		url   string
+		score [sha256.Size]byte
+	}
+	ranked := make([]scored, len(nodes))
+	h := sha256.New()
+	for i, n := range nodes {
+		h.Reset()
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+		h.Write(key[:])
+		ranked[i].url = n
+		h.Sum(ranked[i].score[:0])
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		switch c := bytes.Compare(ranked[i].score[:], ranked[j].score[:]); {
+		case c != 0:
+			return c > 0
+		default:
+			return ranked[i].url < ranked[j].url
+		}
+	})
+	out := make([]string, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.url
+	}
+	return out
+}
+
 // OwnerOf resolves a key's owner among the currently-up nodes and reports
 // whether that owner is this node. Down peers are excluded, so their key
 // ranges redistribute to the survivors; when every peer is down the node
@@ -45,4 +82,46 @@ func Owner(key [32]byte, nodes []string) string {
 func (c *Cluster) OwnerOf(key [32]byte) (url string, self bool) {
 	url = Owner(key, c.UpNodes())
 	return url, url == c.self
+}
+
+// OwnerAmongMembers resolves a key's owner over the full live member set,
+// ignoring up/down state. When OwnerOf disagrees with OwnerAmongMembers
+// the configured owner is down and the caller is serving in failover.
+func (c *Cluster) OwnerAmongMembers(key [32]byte) string {
+	return Owner(key, c.Nodes())
+}
+
+// RankUp returns the failover chain for key over the currently-up
+// candidate set: the up owner first, then its up successors.
+func (c *Cluster) RankUp(key [32]byte) []string {
+	return Rank(key, c.UpNodes())
+}
+
+// ReplicaTargets returns the peers that should hold key's replicated
+// state when this node produced it: the key's top k+1 ranked members —
+// owner plus k successors — minus self, over the full member set (up or
+// down; replication is asymptotic, and a briefly-down successor will be
+// retried by later pushes). When self is the owner (the usual case) that
+// is exactly its k successors; when it is not — a delta solved on the
+// *base's* owner caches under the patched key, whose owner may be
+// elsewhere — the key's rightful owner is among the targets, so the
+// entry converges onto the nodes its ring slot says should hold it. A
+// key is thus held by its top ranks, and under up-to-k failures the
+// first surviving slot serves warm.
+func (c *Cluster) ReplicaTargets(key [32]byte, k int) []string {
+	if k <= 0 {
+		return nil
+	}
+	ranked := Rank(key, c.Nodes())
+	out := make([]string, 0, k+1)
+	for i, u := range ranked {
+		if i > k {
+			break
+		}
+		if u == c.self {
+			continue // self already holds the entry
+		}
+		out = append(out, u)
+	}
+	return out
 }

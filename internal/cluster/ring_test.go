@@ -3,6 +3,7 @@ package cluster
 import (
 	"crypto/sha256"
 	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -116,6 +117,118 @@ func TestSplitByOwnerCoversEveryIndexOnce(t *testing.T) {
 		if !ok {
 			t.Fatalf("index %d assigned to no group", i)
 		}
+	}
+}
+
+// TestRendezvousStabilityProperty is the property the incremental ring
+// recompute rests on, checked across randomized member sets and
+// fingerprints: adding or removing one node moves only that node's key
+// ranges. Stronger still, the full rank order (owner, then successors) of
+// the surviving nodes is preserved exactly — deleting the node's slot and
+// closing the gap — which is why the first successor of a dead owner is
+// precisely the node the survivors now agree owns the key, and why
+// replicas placed at ranks 1..K are exactly the nodes that inherit
+// ownership under up-to-K failures.
+func TestRendezvousStabilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9)) // fixed seed: the property must hold everywhere, failures must reproduce
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(8)
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://n%d-%d:%d", trial, i, 1+rng.Intn(9999))
+		}
+		victim := nodes[rng.Intn(n)]
+		survivors := make([]string, 0, n-1)
+		for _, u := range nodes {
+			if u != victim {
+				survivors = append(survivors, u)
+			}
+		}
+		joiner := fmt.Sprintf("http://joiner-%d:1", trial)
+		grown := append(append([]string{}, nodes...), joiner)
+
+		for k := 0; k < 200; k++ {
+			key := sha256.Sum256([]byte(fmt.Sprintf("trial-%d-key-%d", trial, k)))
+
+			// Removal: the victim's slot vanishes, all other ranks shift up
+			// in order — so survivors' relative order is untouched.
+			full := Rank(key, nodes)
+			reduced := Rank(key, survivors)
+			j := 0
+			for _, u := range full {
+				if u == victim {
+					continue
+				}
+				if reduced[j] != u {
+					t.Fatalf("trial %d key %d: removing %q reordered survivors:\n full  %v\n got   %v", trial, k, victim, full, reduced)
+				}
+				j++
+			}
+			if before := Owner(key, nodes); before != victim && Owner(key, survivors) != before {
+				t.Fatalf("trial %d key %d: key moved between survivors on node loss", trial, k)
+			}
+
+			// Addition: the joiner takes some ranks; everyone else keeps
+			// their relative order, and ownership changes only toward the
+			// joiner.
+			after := Rank(key, grown)
+			j = 0
+			for _, u := range after {
+				if u == joiner {
+					continue
+				}
+				if full[j] != u {
+					t.Fatalf("trial %d key %d: adding a node reordered incumbents:\n before %v\n after  %v", trial, k, full, after)
+				}
+				j++
+			}
+			if newOwner := Owner(key, grown); newOwner != joiner && newOwner != Owner(key, nodes) {
+				t.Fatalf("trial %d key %d: ownership moved to %q, not the joiner", trial, k, newOwner)
+			}
+		}
+	}
+}
+
+func TestRankAgreesWithOwnerAndReplicaTargets(t *testing.T) {
+	c, err := New(Config{Self: "http://a:1", Peers: []string{"http://b:1", "http://c:1", "http://d:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := c.Nodes()
+	for i := 0; i < 128; i++ {
+		k := testKey(i)
+		ranked := Rank(k, nodes)
+		if len(ranked) != len(nodes) {
+			t.Fatalf("Rank dropped candidates: %v", ranked)
+		}
+		if ranked[0] != Owner(k, nodes) {
+			t.Fatalf("Rank[0] = %q disagrees with Owner %q", ranked[0], Owner(k, nodes))
+		}
+		targets := c.ReplicaTargets(k, 2)
+		for _, u := range targets {
+			if u == c.Self() {
+				t.Fatal("ReplicaTargets included self")
+			}
+		}
+		if ranked[0] == c.Self() {
+			// Self owns the key: targets are exactly its 2 successors.
+			if len(targets) != 2 || targets[0] != ranked[1] || targets[1] != ranked[2] {
+				t.Fatalf("owner's ReplicaTargets = %v, want %v", targets, ranked[1:3])
+			}
+		} else {
+			// Another node owns the key (the delta-solve shape): the owner
+			// must be among the targets so the entry converges onto its
+			// ring slot.
+			if len(targets) == 0 || targets[0] != ranked[0] {
+				t.Fatalf("non-owner's ReplicaTargets = %v, want owner %q first", targets, ranked[0])
+			}
+			if len(targets) > 3 {
+				t.Fatalf("ReplicaTargets returned %d targets for k=2, want <= 3", len(targets))
+			}
+		}
+	}
+	if got := c.ReplicaTargets(testKey(0), 0); got != nil {
+		t.Errorf("k=0 should disable replication, got %v", got)
 	}
 }
 

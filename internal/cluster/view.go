@@ -1,0 +1,54 @@
+package cluster
+
+import "sort"
+
+// ringView is an immutable snapshot of the candidate node sets the
+// rendezvous ring hashes over, cached so the hot routing path never
+// sorts or allocates. It is rebuilt only when the stamped version falls
+// behind Cluster.version — i.e. on membership or liveness change. That
+// is the "incremental recompute": the ring itself is stateless
+// (rendezvous hashing), so recomputing the candidate slice on change is
+// all the work there is, and a change to one node only ever moves that
+// node's key ranges (see ring_test.go's stability property).
+type ringView struct {
+	version uint64
+	// members: every live (non-left) member including self, sorted.
+	members []string
+	// up: the candidate owner set — live members currently believed up
+	// (self included unless draining), sorted.
+	up []string
+}
+
+// view returns the current cached view, rebuilding it if stale. Races
+// between concurrent rebuilds are benign: both build the same snapshot
+// for the same version, and a version bump during rebuild just means the
+// next caller rebuilds again.
+func (c *Cluster) view() *ringView {
+	v := c.version.Load()
+	if rv := c.ring.Load(); rv != nil && rv.version == v {
+		return rv
+	}
+	c.mu.Lock()
+	v = c.version.Load()
+	rv := &ringView{version: v}
+	rv.members = make([]string, 0, len(c.peers)+1)
+	rv.up = make([]string, 0, len(c.peers)+1)
+	if !c.selfLeft {
+		rv.members = append(rv.members, c.self)
+		rv.up = append(rv.up, c.self)
+	}
+	for _, p := range c.peers {
+		if p.left {
+			continue
+		}
+		rv.members = append(rv.members, p.url)
+		if p.up {
+			rv.up = append(rv.up, p.url)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(rv.members)
+	sort.Strings(rv.up)
+	c.ring.Store(rv)
+	return rv
+}

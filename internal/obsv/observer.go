@@ -12,12 +12,15 @@ type Observer struct {
 	// requests answered from the byte cache; Delta covers warm-start
 	// (base+delta) requests end to end; Restore covers rebuilding a warm
 	// session from the durable store; Forward covers relaying a solve to
-	// its owning node and reading the answer back.
-	Solve    *Histogram
-	CacheHit *Histogram
-	Delta    *Histogram
-	Restore  *Histogram
-	Forward  *Histogram
+	// its owning node and reading the answer back; Replicate covers one
+	// asynchronous replication round — pushing a solved key's cache entry
+	// and store artifacts to its ring-successors.
+	Solve     *Histogram
+	CacheHit  *Histogram
+	Delta     *Histogram
+	Restore   *Histogram
+	Forward   *Histogram
+	Replicate *Histogram
 }
 
 // NewObserver builds an observer with a flight ring of flightEntries
@@ -32,6 +35,8 @@ func NewObserver(node string, flightEntries int, snapshotDir string) *Observer {
 		Delta:    NewHistogram("linksynthd_delta_duration_seconds", "warm-start (base+delta) request latency"),
 		Restore:  NewHistogram("linksynthd_restore_duration_seconds", "durable-store warm session restore latency"),
 		Forward:  NewHistogram("linksynthd_forward_duration_seconds", "latency of solves relayed to their owning node"),
+		Replicate: NewHistogram("linksynthd_replicate_duration_seconds",
+			"latency of one asynchronous replication round (cache entry + store artifacts to the ring-successors)"),
 	}
 }
 
@@ -40,5 +45,5 @@ func (o *Observer) Histograms() []*Histogram {
 	if o == nil {
 		return nil
 	}
-	return []*Histogram{o.Solve, o.CacheHit, o.Delta, o.Restore, o.Forward}
+	return []*Histogram{o.Solve, o.CacheHit, o.Delta, o.Restore, o.Forward, o.Replicate}
 }

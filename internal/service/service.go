@@ -63,6 +63,13 @@ type Config struct {
 	// the owner of the *base* fingerprint, so the warm session a delta
 	// needs is co-located with it. Nil runs single-node.
 	Cluster *cluster.Cluster
+	// Replicas is the number of ring-successors each solved key is
+	// asynchronously replicated to (cache entry plus, with a Store, the
+	// durable session artifacts), so killing a key's owner leaves its
+	// first surviving successor able to answer warm — byte-identical,
+	// with zero solver runs for replicated fingerprints. 0 disables
+	// replication; ignored without a Cluster.
+	Replicas int
 	// SessionEntries bounds the warm solver sessions retained for
 	// incremental (delta) re-solves, LRU beyond that (<= 0 selects 64).
 	// Every locally solved sync instance leaves a session behind.
@@ -90,8 +97,10 @@ type Server struct {
 	engine     *incr.Engine
 	sessions   *cache.LRU[*svcSession]
 	wanted     *cache.LRU[struct{}] // bases recent deltas asked for but found no session
+	replicated *cache.LRU[struct{}] // keys whose cache entries arrived by replica push
 	store      *store.Store         // nil = no durable tier
 	obs        *obsv.Observer       // traces, histograms, flight recorder
+	replicas   int                  // ring-successors each solved key replicates to
 	nWorkers   int
 	maxBody    int64
 	queueDepth int
@@ -121,13 +130,24 @@ type Server struct {
 	jobsCanceled  atomic.Uint64
 
 	forwarded        atomic.Uint64 // solves relayed to their owning node
-	forwardFallbacks atomic.Uint64 // forwards that failed; solved locally instead
+	forwardFallbacks atomic.Uint64 // forward attempts that failed (peer down or 5xx)
+	forwardExhausted atomic.Uint64 // solves rejected 503 after the whole chain failed
 	hopServed        atomic.Uint64 // hop-guarded requests answered locally
 	scatterJobs      atomic.Uint64 // batch jobs that scattered sub-jobs to peers
 	gatherFallbacks  atomic.Uint64 // scattered groups re-solved locally after a peer failure
 
+	replicaPushed    atomic.Uint64 // cache entries and store files pushed to successors
+	replicaIngested  atomic.Uint64 // pushed entries and files accepted here
+	replicaServed    atomic.Uint64 // cache hits satisfied by a replicated entry
+	replicaFailed    atomic.Uint64 // pushes or ingests that failed or were rejected
+	failovers        atomic.Uint64 // replica answers served while the key's owner was down
+	sessionsMigrated atomic.Uint64 // parked sessions streamed to a new owner
+
 	persistQ    chan persistReq // nil when store is nil
 	persistDone chan struct{}
+	replQ       chan replReq // nil unless clustered with Replicas > 0
+	replDone    chan struct{}
+	watchDone   chan struct{} // nil unless the membership watcher runs
 
 	sessionsPersisted atomic.Uint64 // session records flushed to the store
 	sessionsRestored  atomic.Uint64 // warm sessions rebuilt from the store
@@ -222,6 +242,20 @@ func New(cfg Config) *Server {
 		s.persistDone = make(chan struct{})
 		go s.persistLoop()
 	}
+	if cfg.Cluster != nil {
+		// The replica-tracking set exists whenever clustered — a node that
+		// does not push (Replicas == 0) can still receive pushes from peers
+		// that do, and must track what it ingested.
+		s.replicated = cache.NewLRU[struct{}](4096, nil)
+		if cfg.Replicas > 0 {
+			s.replicas = cfg.Replicas
+			s.replQ = make(chan replReq, depth)
+			s.replDone = make(chan struct{})
+			go s.replLoop()
+		}
+		s.watchDone = make(chan struct{})
+		go s.watchMembership()
+	}
 	go s.jobLoop()
 	return s
 }
@@ -247,6 +281,16 @@ func (s *Server) Close() {
 		// under s.mu, so no send can race the close.
 		close(s.persistQ)
 		<-s.persistDone
+	}
+	if s.replQ != nil {
+		// Drained after the persist queue: persistLoop enqueues replication
+		// (its enqueues after the closed flag are dropped, never sent), so
+		// closing in this order cannot race a send.
+		close(s.replQ)
+		<-s.replDone
+	}
+	if s.watchDone != nil {
+		<-s.watchDone
 	}
 }
 
@@ -293,11 +337,31 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.handleJobList(w)
-	case strings.HasPrefix(r.URL.Path, "/v1/store/"):
-		if !wantMethod(w, r, http.MethodGet) {
+	case r.URL.Path == "/v1/cluster/join":
+		if !wantMethod(w, r, http.MethodPost) {
 			return
 		}
-		s.handleStoreGet(w, r)
+		s.handleClusterJoin(w, r)
+	case r.URL.Path == "/v1/cluster/leave":
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		s.handleClusterLeave(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/replica/"):
+		if !wantMethod(w, r, http.MethodPost) {
+			return
+		}
+		s.handleReplicaPut(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/store/"):
+		switch r.Method {
+		case http.MethodGet:
+			s.handleStoreGet(w, r)
+		case http.MethodPost:
+			s.handleStorePut(w, r)
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		}
 	case strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
 		id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 		if id == "" || strings.Contains(id, "/") {
@@ -356,19 +420,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.clu != nil && !hopped {
 		// The local cache answers first: it is authoritative for keys this
 		// node owns and byte-identical for any key it happens to hold
-		// (fallback solves populate it), so skipping the hop is always safe.
+		// (replica pushes and fallback solves populate it), so skipping the
+		// hop is always safe — and it is exactly how a successor serves a
+		// dead owner's keys warm.
 		if body, ok := s.cache.Get(key); ok {
+			s.noteReplicaServe(r.Context(), key)
 			s.parkSessionAsync(key, p.in, p.opt)
 			obsv.FromContext(r.Context()).Event("cache: byte cache answered")
 			s.writeSolveBody(w, key, "hit", body)
 			return
 		}
-		if owner, self := s.clu.OwnerOf(key); !self {
-			if s.forwardSolve(w, r, owner, raw) {
+		if _, self := s.clu.OwnerOf(key); !self {
+			if s.forwardSolve(w, r, key, raw) {
 				return
 			}
-			// The owner is unreachable: degrade to solving locally rather
-			// than failing the request.
+			// The chain walk ended on this node: it is now the best
+			// surviving candidate for the key, so it serves — warm when the
+			// key was replicated here, cold only as the new owner.
 		}
 		// The miss is already recorded by the Get above.
 		body, status, err := s.resolveMiss(r.Context(), key, p.in, p.opt)
@@ -380,6 +448,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if body, ok := s.cache.Get(key); ok {
+		s.noteReplicaServe(r.Context(), key)
 		s.parkSessionAsync(key, p.in, p.opt)
 		obsv.FromContext(r.Context()).Event("cache: byte cache answered")
 		s.writeSolveBody(w, key, "hit", body)
@@ -400,13 +469,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, p *solveParsed, raw []byte, hopped bool) {
 	s.deltaRequests.Add(1)
 	if s.clu != nil && !hopped {
-		if owner, self := s.clu.OwnerOf(p.base); !self {
-			if s.forwardSolve(w, r, owner, raw) {
+		if _, self := s.clu.OwnerOf(p.base); !self {
+			if s.forwardSolve(w, r, p.base, raw) {
 				return
 			}
-			// The owner is down. A non-owner usually has no warm session
-			// for the base; fall through and try anyway (it may have one
-			// from an earlier fallback solve).
+			// The chain ended here. With replication this node holds the
+			// base's replicated session artifacts and restores warm; without
+			// it, it may still have a session from an earlier fallback solve.
 		}
 	}
 	body, key, status, err := s.resolveDelta(r.Context(), p)
@@ -500,6 +569,7 @@ func (s *Server) solveDelta(ctx context.Context, p *solveParsed) ([]byte, cache.
 	ss.mu.Unlock()
 	if perr == nil {
 		if body, hit := s.cache.Get(pkey); hit {
+			s.noteReplicaServe(ctx, pkey)
 			return body, pkey, "hit", nil
 		}
 	}
@@ -527,6 +597,7 @@ func (s *Server) solveDelta(ctx context.Context, p *solveParsed) ([]byte, cache.
 		return nil, cache.Key{}, "", err
 	}
 	s.storeResult(key, body)
+	s.enqueueReplicate(replReq{key: key, body: body})
 	return body, key, status, nil
 }
 
@@ -596,31 +667,76 @@ func (s *Server) writeSolveBody(w http.ResponseWriter, key cache.Key, status str
 	w.Write(body)
 }
 
-// forwardSolve relays the buffered request to the owning node and, on an
-// authoritative answer, copies it through. It returns false when the caller
-// should fall back to solving locally: transport failure (owner marked
-// down) or a 5xx from an owner that is up but overloaded — shedding to the
-// non-owner keeps capacity usable at the cost of a duplicate cache entry.
-func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, owner string, raw []byte) bool {
+// forwardSolve relays the buffered request along the key's failover chain
+// — the rendezvous rank over the currently-up nodes — and, on an
+// authoritative answer, copies it through. Each attempt gets a timeout
+// derived from the caller's remaining deadline budget; a transport
+// failure marks the target down (re-ranking the chain, so the next
+// attempt goes to whoever now owns the key) and a 5xx from an up node
+// advances past it, both after a capped backoff. The walk ends three
+// ways: reaching this node in the rank — return false, the caller serves
+// locally as the legitimate owner or first surviving successor (warm if
+// the key was replicated here); an authoritative answer — written
+// through, return true; or the whole chain exhausted — 503 + Retry-After
+// (written, return true), never a silent local cold solve that would
+// mask a dead cluster as capacity.
+func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, key cache.Key, raw []byte) bool {
 	tr := obsv.FromContext(r.Context())
-	start := time.Now()
-	res, err := s.clu.ForwardSolve(r.Context(), owner, r.Header.Get("Content-Type"), raw)
-	dur := time.Since(start)
-	tr.Span("forward", start, dur)
-	s.obs.Forward.Observe(dur)
-	if err != nil || res.StatusCode >= http.StatusInternalServerError {
-		s.forwardFallbacks.Add(1)
-		tr.Event("forward: owner " + owner + " unavailable; solving locally")
-		return false
+	maxAttempts := s.replicas + 2
+	if maxAttempts > 4 {
+		maxAttempts = 4
 	}
-	s.forwarded.Add(1)
-	for _, h := range []string{"Content-Type", "X-Linksynth-Cache", "X-Linksynth-Incr", "X-Linksynth-Node", "ETag", "Retry-After"} {
-		if v := res.Header.Get(h); v != "" {
-			w.Header().Set(h, v)
+	tried := make(map[string]bool, maxAttempts)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		target := ""
+		for _, u := range s.clu.RankUp(key) {
+			if !tried[u] {
+				target = u
+				break
+			}
 		}
+		if target == "" {
+			break // every up candidate tried and failed
+		}
+		if target == s.clu.Self() {
+			return false // best remaining candidate is this node: serve locally
+		}
+		tried[target] = true
+		if attempt > 0 {
+			if err := cluster.Backoff(r.Context(), attempt-1); err != nil {
+				break
+			}
+		}
+		actx, cancel := context.WithTimeout(r.Context(), cluster.AttemptTimeout(r.Context(), maxAttempts-attempt))
+		start := time.Now()
+		res, err := s.clu.ForwardSolve(actx, target, r.Header.Get("Content-Type"), raw)
+		cancel()
+		dur := time.Since(start)
+		tr.Span("forward", start, dur)
+		s.obs.Forward.Observe(dur)
+		if err != nil {
+			s.forwardFallbacks.Add(1)
+			tr.Event("forward: " + target + " unreachable; advancing along successor chain")
+			continue // ForwardSolve marked it down; the rank has already moved
+		}
+		if res.StatusCode >= http.StatusInternalServerError {
+			s.forwardFallbacks.Add(1)
+			tr.Event("forward: " + target + " answered " + fmt.Sprint(res.StatusCode) + "; advancing along successor chain")
+			continue
+		}
+		s.forwarded.Add(1)
+		for _, h := range []string{"Content-Type", "X-Linksynth-Cache", "X-Linksynth-Incr", "X-Linksynth-Node", "ETag", "Retry-After"} {
+			if v := res.Header.Get(h); v != "" {
+				w.Header().Set(h, v)
+			}
+		}
+		w.WriteHeader(res.StatusCode)
+		w.Write(res.Body)
+		return true
 	}
-	w.WriteHeader(res.StatusCode)
-	w.Write(res.Body)
+	s.forwardExhausted.Add(1)
+	tr.Event("forward: successor chain exhausted; rejecting with 503")
+	writeBusy(w, "every node in the key's successor chain is unavailable; retry")
 	return true
 }
 
@@ -746,6 +862,7 @@ func (s *Server) solveAndStore(ctx context.Context, key cache.Key, in core.Input
 		return nil, err
 	}
 	s.storeResult(key, body)
+	s.enqueueReplicate(replReq{key: key, body: body})
 	return body, nil
 }
 
@@ -799,6 +916,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter) {
 	if s.clu != nil {
 		resp["node"] = s.clu.Self()
 		resp["peers"] = s.clu.Snapshot()
+		// The member view rides on every probe response: this is the gossip
+		// payload that converges joins and leaves across the cluster.
+		resp["members"] = s.clu.Members()
+		resp["epoch"] = s.clu.Epoch()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -878,15 +999,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 				up++
 			}
 		}
-		gauge("cluster_peers_known", int64(len(peers)), "peers in the static seed list")
+		gauge("cluster_members", int64(len(s.clu.Nodes())), "live members in the gossiped view (self included)")
+		gauge("cluster_membership_epoch", int64(s.clu.Epoch()), "highest membership epoch observed (logical clock over joins and leaves)")
+		gauge("cluster_peers_known", int64(len(peers)), "remote members known to this node")
 		gauge("cluster_peers_up", int64(up), "peers currently believed up")
 		counter("cluster_probes_total", s.clu.Probes(), "individual peer health probes run")
+		counter("cluster_probes_stale_total", s.clu.StaleProbes(), "probe results discarded by the liveness generation guard")
 		counter("cluster_transitions_total", s.clu.Transitions(), "peer up/down state changes observed")
 		counter("cluster_forwarded_total", s.forwarded.Load(), "solves relayed to their owning node")
-		counter("cluster_forward_fallbacks_total", s.forwardFallbacks.Load(), "forwards that failed and were solved locally")
+		counter("cluster_forward_fallbacks_total", s.forwardFallbacks.Load(), "forward attempts that failed (peer down or 5xx)")
+		counter("cluster_forward_exhausted_total", s.forwardExhausted.Load(), "solves rejected 503 after the whole successor chain failed")
 		counter("cluster_hop_served_total", s.hopServed.Load(), "hop-guarded requests answered locally")
 		counter("cluster_scatter_jobs_total", s.scatterJobs.Load(), "batch jobs scattered across the cluster")
 		counter("cluster_gather_fallbacks_total", s.gatherFallbacks.Load(), "scattered groups re-solved locally after a peer failure")
+		counter("cluster_replica_pushed_total", s.replicaPushed.Load(), "cache entries and store files pushed to ring-successors")
+		counter("cluster_replica_ingested_total", s.replicaIngested.Load(), "pushed cache entries and store files accepted from peers")
+		counter("cluster_replica_served_total", s.replicaServed.Load(), "cache hits satisfied by a replicated entry")
+		counter("cluster_replica_failed_total", s.replicaFailed.Load(), "replica pushes or ingests that failed or were rejected")
+		counter("cluster_failovers_total", s.failovers.Load(), "replica answers served while the key's owner was down")
+		counter("cluster_sessions_migrated_total", s.sessionsMigrated.Load(), "parked sessions streamed to their new owner on membership change")
 	}
 	if s.store != nil {
 		st := s.store.Stats()

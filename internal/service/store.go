@@ -85,6 +85,10 @@ func (s *Server) persistSession(req persistReq) {
 		return
 	}
 	s.sessionsPersisted.Add(1)
+	// The durable artifacts exist now; push them to the base's
+	// ring-successors so a successor can restore this session warm after
+	// the owner dies (the cache body was already enqueued by the solve).
+	s.enqueueReplicate(replReq{key: req.key, files: []cache32{r1fp, r2fp, req.key}})
 }
 
 // reviveSession recovers a warm session for base from outside process

@@ -57,6 +57,7 @@ func main() {
 	incr := flag.Bool("incr", false, "benchmark cold vs warm-plan vs delta re-solve on a repeated-structure workload")
 	storeBench := flag.Bool("store", false, "benchmark durable-store restart shapes: cold start vs warm restart vs mapped-snapshot load")
 	traceRun := flag.Bool("trace", false, "solve one instance under a trace and print its span timeline")
+	explainRun := flag.Bool("explain", false, "solve one instance and print its EXPLAIN cost report (implies -trace)")
 	iters := flag.Int("iters", 15, "iterations per -incr benchmark")
 	workers := flag.Int("workers", -1, "worker pool size for -batch (-1 = GOMAXPROCS, 0/1 = serial)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
@@ -110,8 +111,8 @@ func main() {
 		runStore(*iters, *unit, *ccs, *seed)
 		return
 	}
-	if *traceRun {
-		runTrace(*unit, *ccs, *seed, *workers, *asJSON)
+	if *traceRun || *explainRun {
+		runTrace(*unit, *ccs, *seed, *workers, *asJSON, *explainRun)
 		return
 	}
 	if *batch > 0 {
@@ -586,9 +587,12 @@ func runStore(iters, unit, nCC int, seed int64) {
 // runTrace solves one census instance under a live trace and prints the
 // span timeline — the same spans linksynthd records per request (compile,
 // classify, hasse, ilp, phase2, coloring, write-back) — so the phase
-// breakdown is inspectable without standing up a server. With -json the
-// trace's wire form (the same shape /debug/flight dumps) is emitted.
-func runTrace(unit, nCC int, seed int64, workers int, asJSON bool) {
+// breakdown is inspectable without standing up a server. With explain the
+// solver also fills its EXPLAIN cost report, printed after the timeline —
+// the same report ?explain=1 splices into a served response. With -json
+// the trace's wire form (the same shape /debug/flight dumps) is emitted,
+// explain report included.
+func runTrace(unit, nCC int, seed int64, workers int, asJSON, explain bool) {
 	if unit <= 0 {
 		unit = 1000
 	}
@@ -601,6 +605,9 @@ func runTrace(unit, nCC int, seed int64, workers int, asJSON bool) {
 	opt := linksynth.Options{Seed: seed, Workers: workers}
 
 	tr := obsv.NewTrace(obsv.NewID(), "benchtab-solve", "benchtab")
+	if explain {
+		tr.RequestExplain()
+	}
 	ctx := obsv.WithTrace(context.Background(), tr)
 	if _, err := core.SolveOnContext(ctx, in, opt, core.PoolFor(opt)); err != nil {
 		fatal("-trace solve: %v", err)
@@ -620,6 +627,57 @@ func runTrace(unit, nCC int, seed int64, workers int, asJSON bool) {
 	}
 	for _, ev := range tj.Events {
 		fmt.Printf("  event +%v %s\n", ev.Time.Sub(tj.Start).Round(time.Microsecond), ev.Msg)
+	}
+	if explain {
+		fmt.Println()
+		printExplain(tj.Explain)
+	}
+}
+
+// printExplain renders the EXPLAIN cost report as text: instance shape and
+// routing, per-phase durations, partition and ILP effort, then the
+// per-constraint measured selectivities (capped — a paper-scale CC set
+// would drown the terminal; -json emits all of them).
+func printExplain(ex *obsv.ExplainReport) {
+	if ex == nil {
+		fmt.Println("explain: no report (solver did not run)")
+		return
+	}
+	fmt.Printf("explain: mode=%s view_rows=%d r2_rows=%d combos=%d used_bcols=%d\n",
+		ex.Mode, ex.ViewRows, ex.R2Rows, ex.Combos, ex.UsedBCols)
+	fmt.Printf("  routing: %d CCs -> hasse, %d CCs -> ilp\n", ex.CCsToHasse, ex.CCsToILP)
+	for _, ph := range ex.Phases {
+		fmt.Printf("  phase %-10s %v\n", ph.Name, time.Duration(ph.DurNS).Round(time.Microsecond))
+	}
+	p := ex.Partitions
+	fmt.Printf("  partitions: count=%d rows min/mean/max=%d/%.1f/%d invalid=%d\n",
+		p.Count, p.MinRows, p.MeanRows, p.MaxRows, p.InvalidRows)
+	if ex.ILP.Vars > 0 {
+		fmt.Printf("  ilp: vars=%d rows=%d nodes=%d iters=%d status=%s\n",
+			ex.ILP.Vars, ex.ILP.Rows, ex.ILP.Nodes, ex.ILP.Iters, ex.ILP.Status)
+	}
+	const maxLines = 12
+	for i, cc := range ex.CCs {
+		if i == maxLines {
+			fmt.Printf("  ... %d more CCs (use -json for all)\n", len(ex.CCs)-maxLines)
+			break
+		}
+		for di, dj := range cc.Disjuncts {
+			fmt.Printf("  cc[%d] %-14s target=%-5d route=%-5s disjunct %d: r1_rows=%d (sel %.3f) combos=%d (%.3f)\n",
+				cc.Index, cc.Name, cc.Target, cc.Route, di,
+				dj.R1Rows, dj.R1Selectivity, dj.Combos, dj.ComboFraction)
+		}
+	}
+	for i, dc := range ex.DCs {
+		if i == maxLines {
+			fmt.Printf("  ... %d more DCs (use -json for all)\n", len(ex.DCs)-maxLines)
+			break
+		}
+		fmt.Printf("  dc[%d] %-14s", dc.Index, dc.Name)
+		for vi, v := range dc.Vars {
+			fmt.Printf(" t%d: rows=%d (sel %.3f)", vi+1, v.Rows, v.Selectivity)
+		}
+		fmt.Println()
 	}
 }
 

@@ -1,0 +1,411 @@
+// Command loadgen replays a serving workload against a running linksynthd
+// node or cluster and gates the run on serving SLOs.
+//
+// It mints a pool of census instances, replays POST /v1/solve against the
+// target with zipf-distributed instance popularity — a head of hot
+// instances goes warm in the byte cache while the tail keeps forcing cold
+// solver runs — mixes in base+delta incremental re-solves at a
+// configurable fraction, and ramps worker concurrency linearly over the
+// ramp window. Latencies land in per-disposition histograms (cold solve,
+// cache hit, delta) exactly as the server's own /metrics books them.
+//
+// At the end it prints a summary table, writes a BENCH_serving.json
+// document, evaluates the declared SLOs — p50 and p99 over all successful
+// solves plus the error rate — and exits 1 when any burns, so CI can run
+// it as a serving smoke gate:
+//
+//	loadgen -target http://127.0.0.1:8080
+//	loadgen -target http://n1:8080,http://n2:8080 -duration 20s -workers 12 \
+//	        -delta-frac 0.3 -slo-p99 800ms -slo-error-rate 0.01
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/core"
+	"repro/internal/obsv"
+	"repro/internal/service"
+)
+
+// pooledInstance is one replayable instance: its pre-marshaled full solve
+// request, the CC-0 base target delta nudges are computed from, and the
+// content key the last successful solve reported (empty until then; delta
+// requests need it as their base).
+type pooledInstance struct {
+	name string
+	body []byte
+	cc0  int64
+	key  atomic.Value // string
+}
+
+// loadgen is the shared run state: targets, mix knobs, histograms and
+// counters the workers feed concurrently.
+type loadgen struct {
+	targets     []string
+	client      *http.Client
+	pool        []*pooledInstance
+	seed        int64
+	zipfS       float64
+	zipfV       float64
+	deltaFrac   float64
+	explainFrac float64
+	workers     int
+	ramp        time.Duration
+
+	all      *obsv.Histogram // every successful solve, any disposition
+	cold     *obsv.Histogram
+	hit      *obsv.Histogram
+	delta    *obsv.Histogram
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	noBase   atomic.Uint64 // delta attempts downgraded to full solves (no key yet)
+	misses   atomic.Uint64 // delta requests 404ed for a lost session, replayed in full
+}
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "comma-separated node base URLs; requests spread across them")
+	duration := flag.Duration("duration", 15*time.Second, "total run length")
+	ramp := flag.Duration("ramp", 0, "window over which worker concurrency ramps 1..workers (default duration/3)")
+	workers := flag.Int("workers", 8, "peak concurrent workers")
+	instances := flag.Int("instances", 12, "instance pool size (zipf domain)")
+	unit := flag.Int("unit", 48, "households per instance")
+	ccs := flag.Int("ccs", 8, "CCs per instance")
+	seed := flag.Int64("seed", 1, "seed for instance data and traffic shape")
+	zipfS := flag.Float64("zipf-s", 1.2, "zipf skew s (>1; larger = hotter head)")
+	zipfV := flag.Float64("zipf-v", 1, "zipf offset v (>=1)")
+	deltaFrac := flag.Float64("delta-frac", 0.25, "fraction of requests sent as base+delta re-solves")
+	explainFrac := flag.Float64("explain-frac", 0, "fraction of requests sent with ?explain=1")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request HTTP timeout")
+	sloP50 := flag.Duration("slo-p50", 0, "p50 latency SLO over all successful solves (0 = ungated)")
+	sloP99 := flag.Duration("slo-p99", 0, "p99 latency SLO over all successful solves (0 = ungated)")
+	sloErr := flag.Float64("slo-error-rate", -1, "error-rate SLO in [0,1] (-1 = ungated)")
+	out := flag.String("out", "BENCH_serving.json", "result document path (empty = skip)")
+	flag.Parse()
+
+	if *workers < 1 || *instances < 1 || *zipfS <= 1 || *zipfV < 1 ||
+		*deltaFrac < 0 || *deltaFrac > 1 || *explainFrac < 0 || *explainFrac > 1 {
+		fatal("bad flags: workers/instances must be >=1, zipf-s > 1, zipf-v >= 1, fractions in [0,1]")
+	}
+	if *ramp == 0 {
+		*ramp = *duration / 3
+	}
+	lg := &loadgen{
+		targets:     splitTargets(*target),
+		client:      &http.Client{Timeout: *timeout},
+		seed:        *seed,
+		zipfS:       *zipfS,
+		zipfV:       *zipfV,
+		deltaFrac:   *deltaFrac,
+		explainFrac: *explainFrac,
+		workers:     *workers,
+		ramp:        *ramp,
+		all:         obsv.NewHistogram("all", "all successful solves"),
+		cold:        obsv.NewHistogram("cold", "cold solver runs"),
+		hit:         obsv.NewHistogram("hit", "byte-cache hits"),
+		delta:       obsv.NewHistogram("delta", "incremental re-solves"),
+	}
+	lg.buildPool(*instances, *unit, *ccs)
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	var wg sync.WaitGroup
+	for id := 0; id < lg.workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lg.worker(id, deadline)
+		}(id)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	doc := lg.report(wall, *sloP50, *sloP99, *sloErr)
+	lg.printSummary(doc)
+	if *out != "" {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal("encode %s: %v", *out, err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if len(doc.SLO.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: SLO burn: %s\n", strings.Join(doc.SLO.Violations, "; "))
+		os.Exit(1)
+	}
+}
+
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		fatal("-target: no URLs")
+	}
+	return out
+}
+
+// buildPool mints n census instances with distinct seeds — distinct data,
+// distinct fingerprints, so each rendezvous-hashes to its own owner — and
+// pre-marshals their full solve requests.
+func (lg *loadgen) buildPool(n, unit, nCC int) {
+	lg.pool = make([]*pooledInstance, n)
+	for i := range lg.pool {
+		d := census.Generate(census.Config{Households: unit, Areas: 6, Seed: lg.seed + int64(i)})
+		in := core.Input{
+			R1: d.Persons, R2: d.Housing,
+			K1: "pid", K2: "hid", FK: "hid",
+			CCs: d.GoodCCs(nCC), DCs: census.AllDCs(),
+		}
+		ij, err := service.EncodeInstance(in)
+		if err != nil {
+			fatal("encode instance %d: %v", i, err)
+		}
+		body, err := json.Marshal(service.SolveRequest{
+			InstanceJSON: ij,
+			Options:      &service.OptionsJSON{Seed: lg.seed},
+		})
+		if err != nil {
+			fatal("marshal instance %d: %v", i, err)
+		}
+		lg.pool[i] = &pooledInstance{
+			name: "inst-" + strconv.Itoa(i),
+			body: body,
+			cc0:  in.CCs[0].Target,
+		}
+	}
+}
+
+// worker replays requests until the deadline. Each worker owns a seeded
+// rng (zipf generators are not concurrency-safe) and activates after its
+// slice of the ramp window, so concurrency climbs 1..workers linearly.
+func (lg *loadgen) worker(id int, deadline time.Time) {
+	rng := rand.New(rand.NewSource(lg.seed + int64(id)*7919))
+	zipf := rand.NewZipf(rng, lg.zipfS, lg.zipfV, uint64(len(lg.pool)-1))
+	if lg.ramp > 0 && lg.workers > 1 {
+		delay := lg.ramp * time.Duration(id) / time.Duration(lg.workers)
+		if wake := time.Now().Add(delay); wake.Before(deadline) {
+			time.Sleep(delay)
+		} else {
+			return
+		}
+	}
+	for time.Now().Before(deadline) {
+		p := lg.pool[zipf.Uint64()]
+		lg.one(rng, p, rng.Float64() < lg.deltaFrac)
+	}
+}
+
+// one issues a single request: a base+delta re-solve when asked and the
+// instance already has a known key, a full solve otherwise. A delta that
+// 404s (the owner lost or never had the warm session) is replayed as a
+// full solve — that is the client-side miss path, counted separately from
+// real errors.
+func (lg *loadgen) one(rng *rand.Rand, p *pooledInstance, asDelta bool) {
+	base, _ := p.key.Load().(string)
+	if asDelta && base == "" {
+		lg.noBase.Add(1)
+		asDelta = false
+	}
+	var body []byte
+	if asDelta {
+		nudge := p.cc0 + 1 + int64(rng.Intn(3))
+		b, err := json.Marshal(service.SolveRequest{
+			Base:  base,
+			Delta: &service.DeltaJSON{CCTargets: map[string]int64{"0": nudge}},
+		})
+		if err != nil {
+			fatal("marshal delta: %v", err)
+		}
+		body = b
+	} else {
+		body = p.body
+	}
+	url := lg.targets[rng.Intn(len(lg.targets))] + "/v1/solve"
+	if lg.explainFrac > 0 && rng.Float64() < lg.explainFrac {
+		url += "?explain=1"
+	}
+	lg.requests.Add(1)
+	start := time.Now()
+	resp, err := lg.client.Post(url, "application/json", bytes.NewReader(body))
+	elapsed := time.Since(start)
+	if err != nil {
+		lg.errors.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var sr struct {
+			Key string `json:"key"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err == nil && sr.Key != "" {
+			p.key.Store(sr.Key)
+		}
+		lg.all.Observe(elapsed)
+		switch {
+		case resp.Header.Get("X-Linksynth-Incr") != "":
+			lg.delta.Observe(elapsed)
+		case resp.Header.Get("X-Linksynth-Cache") == "hit":
+			lg.hit.Observe(elapsed)
+		default:
+			lg.cold.Observe(elapsed)
+		}
+	case asDelta && resp.StatusCode == http.StatusNotFound:
+		// Session gone (restart, failover, eviction): fall back to the
+		// full instance so the next delta has a warm base again.
+		io.Copy(io.Discard, resp.Body)
+		lg.misses.Add(1)
+		lg.one(rng, p, false)
+	default:
+		io.Copy(io.Discard, resp.Body)
+		lg.errors.Add(1)
+	}
+}
+
+// benchDoc is the BENCH_serving.json shape.
+type benchDoc struct {
+	Bench  string              `json:"bench"`
+	Config benchConfig         `json:"config"`
+	Totals benchTotals         `json:"totals"`
+	Routes map[string]routeTab `json:"routes"`
+	SLO    sloTab              `json:"slo"`
+}
+
+type benchConfig struct {
+	Targets     []string `json:"targets"`
+	Workers     int      `json:"workers"`
+	Instances   int      `json:"instances"`
+	ZipfS       float64  `json:"zipf_s"`
+	DeltaFrac   float64  `json:"delta_frac"`
+	ExplainFrac float64  `json:"explain_frac"`
+	Seed        int64    `json:"seed"`
+	RampSeconds float64  `json:"ramp_seconds"`
+}
+
+type benchTotals struct {
+	WallSeconds   float64 `json:"wall_seconds"`
+	Requests      uint64  `json:"requests"`
+	OK            uint64  `json:"ok"`
+	Errors        uint64  `json:"errors"`
+	ErrorRate     float64 `json:"error_rate"`
+	DeltaMisses   uint64  `json:"delta_session_misses"`
+	DeltaNoBase   uint64  `json:"delta_downgraded_no_base"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+}
+
+type routeTab struct {
+	Count uint64  `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P90ms float64 `json:"p90_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+type sloTab struct {
+	P50ms      float64  `json:"p50_ms,omitempty"`
+	P99ms      float64  `json:"p99_ms,omitempty"`
+	ErrorRate  float64  `json:"error_rate,omitempty"`
+	Violations []string `json:"violations"`
+}
+
+func routeOf(h *obsv.Histogram) routeTab {
+	return routeTab{
+		Count: h.Count(),
+		P50ms: h.Quantile(0.50) * 1000,
+		P90ms: h.Quantile(0.90) * 1000,
+		P99ms: h.Quantile(0.99) * 1000,
+	}
+}
+
+// report assembles the result document and evaluates the SLO gates.
+func (lg *loadgen) report(wall time.Duration, sloP50, sloP99 time.Duration, sloErr float64) *benchDoc {
+	reqs, errs := lg.requests.Load(), lg.errors.Load()
+	errRate := 0.0
+	if reqs > 0 {
+		errRate = float64(errs) / float64(reqs)
+	}
+	slo := sloTab{Violations: []string{}}
+	if sloP50 > 0 {
+		slo.P50ms = float64(sloP50.Milliseconds())
+		if got := lg.all.Quantile(0.50); got > sloP50.Seconds() {
+			slo.Violations = append(slo.Violations,
+				fmt.Sprintf("p50 %.1fms > SLO %v", got*1000, sloP50))
+		}
+	}
+	if sloP99 > 0 {
+		slo.P99ms = float64(sloP99.Milliseconds())
+		if got := lg.all.Quantile(0.99); got > sloP99.Seconds() {
+			slo.Violations = append(slo.Violations,
+				fmt.Sprintf("p99 %.1fms > SLO %v", got*1000, sloP99))
+		}
+	}
+	if sloErr >= 0 {
+		slo.ErrorRate = sloErr
+		if errRate > sloErr {
+			slo.Violations = append(slo.Violations,
+				fmt.Sprintf("error rate %.4f > SLO %.4f", errRate, sloErr))
+		}
+	}
+	return &benchDoc{
+		Bench: "serving",
+		Config: benchConfig{
+			Targets: lg.targets, Workers: lg.workers, Instances: len(lg.pool),
+			ZipfS: lg.zipfS, DeltaFrac: lg.deltaFrac, ExplainFrac: lg.explainFrac,
+			Seed: lg.seed, RampSeconds: lg.ramp.Seconds(),
+		},
+		Totals: benchTotals{
+			WallSeconds:   wall.Seconds(),
+			Requests:      reqs,
+			OK:            lg.all.Count(),
+			Errors:        errs,
+			ErrorRate:     errRate,
+			DeltaMisses:   lg.misses.Load(),
+			DeltaNoBase:   lg.noBase.Load(),
+			ThroughputQPS: float64(lg.all.Count()) / wall.Seconds(),
+		},
+		Routes: map[string]routeTab{
+			"all":       routeOf(lg.all),
+			"solve":     routeOf(lg.cold),
+			"cache_hit": routeOf(lg.hit),
+			"delta":     routeOf(lg.delta),
+		},
+		SLO: slo,
+	}
+}
+
+func (lg *loadgen) printSummary(doc *benchDoc) {
+	t := doc.Totals
+	fmt.Printf("loadgen: %d requests in %.1fs (%.1f qps ok), %d ok, %d errors (rate %.4f), %d delta session misses\n",
+		t.Requests, t.WallSeconds, t.ThroughputQPS, t.OK, t.Errors, t.ErrorRate, t.DeltaMisses)
+	for _, name := range []string{"all", "solve", "cache_hit", "delta"} {
+		r := doc.Routes[name]
+		fmt.Printf("  %-9s count=%-6d p50=%8.1fms p90=%8.1fms p99=%8.1fms\n",
+			name, r.Count, r.P50ms, r.P90ms, r.P99ms)
+	}
+	if len(doc.SLO.Violations) == 0 {
+		fmt.Println("  SLO: pass")
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(2)
+}

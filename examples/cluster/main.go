@@ -154,6 +154,24 @@ func main() {
 		fmt.Println()
 	}
 
+	// 1c. The same trace, stitched: /debug/trace/{id} on ANY member asks
+	// every node's flight recorder for its half and merges the spans into
+	// one wall-clock timeline — the edge's forward hop and the owner's
+	// solver phases, interleaved as they actually ran.
+	if traceID != "" {
+		printStitchedTrace(nodes[0].url, traceID)
+	}
+
+	// 1d. EXPLAIN travels with the forward too: ?explain=1 on a fresh
+	// fingerprint makes the owner measure its cost report — per-CC
+	// selectivities off the posting lists, phase durations, partition
+	// shape — and the edge relays it spliced into the response body. The
+	// cached bytes stay untouched: re-POST without explain and the body is
+	// the canonical form.
+	expReq := service.SolveRequest{InstanceJSON: instance(500), Options: &service.OptionsJSON{Seed: 1}}
+	expBody, expHdr := post(nodes[0].url+"/v1/solve?explain=1", expReq)
+	printExplain(expBody, expHdr)
+
 	// 2. A batch posted to node 0 scatters across the owners: each
 	// instance is solved on — and cached by — the node that owns its
 	// fingerprint, then replicated to the successors.
@@ -261,6 +279,87 @@ func main() {
 	} {
 		fmt.Printf("  %s\n", metricLine(survivors[0].url, name))
 	}
+	fmt.Println()
+
+	// 5b. Cluster-wide telemetry from any one member: /debug/cluster
+	// fans out to every live node's /metrics and merges them into a
+	// single exposition — counters summed, gauges maxed, every sample
+	// also broken out per node — so one scrape sees the whole cluster.
+	cm, _ := get(survivors[0].url + "/debug/cluster")
+	fmt.Printf("GET %s/debug/cluster (merged exposition, %d lines):\n", survivors[0].url, strings.Count(string(cm), "\n"))
+	for _, line := range strings.Split(string(cm), "\n") {
+		if strings.HasPrefix(line, "linksynthd_cache_entries") || strings.HasPrefix(line, "linksynthd_cluster_node_up") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+// printStitchedTrace fetches /debug/trace/{id} — the cross-node stitched
+// view — from one member and prints which nodes contributed and the
+// merged span timeline.
+func printStitchedTrace(url, id string) {
+	body, _ := get(url + "/debug/trace/" + id)
+	var ct struct {
+		Nodes    []string `json:"nodes"`
+		Timeline []struct {
+			Node string `json:"node"`
+			Name string `json:"name"`
+		} `json:"timeline"`
+	}
+	if err := json.Unmarshal(body, &ct); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GET %s/debug/trace/%s -> stitched across %v:\n  timeline:", url, id, ct.Nodes)
+	for _, sp := range ct.Timeline {
+		fmt.Printf(" %s@%s", sp.Name, sp.Node)
+	}
+	fmt.Println()
+	fmt.Println()
+}
+
+// printExplain digs the headline numbers out of a spliced explain member:
+// which node measured it, the solver's routing split, and the service-side
+// hit ratios at that node.
+func printExplain(body []byte, hdr http.Header) {
+	var resp struct {
+		Explain *struct {
+			Node    string `json:"node"`
+			TraceID string `json:"trace_id"`
+			Cache   string `json:"cache"`
+			Solver  *struct {
+				Mode       string `json:"mode"`
+				ViewRows   int    `json:"view_rows"`
+				Combos     int    `json:"combos"`
+				CCsToHasse int    `json:"ccs_to_hasse"`
+				CCsToILP   int    `json:"ccs_to_ilp"`
+				Partitions struct {
+					Count int `json:"count"`
+				} `json:"partitions"`
+			} `json:"solver"`
+			Service struct {
+				CacheHitRatio float64 `json:"cache_hit_ratio"`
+				PlanHitRatio  float64 `json:"plan_hit_ratio"`
+			} `json:"service"`
+		} `json:"explain"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		log.Fatal(err)
+	}
+	if resp.Explain == nil {
+		fmt.Println("POST ?explain=1 -> no explain member (unexpected)")
+		return
+	}
+	e := resp.Explain
+	fmt.Printf("POST node0/v1/solve?explain=1 -> cache %s, served by %s, measured on %s (trace %s)\n",
+		e.Cache, hdr.Get("X-Linksynth-Node"), e.Node, e.TraceID)
+	if e.Solver != nil {
+		fmt.Printf("  solver: mode=%s view_rows=%d combos=%d routing hasse/ilp=%d/%d partitions=%d\n",
+			e.Solver.Mode, e.Solver.ViewRows, e.Solver.Combos,
+			e.Solver.CCsToHasse, e.Solver.CCsToILP, e.Solver.Partitions.Count)
+	}
+	fmt.Printf("  service at %s: cache_hit_ratio=%.2f plan_hit_ratio=%.2f\n",
+		e.Node, e.Service.CacheHitRatio, e.Service.PlanHitRatio)
+	fmt.Println()
 }
 
 // flightSpans polls a node's flight recorder for a trace id and renders

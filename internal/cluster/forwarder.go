@@ -26,11 +26,18 @@ type ForwardResult struct {
 
 // ForwardSolve relays a /v1/solve request body to the owning node and
 // returns its response, whatever the status — the caller decides which
-// statuses to pass through and which to fall back on. A transport-level
-// failure (connect refused, timeout, mid-body death) marks the owner down
-// and returns an error; the caller should then solve locally.
-func (c *Cluster) ForwardSolve(ctx context.Context, owner, contentType string, body []byte) (*ForwardResult, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/solve", bytes.NewReader(body))
+// statuses to pass through and which to fall back on. query, when
+// non-empty, is the raw query string (without "?") to append — the edge
+// passes the client's ?explain=1 through so the owner, which does the
+// actual solving, measures the report. A transport-level failure (connect
+// refused, timeout, mid-body death) marks the owner down and returns an
+// error; the caller should then solve locally.
+func (c *Cluster) ForwardSolve(ctx context.Context, owner, contentType, query string, body []byte) (*ForwardResult, error) {
+	url := owner + "/v1/solve"
+	if query != "" {
+		url += "?" + query
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: forward to %s: %w", owner, err)
 	}

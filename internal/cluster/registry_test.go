@@ -145,7 +145,7 @@ func TestCanceledForwardDoesNotMarkPeerDown(t *testing.T) {
 		<-started
 		cancel()
 	}()
-	if _, err := c.ForwardSolve(ctx, ts.URL, "application/json", []byte("{}")); err == nil {
+	if _, err := c.ForwardSolve(ctx, ts.URL, "application/json", "", []byte("{}")); err == nil {
 		t.Fatal("canceled forward reported success")
 	}
 	if up := c.UpNodes(); len(up) != 2 {

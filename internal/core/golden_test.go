@@ -56,10 +56,13 @@ func TestSolverOutputGolden(t *testing.T) {
 			for _, seed := range []int64{1, 7, 42} {
 				opt := mode.opt
 				opt.Seed = seed
-				// Every golden solve runs with a live trace attached: the
-				// hashes below were pinned without tracing, so matching them
-				// here proves span recording never perturbs output bytes.
+				// Every golden solve runs with a live trace attached AND the
+				// explain report requested: the hashes below were pinned
+				// without either, so matching them here proves that span
+				// recording and explain measurement never perturb output
+				// bytes — for every instance, mode, and seed in the grid.
 				tr := obsv.NewTrace(obsv.NewID(), "golden", "test")
+				tr.RequestExplain()
 				ctx := obsv.WithTrace(nil, tr)
 				res, err := SolveOnContext(ctx, inst.in(), opt, PoolFor(opt))
 				if err != nil {
@@ -67,6 +70,13 @@ func TestSolverOutputGolden(t *testing.T) {
 				}
 				if tr.SpanCount() < 4 {
 					t.Fatalf("%s/%s seed %d: trace recorded %d spans, want >= 4 (compile + phases)", inst.name, mode.name, seed, tr.SpanCount())
+				}
+				ex := tr.Explain()
+				if ex == nil {
+					t.Fatalf("%s/%s seed %d: explain requested but no report on the trace", inst.name, mode.name, seed)
+				}
+				if ex.ViewRows == 0 || len(ex.CCs) == 0 || len(ex.Phases) == 0 {
+					t.Fatalf("%s/%s seed %d: explain report is hollow: %+v", inst.name, mode.name, seed, ex)
 				}
 				fp := resultFingerprint(res)
 				h := sha256.Sum256([]byte(fp[0] + "\x00" + fp[1] + "\x00" + fp[2]))

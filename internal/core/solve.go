@@ -244,6 +244,12 @@ func (p *prob) run(t0 time.Time) (*Result, error) {
 	stat.Phase2 = since(tPhase2)
 	p.trace.Span("phase2", tPhase2, stat.Phase2)
 	stat.Total = since(t0)
+	// The explain report is measured only on request and only after the
+	// solve is complete; it lands on the trace, never in the Result, so
+	// solver output stays byte-identical with explain on or off.
+	if p.trace.ExplainRequested() {
+		p.trace.SetExplain(p.buildExplain())
+	}
 	return &Result{R1Hat: r1hat, R2Hat: ph.r2hat, VJoin: vj, Stats: *stat}, nil
 }
 

@@ -75,6 +75,49 @@ func (h *Histogram) Count() uint64 {
 	return h.count.Load()
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution in seconds, interpolating linearly inside the bucket the
+// quantile lands in. Observations beyond the last finite bound clamp to
+// that bound — good enough for SLO gating, where anything past 100s has
+// already burned the objective. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, ub := range h.bounds {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (ub-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // expose renders the family in Prometheus exposition format. A concurrent
 // Observe may land between bucket reads; the cumulative counts are made
 // monotone by construction (running sum), and count is taken as the

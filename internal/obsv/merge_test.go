@@ -1,0 +1,176 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const scrapeA = `# HELP linksynthd_requests_total requests served
+# TYPE linksynthd_requests_total counter
+linksynthd_requests_total 10
+# HELP linksynthd_sessions live sessions
+# TYPE linksynthd_sessions gauge
+linksynthd_sessions 3
+`
+
+const scrapeB = `# HELP linksynthd_requests_total requests served
+# TYPE linksynthd_requests_total counter
+linksynthd_requests_total 32
+# HELP linksynthd_sessions live sessions
+# TYPE linksynthd_sessions gauge
+linksynthd_sessions 7
+`
+
+func mustMerge(t *testing.T, scrapes []NodeScrape, down []string) string {
+	t.Helper()
+	out, err := MergeExpositions(scrapes, down)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return out
+}
+
+func wantLine(t *testing.T, out, line string) {
+	t.Helper()
+	for _, l := range strings.Split(out, "\n") {
+		if l == line {
+			return
+		}
+	}
+	t.Fatalf("merged exposition missing line %q:\n%s", line, out)
+}
+
+func TestMergeCountersSumAndKeepPerNodeLines(t *testing.T) {
+	out := mustMerge(t, []NodeScrape{
+		{Node: "http://n1", Text: scrapeA},
+		{Node: "http://n2", Text: scrapeB},
+	}, nil)
+	wantLine(t, out, "linksynthd_requests_total 42")
+	wantLine(t, out, `linksynthd_requests_total{node="http://n1"} 10`)
+	wantLine(t, out, `linksynthd_requests_total{node="http://n2"} 32`)
+}
+
+func TestMergeGaugesTakeMax(t *testing.T) {
+	out := mustMerge(t, []NodeScrape{
+		{Node: "http://n1", Text: scrapeA},
+		{Node: "http://n2", Text: scrapeB},
+	}, nil)
+	// Gauges are levels, not flows: the aggregate is the max, never the sum.
+	wantLine(t, out, "linksynthd_sessions 7")
+	wantLine(t, out, `linksynthd_sessions{node="http://n1"} 3`)
+	wantLine(t, out, `linksynthd_sessions{node="http://n2"} 7`)
+}
+
+func TestMergeNodeUpCoversMergedAndDownMembers(t *testing.T) {
+	out := mustMerge(t, []NodeScrape{{Node: "http://n1", Text: scrapeA}},
+		[]string{"http://n9"})
+	wantLine(t, out, NodeUpFamily+`{node="http://n1"} 1`)
+	wantLine(t, out, NodeUpFamily+`{node="http://n9"} 0`)
+}
+
+func TestMergeLabeledGaugeGetsNoAggregate(t *testing.T) {
+	info := `# HELP linksynthd_build_info build metadata
+# TYPE linksynthd_build_info gauge
+linksynthd_build_info{revision="abc",version="v1"} 1
+`
+	out := mustMerge(t, []NodeScrape{
+		{Node: "n1", Text: info},
+		{Node: "n2", Text: info},
+	}, nil)
+	wantLine(t, out, `linksynthd_build_info{node="n1",revision="abc",version="v1"} 1`)
+	wantLine(t, out, `linksynthd_build_info{node="n2",revision="abc",version="v1"} 1`)
+	for _, l := range strings.Split(out, "\n") {
+		if l == "linksynthd_build_info 2" || strings.HasPrefix(l, "linksynthd_build_info 1") {
+			t.Fatalf("labeled info gauge got an aggregate line: %q", l)
+		}
+	}
+}
+
+// TestMergeHistogramsSumBuckets renders two real histograms and checks the
+// merged family has one summed cumulative bucket set — the validator's
+// cumulative rule spans all of a family's lines, so per-node bucket lines
+// would be malformed by construction.
+func TestMergeHistogramsSumBuckets(t *testing.T) {
+	mkScrape := func(h *Histogram) string {
+		var e Exposition
+		e.Histogram(h)
+		return e.Render()
+	}
+	h1 := NewHistogram("solve_duration_seconds", "solve latency")
+	h2 := NewHistogram("solve_duration_seconds", "solve latency")
+	for i := 0; i < 5; i++ {
+		h1.Observe(2 * time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		h2.Observe(3 * time.Second)
+	}
+	out := mustMerge(t, []NodeScrape{
+		{Node: "n1", Text: mkScrape(h1)},
+		{Node: "n2", Text: mkScrape(h2)},
+	}, nil)
+	wantLine(t, out, `solve_duration_seconds_bucket{le="0.0025"} 5`)
+	wantLine(t, out, `solve_duration_seconds_bucket{le="+Inf"} 8`)
+	wantLine(t, out, "solve_duration_seconds_count 8")
+	if strings.Contains(out, `_bucket{le="0.0025",node=`) || strings.Contains(out, `node="n1",le=`) {
+		t.Fatalf("merged histogram leaked per-node bucket lines:\n%s", out)
+	}
+}
+
+func TestMergeIsDeterministicAcrossScrapeOrder(t *testing.T) {
+	fwd := mustMerge(t, []NodeScrape{
+		{Node: "http://n1", Text: scrapeA}, {Node: "http://n2", Text: scrapeB},
+	}, nil)
+	rev := mustMerge(t, []NodeScrape{
+		{Node: "http://n2", Text: scrapeB}, {Node: "http://n1", Text: scrapeA},
+	}, nil)
+	if fwd != rev {
+		t.Fatalf("merge depends on scrape order:\n--- fwd\n%s\n--- rev\n%s", fwd, rev)
+	}
+}
+
+func TestMergeRejectsBadScrapes(t *testing.T) {
+	cases := map[string]string{
+		"undeclared sample":  "linksynthd_x_total 1\n",
+		"free-form comment":  "# a stray comment\n",
+		"duplicate family":   scrapeA + scrapeA,
+		"unparseable sample": "# HELP linksynthd_x x\n# TYPE linksynthd_x counter\nlinksynthd_x\n",
+	}
+	for name, text := range cases {
+		if _, err := MergeExpositions([]NodeScrape{{Node: "n1", Text: text}}, nil); err == nil {
+			t.Errorf("%s: merge accepted a malformed scrape", name)
+		}
+	}
+	conflict := strings.Replace(scrapeB, "counter", "gauge", 1)
+	if _, err := MergeExpositions([]NodeScrape{
+		{Node: "n1", Text: scrapeA}, {Node: "n2", Text: conflict},
+	}, nil); err == nil {
+		t.Error("type conflict: merge accepted counter-vs-gauge family")
+	}
+}
+
+func TestQuantileInterpolatesWithinBuckets(t *testing.T) {
+	h := NewHistogram("q", "quantile test")
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations at ~2ms land in the (0.001, 0.0025] bucket; the
+	// p50 estimate must fall inside that bucket's bounds.
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	if q := h.Quantile(0.5); q <= 0.001 || q > 0.0025 {
+		t.Fatalf("p50 = %v, want within (0.001, 0.0025]", q)
+	}
+	// Half slow observations drag p99 into the slow bucket while p25
+	// stays in the fast one.
+	for i := 0; i < 100; i++ {
+		h.Observe(800 * time.Millisecond)
+	}
+	if q := h.Quantile(0.25); q > 0.0025 {
+		t.Fatalf("p25 = %v, want fast bucket", q)
+	}
+	if q := h.Quantile(0.99); q <= 0.5 || q > 1.0 {
+		t.Fatalf("p99 = %v, want within (0.5, 1.0]", q)
+	}
+}

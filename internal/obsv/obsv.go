@@ -59,16 +59,18 @@ type Event struct {
 // receiver (instrumented code never guards) and safe for concurrent use
 // (parallel solver phases record concurrently).
 type Trace struct {
-	mu     sync.Mutex
-	id     string
-	op     string
-	node   string
-	start  time.Time
-	end    time.Time
-	status string
-	err    string
-	spans  []Span
-	events []Event
+	mu          sync.Mutex
+	id          string
+	op          string
+	node        string
+	start       time.Time
+	end         time.Time
+	status      string
+	err         string
+	spans       []Span
+	events      []Event
+	wantExplain bool
+	explain     *ExplainReport
 }
 
 // TraceJSON is the wire/dump form of a completed trace.
@@ -82,6 +84,11 @@ type TraceJSON struct {
 	Err    string        `json:"error,omitempty"`
 	Spans  []Span        `json:"spans,omitempty"`
 	Events []Event       `json:"events,omitempty"`
+
+	// Explain is the solve's cost report, present only when the request
+	// asked for it (?explain=1). Diagnostics only — never part of the
+	// content-addressed response body.
+	Explain *ExplainReport `json:"explain,omitempty"`
 }
 
 // NewID mints a fresh 16-hex-digit trace id from the system CSPRNG. IDs
@@ -183,6 +190,51 @@ func (t *Trace) Failed() bool {
 	return t.err != ""
 }
 
+// RequestExplain marks the trace as wanting a cost report. The serving
+// edge sets it from ?explain=1 before handing the context to the solver;
+// the solver checks ExplainRequested at the end of a run and only then
+// pays the (cheap, but nonzero) cost of measuring the report.
+func (t *Trace) RequestExplain() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.wantExplain = true
+	t.mu.Unlock()
+}
+
+// ExplainRequested reports whether RequestExplain was called.
+func (t *Trace) ExplainRequested() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wantExplain
+}
+
+// SetExplain attaches the solve's cost report. Last write wins — on a
+// {base, delta} request the delta solve's report (the one the caller paid
+// for) overwrites the base's.
+func (t *Trace) SetExplain(r *ExplainReport) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.explain = r
+	t.mu.Unlock()
+}
+
+// Explain returns the attached cost report, or nil.
+func (t *Trace) Explain() *ExplainReport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.explain
+}
+
 // Finish stamps the trace's end time. Idempotent; the recorder calls it
 // defensively before snapshotting.
 func (t *Trace) Finish() {
@@ -243,6 +295,7 @@ func (t *Trace) Snapshot() TraceJSON {
 	}
 	out.Spans = append([]Span(nil), t.spans...)
 	out.Events = append([]Event(nil), t.events...)
+	out.Explain = t.explain
 	return out
 }
 

@@ -212,3 +212,49 @@ func TestBuildInfoFieldsNonEmpty(t *testing.T) {
 		t.Fatalf("BuildInfo has empty fields: %+v", b)
 	}
 }
+
+// Satellite: the 64-file retention prune must be visible, not silent. Seed
+// the snapshot directory past the cap, record one failed trace, and the
+// prune that follows its snapshot write must count every file it deleted.
+func TestFlightRecorderPruneCountsDeletedSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	const excess = 70
+	for i := 0; i < excess; i++ {
+		// A leading "0" sorts before real (date-stamped) snapshot names,
+		// so these rank oldest and are the prune victims.
+		name := fmt.Sprintf("00000000T000000.%09d-old-%d.json", i, i)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewFlightRecorder(8, dir)
+	bad := NewTrace("cccccccccccccccc", "solve", "n")
+	bad.SetError("boom")
+	r.Record(bad)
+
+	const wantPruned = excess + 1 - 64
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Pruned() < wantPruned && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := r.Pruned(); got != wantPruned {
+		t.Fatalf("Pruned() = %d, want %d", got, wantPruned)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 64 {
+		t.Fatalf("%d snapshot files on disk, want the 64-file cap", len(ents))
+	}
+	// The freshly written snapshot is the newest file and must survive.
+	found := false
+	for _, e := range ents {
+		if strings.Contains(e.Name(), "cccccccccccccccc") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("prune deleted the newest snapshot instead of the oldest files")
+	}
+}

@@ -30,6 +30,7 @@ type FlightRecorder struct {
 	snapSeq atomic.Uint64
 	snaps   atomic.Uint64 // snapshots written
 	snapErr atomic.Uint64 // snapshot writes that failed
+	pruned  atomic.Uint64 // snapshot files deleted by the retention cap
 }
 
 // maxSnapshotFiles caps the error-trace dumps retained on disk.
@@ -87,6 +88,16 @@ func (r *FlightRecorder) SnapshotStats() (uint64, uint64) {
 		return 0, 0
 	}
 	return r.snaps.Load(), r.snapErr.Load()
+}
+
+// Pruned returns how many snapshot files the retention cap has deleted.
+// Before this counter existed the prune was silent, so a crash loop
+// could cycle evidence off disk with nothing in /metrics to show for it.
+func (r *FlightRecorder) Pruned() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.pruned.Load()
 }
 
 // Traces returns the resident traces, oldest first. Each entry is an
@@ -151,6 +162,8 @@ func (r *FlightRecorder) prune() {
 	}
 	sort.Strings(names)
 	for _, n := range names[:len(names)-maxSnapshotFiles] {
-		os.Remove(filepath.Join(r.dir, n))
+		if os.Remove(filepath.Join(r.dir, n)) == nil {
+			r.pruned.Add(1)
+		}
 	}
 }

@@ -1,0 +1,28 @@
+package service
+
+import (
+	"strings"
+
+	"repro/internal/constraint"
+	"repro/internal/core"
+)
+
+// EncodeInstance renders a solver input in the HTTP wire form — the same
+// shape POST /v1/solve decodes. It is the inverse of the request decoder
+// up to relation-name defaulting: both relations inline, the key columns,
+// and the constraint sets re-serialized into the text DSL. Clients that
+// build instances programmatically (cmd/loadgen, tests) use it to speak
+// the API without hand-writing JSON.
+func EncodeInstance(in core.Input) (InstanceJSON, error) {
+	var cons strings.Builder
+	if err := constraint.WriteConstraints(&cons, in.CCs, in.DCs); err != nil {
+		return InstanceJSON{}, err
+	}
+	r1 := encodeRelation(in.R1)
+	r2 := encodeRelation(in.R2)
+	return InstanceJSON{
+		R1: &r1, R2: &r2,
+		K1: in.K1, K2: in.K2, FK: in.FK,
+		Constraints: cons.String(),
+	}, nil
+}

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// explainMember mirrors the spliced "explain" object for decoding in tests.
+type explainMember struct {
+	Node    string `json:"node"`
+	TraceID string `json:"trace_id"`
+	Cache   string `json:"cache"`
+	Solver  *struct {
+		Mode     string `json:"mode"`
+		ViewRows int    `json:"view_rows"`
+		CCs      []any  `json:"ccs"`
+		Phases   []any  `json:"phases"`
+	} `json:"solver"`
+	Service struct {
+		CacheHitRatio float64 `json:"cache_hit_ratio"`
+	} `json:"service"`
+}
+
+// Tentpole acceptance: ?explain=1 splices a cost report into the response
+// without perturbing the canonical bytes. The cached body, the fingerprint
+// key, and the bytes before the splice point are identical with and
+// without explain — on a cold solve and on a cache hit.
+func TestExplainSpliceKeepsCanonicalBytes(t *testing.T) {
+	_, tsA := newTestServer(t, Config{Workers: 2})
+	req := SolveRequest{InstanceJSON: testInstance(0), Options: &OptionsJSON{Seed: 1}}
+
+	respPlain := postJSON(t, tsA.URL+"/v1/solve", req)
+	bodyPlain := readBody(t, respPlain)
+	if respPlain.StatusCode != http.StatusOK {
+		t.Fatalf("plain solve: %d: %s", respPlain.StatusCode, bodyPlain)
+	}
+	if bytes.Contains(bodyPlain, []byte(`"explain"`)) {
+		t.Fatalf("plain response carries an explain member: %s", bodyPlain)
+	}
+
+	// Cache-hit explain: spliced onto the same canonical prefix.
+	respHit := postJSON(t, tsA.URL+"/v1/solve?explain=1", req)
+	bodyHit := readBody(t, respHit)
+	if got := respHit.Header.Get("X-Linksynth-Cache"); got != "hit" {
+		t.Fatalf("second solve cache = %q, want hit", got)
+	}
+	if !bytes.HasPrefix(bodyHit, bodyPlain[:len(bodyPlain)-1]) {
+		t.Fatalf("explain response does not extend the canonical body:\nplain: %s\nexplain: %s", bodyPlain, bodyHit)
+	}
+	var hit struct {
+		Key     string         `json:"key"`
+		Explain *explainMember `json:"explain"`
+	}
+	if err := json.Unmarshal(bodyHit, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if hit.Explain == nil || hit.Explain.Cache != "hit" || hit.Explain.TraceID == "" {
+		t.Fatalf("hit explain member wrong: %+v", hit.Explain)
+	}
+	if hit.Explain.Solver != nil {
+		t.Fatal("cache hit carries a solver report, but no solver ran")
+	}
+
+	// Cold explain on a fresh server: the solver report is present, and
+	// neither the key nor the canonical bytes moved.
+	_, tsB := newTestServer(t, Config{Workers: 2})
+	respCold := postJSON(t, tsB.URL+"/v1/solve?explain=1", req)
+	bodyCold := readBody(t, respCold)
+	var cold struct {
+		Key     string         `json:"key"`
+		Explain *explainMember `json:"explain"`
+	}
+	if err := json.Unmarshal(bodyCold, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Key != hit.Key {
+		t.Fatalf("explain changed the fingerprint: %s vs %s", cold.Key, hit.Key)
+	}
+	if cold.Explain == nil || cold.Explain.Cache != "miss" || cold.Explain.Solver == nil {
+		t.Fatalf("cold explain member wrong: %+v", cold.Explain)
+	}
+	if cold.Explain.Solver.ViewRows == 0 || len(cold.Explain.Solver.CCs) == 0 || len(cold.Explain.Solver.Phases) == 0 {
+		t.Fatalf("cold solver report is hollow: %+v", cold.Explain.Solver)
+	}
+
+	// The cached entry on server B stayed canonical: a plain re-request
+	// returns bytes identical to server A's plain response.
+	bodyB := readBody(t, postJSON(t, tsB.URL+"/v1/solve", req))
+	if !bytes.Equal(bodyB, bodyPlain) {
+		t.Fatalf("explain leaked into the cached body:\nA: %s\nB: %s", bodyPlain, bodyB)
+	}
+}
+
+// Satellite: /debug/flight?trace=<id> narrows the dump to one trace, and
+// ?format=text renders the greppable line form.
+func TestFlightTraceFilterAndTextFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := SolveRequest{InstanceJSON: testInstance(0), Options: &OptionsJSON{Seed: 1}}
+	id := postJSON(t, ts.URL+"/v1/solve", req).Header.Get("X-Linksynth-Trace")
+	if id == "" {
+		t.Fatal("solve response has no trace id")
+	}
+	postJSON(t, ts.URL+"/v1/solve", req) // a second trace the filter must drop
+
+	resp, err := http.Get(ts.URL + "/debug/flight?trace=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fj struct {
+		RecordedTotal uint64 `json:"recorded_total"`
+		Traces        []struct {
+			ID string `json:"id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(readBody(t, resp), &fj); err != nil {
+		t.Fatal(err)
+	}
+	if len(fj.Traces) != 1 || fj.Traces[0].ID != id {
+		t.Fatalf("?trace=%s returned %+v, want exactly that trace", id, fj.Traces)
+	}
+	if fj.RecordedTotal < 2 {
+		t.Fatalf("recorded_total = %d, want >= 2 (filter must not hide totals)", fj.RecordedTotal)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/flight?trace=" + id + "&format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text dump Content-Type = %q", ct)
+	}
+	text := string(readBody(t, resp))
+	if !strings.HasPrefix(text, "node ") ||
+		!strings.Contains(text, "trace "+id+" ") ||
+		!strings.Contains(text, "span "+id+" compile") {
+		t.Fatalf("text dump missing expected lines:\n%s", text)
+	}
+}
+
+// Satellite: a forwarded solve lands in exactly one node's latency
+// histograms cluster-wide — the owner's. The edge node sees the
+// X-Linksynth-Node header name another node and skips booking.
+func TestClusterForwardedSolveBookedOnExactlyOneNode(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	a, b := nodes[0], nodes[1]
+	opt := &OptionsJSON{Seed: 1}
+	inst := instanceOwnedBy(t, a.clu.Nodes(), b.url, opt, 12000)
+
+	resp := postJSON(t, a.url+"/v1/solve", SolveRequest{InstanceJSON: inst, Options: opt})
+	readBody(t, resp)
+	if got := resp.Header.Get("X-Linksynth-Node"); got != b.url {
+		t.Fatalf("served-by %q, want owner %s", got, b.url)
+	}
+	booked := int64(0)
+	for _, name := range []string{
+		"solve_duration_seconds_count",
+		"cache_hit_duration_seconds_count",
+		"delta_duration_seconds_count",
+	} {
+		booked += totalMetric(t, nodes, name)
+	}
+	if booked != 1 {
+		t.Fatalf("cluster-wide latency bookings = %d, want exactly 1", booked)
+	}
+	if owner := metricValue(t, b.url, "solve_duration_seconds_count"); owner != 1 {
+		t.Fatalf("owner solve histogram count = %d, want 1", owner)
+	}
+	if edge := metricValue(t, a.url, "solve_duration_seconds_count"); edge != 0 {
+		t.Fatalf("edge solve histogram count = %d, want 0 (forwarded answer must not double-book)", edge)
+	}
+}
+
+// Tentpole acceptance: /debug/cluster merges every member's scrape into
+// one exposition with aggregates and per-node labels.
+func TestClusterMetricsMergeAllMembers(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	opt := &OptionsJSON{Seed: 1}
+	readBody(t, postJSON(t, nodes[0].url+"/v1/solve", SolveRequest{InstanceJSON: testInstance(0), Options: opt}))
+
+	resp, err := http.Get(nodes[1].url + "/debug/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(readBody(t, resp))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/cluster: %d: %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(body, "\n")
+	has := func(line string) {
+		t.Helper()
+		for _, l := range lines {
+			if l == line {
+				return
+			}
+		}
+		t.Fatalf("merged exposition missing %q:\n%s", line, body)
+	}
+	// One solver run cluster-wide: the aggregate counter sums to 1 and
+	// every member appears under its own node label and in node_up.
+	has("linksynthd_solver_runs_total 1")
+	for _, nd := range nodes {
+		local := metricValue(t, nd.url, "solver_runs_total")
+		has(fmt.Sprintf(`linksynthd_solver_runs_total{node="%s"} %d`, nd.url, local))
+		has(`linksynthd_cluster_node_up{node="` + nd.url + `"} 1`)
+	}
+	// Histogram families merge into a single cumulative bucket set: no
+	// bucket line may carry a node label.
+	for _, l := range lines {
+		if strings.Contains(l, "_bucket{") && strings.Contains(l, `node="`) {
+			t.Fatalf("merged histogram leaked a per-node bucket line: %q", l)
+		}
+	}
+}
+
+// Tentpole acceptance: GET /debug/trace/{id} on EITHER node of a forwarded
+// solve returns spans from both members, stitched into one timeline.
+func TestClusterTraceStitchesAcrossNodes(t *testing.T) {
+	nodes := newTestCluster(t, 2)
+	a, b := nodes[0], nodes[1]
+	opt := &OptionsJSON{Seed: 1}
+	inst := instanceOwnedBy(t, a.clu.Nodes(), b.url, opt, 14000)
+
+	resp := postJSON(t, a.url+"/v1/solve", SolveRequest{InstanceJSON: inst, Options: opt})
+	readBody(t, resp)
+	id := resp.Header.Get("X-Linksynth-Trace")
+	if id == "" {
+		t.Fatal("forwarded solve returned no trace id")
+	}
+
+	for _, nd := range nodes {
+		r, err := http.Get(nd.url + "/debug/trace/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, r)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s/debug/trace/%s: %d: %s", nd.url, id, r.StatusCode, body)
+		}
+		var ct struct {
+			TraceID  string   `json:"trace_id"`
+			Nodes    []string `json:"nodes"`
+			Timeline []struct {
+				Node string `json:"node"`
+				Name string `json:"name"`
+			} `json:"timeline"`
+		}
+		if err := json.Unmarshal(body, &ct); err != nil {
+			t.Fatal(err)
+		}
+		if ct.TraceID != id || len(ct.Nodes) != 2 {
+			t.Fatalf("asked %s: stitched trace %+v, want both members", nd.url, ct)
+		}
+		seen := map[string]bool{}
+		for _, sp := range ct.Timeline {
+			seen[sp.Node+"/"+sp.Name] = true
+		}
+		if !seen[a.url+"/forward"] {
+			t.Fatalf("asked %s: timeline missing the edge's forward span: %v", nd.url, seen)
+		}
+		if !seen[b.url+"/compile"] || !seen[b.url+"/phase2"] {
+			t.Fatalf("asked %s: timeline missing the owner's solver spans: %v", nd.url, seen)
+		}
+	}
+
+	r, err := http.Get(a.url + "/debug/trace/nosuchtrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readBody(t, r)
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace id: %d, want 404", r.StatusCode)
+	}
+}

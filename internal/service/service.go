@@ -312,9 +312,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	case "/debug/flight":
 		if wantMethod(w, r, http.MethodGet) {
-			s.handleFlight(w)
+			s.handleFlight(w, r)
+		}
+	case "/debug/cluster":
+		if wantMethod(w, r, http.MethodGet) {
+			s.handleClusterMetrics(w, r)
 		}
 	default:
+		if id, ok := strings.CutPrefix(r.URL.Path, "/debug/trace/"); ok {
+			if wantMethod(w, r, http.MethodGet) {
+				s.handleClusterTrace(w, r, id)
+			}
+			return
+		}
 		s.serveTraced(w, r)
 	}
 }
@@ -405,6 +415,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeRequestError(w, err)
 		return
 	}
+	if wantExplain(r) {
+		// Mark the trace before any solver work: the solver measures its
+		// cost report only when the request asked, and writeSolveBody
+		// splices it into (a copy of) the canonical body on the way out.
+		obsv.FromContext(r.Context()).RequestExplain()
+	}
 	if s.clu != nil && hopped {
 		s.hopServed.Add(1)
 	}
@@ -427,7 +443,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			s.noteReplicaServe(r.Context(), key)
 			s.parkSessionAsync(key, p.in, p.opt)
 			obsv.FromContext(r.Context()).Event("cache: byte cache answered")
-			s.writeSolveBody(w, key, "hit", body)
+			s.writeSolveBody(w, r, key, "hit", body)
 			return
 		}
 		if _, self := s.clu.OwnerOf(key); !self {
@@ -444,14 +460,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			writeResolveError(w, err)
 			return
 		}
-		s.writeSolveBody(w, key, status, body)
+		s.writeSolveBody(w, r, key, status, body)
 		return
 	}
 	if body, ok := s.cache.Get(key); ok {
 		s.noteReplicaServe(r.Context(), key)
 		s.parkSessionAsync(key, p.in, p.opt)
 		obsv.FromContext(r.Context()).Event("cache: byte cache answered")
-		s.writeSolveBody(w, key, "hit", body)
+		s.writeSolveBody(w, r, key, "hit", body)
 		return
 	}
 	body, status, err := s.resolveMiss(r.Context(), key, p.in, p.opt)
@@ -459,7 +475,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeResolveError(w, err)
 		return
 	}
-	s.writeSolveBody(w, key, status, body)
+	s.writeSolveBody(w, r, key, status, body)
 }
 
 // handleDelta answers a warm-start request: in a cluster the request is
@@ -495,7 +511,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request, p *solvePar
 	if status == "hit" || status == "coalesced" {
 		cacheStatus = status
 	}
-	s.writeSolveBody(w, key, cacheStatus, body)
+	s.writeSolveBody(w, r, key, cacheStatus, body)
 }
 
 // resolveDelta coalesces identical concurrent (base, delta) requests onto
@@ -654,14 +670,20 @@ func (s *Server) parkSessionAsync(key cache.Key, in core.Input, opt core.Options
 
 // writeSolveBody writes the canonical solve response. The body bytes are
 // identical on every node of a cluster for a given key; only headers (cache
-// disposition, serving node) vary.
-func (s *Server) writeSolveBody(w http.ResponseWriter, key cache.Key, status string, body []byte) {
+// disposition, serving node) vary. When the request asked for a cost
+// report (?explain=1) the explain member is spliced into a copy of the
+// body here — strictly after the canonical bytes were fingerprinted and
+// cached, so explain can never leak into either.
+func (s *Server) writeSolveBody(w http.ResponseWriter, r *http.Request, key cache.Key, status string, body []byte) {
 	keyHex := hex.EncodeToString(key[:])
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Linksynth-Cache", status)
 	w.Header().Set("ETag", `"`+keyHex+`"`)
 	if s.clu != nil {
 		w.Header().Set("X-Linksynth-Node", s.clu.Self())
+	}
+	if tr := obsv.FromContext(r.Context()); tr.ExplainRequested() {
+		body = spliceExplain(body, s.explainEnvelope(tr, status))
 	}
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
@@ -709,7 +731,7 @@ func (s *Server) forwardSolve(w http.ResponseWriter, r *http.Request, key cache.
 		}
 		actx, cancel := context.WithTimeout(r.Context(), cluster.AttemptTimeout(r.Context(), maxAttempts-attempt))
 		start := time.Now()
-		res, err := s.clu.ForwardSolve(actx, target, r.Header.Get("Content-Type"), raw)
+		res, err := s.clu.ForwardSolve(actx, target, r.Header.Get("Content-Type"), r.URL.RawQuery, raw)
 		cancel()
 		dur := time.Since(start)
 		tr.Span("forward", start, dur)
@@ -930,6 +952,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter) {
 // the ordering is part of the endpoint's contract (tests and the CI
 // exposition check rely on it).
 func (s *Server) handleMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(s.metricsExposition()))
+}
+
+// metricsExposition renders this node's scrape as a string; handleMetrics
+// serves it, and the /debug/cluster fan-out merges it with the peers'
+// without a loopback HTTP request.
+func (s *Server) metricsExposition() string {
 	cs := s.cache.Stats()
 	s.mu.Lock()
 	nJobs := len(s.jobs)
@@ -957,6 +987,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 	snaps, snapErrs := s.obs.Recorder.SnapshotStats()
 	counter("flight_snapshots_total", snaps, "failed traces snapshotted to disk")
 	counter("flight_snapshot_errors_total", snapErrs, "trace snapshots that could not be written")
+	counter("flight_snapshots_pruned_total", s.obs.Recorder.Pruned(), "trace snapshot files deleted by the retention cap")
 	if s.pool != nil {
 		ps := s.pool.Stats()
 		gauge("pool_busy", int64(s.pool.Busy()), "solver pool slots held right now")
@@ -1036,8 +1067,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 		counter("store_handoff_fetches_total", s.handoffFetches.Load(), "warm sessions pulled from a peer")
 		counter("store_handoff_served_total", s.handoffServed.Load(), "store files served to peers")
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.Write([]byte(e.Render()))
+	return e.Render()
 }
 
 func wantMethod(w http.ResponseWriter, r *http.Request, method string) bool {

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obsv"
@@ -106,23 +108,74 @@ func (s *Server) observeLatency(path string, h http.Header, status int, d time.D
 
 // flightJSON is the wire form of GET /debug/flight.
 type flightJSON struct {
-	Node           string           `json:"node"`
-	RecordedTotal  uint64           `json:"recorded_total"`
-	Snapshots      uint64           `json:"snapshots_written"`
-	SnapshotErrors uint64           `json:"snapshot_errors"`
-	Traces         []obsv.TraceJSON `json:"traces"`
+	Node            string           `json:"node"`
+	RecordedTotal   uint64           `json:"recorded_total"`
+	Snapshots       uint64           `json:"snapshots_written"`
+	SnapshotErrors  uint64           `json:"snapshot_errors"`
+	SnapshotsPruned uint64           `json:"snapshots_pruned"`
+	Traces          []obsv.TraceJSON `json:"traces"`
 }
 
 // handleFlight dumps the flight recorder: the resident traces oldest first
 // plus recorder totals. The dump is a diagnostic read; the ring keeps
-// rotating underneath it.
-func (s *Server) handleFlight(w http.ResponseWriter) {
+// rotating underneath it. ?trace=<id> keeps only that trace's records (the
+// /debug/trace fan-out asks peers exactly this), and ?format=text renders
+// a line-oriented dump CI smokes can grep without JSON tooling.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	traces := s.obs.Recorder.Traces()
+	if id := r.URL.Query().Get("trace"); id != "" {
+		kept := traces[:0]
+		for _, t := range traces {
+			if t.ID == id {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+	}
 	snaps, snapErrs := s.obs.Recorder.SnapshotStats()
-	writeJSON(w, http.StatusOK, flightJSON{
-		Node:           s.obs.Node,
-		RecordedTotal:  s.obs.Recorder.Recorded(),
-		Snapshots:      snaps,
-		SnapshotErrors: snapErrs,
-		Traces:         s.obs.Recorder.Traces(),
-	})
+	fj := flightJSON{
+		Node:            s.obs.Node,
+		RecordedTotal:   s.obs.Recorder.Recorded(),
+		Snapshots:       snaps,
+		SnapshotErrors:  snapErrs,
+		SnapshotsPruned: s.obs.Recorder.Pruned(),
+		Traces:          traces,
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(renderFlightText(&fj)))
+		return
+	}
+	writeJSON(w, http.StatusOK, fj)
+}
+
+// renderFlightText renders a flight dump one fact per line:
+//
+//	node <node> recorded=N resident=N snapshots=N snapshot_errors=N pruned=N
+//	trace <id> op=<op> node=<node> status=<status> dur=<dur> spans=N err=<err|->
+//	span <trace-id> <name> start=<RFC3339Nano> dur=<dur>
+//	event <trace-id> <msg>
+//
+// The leading keyword plus trace id make every line independently
+// greppable (`grep "^span <id> forward"`).
+func renderFlightText(fj *flightJSON) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %s recorded=%d resident=%d snapshots=%d snapshot_errors=%d pruned=%d\n",
+		fj.Node, fj.RecordedTotal, len(fj.Traces), fj.Snapshots, fj.SnapshotErrors, fj.SnapshotsPruned)
+	for _, t := range fj.Traces {
+		errTxt := t.Err
+		if errTxt == "" {
+			errTxt = "-"
+		}
+		fmt.Fprintf(&b, "trace %s op=%q node=%s status=%q dur=%s spans=%d err=%q\n",
+			t.ID, t.Op, t.Node, t.Status, t.Dur, len(t.Spans), errTxt)
+		for _, sp := range t.Spans {
+			fmt.Fprintf(&b, "span %s %s start=%s dur=%s\n",
+				t.ID, sp.Name, sp.Start.UTC().Format(time.RFC3339Nano), sp.Dur)
+		}
+		for _, ev := range t.Events {
+			fmt.Fprintf(&b, "event %s %s\n", t.ID, ev.Msg)
+		}
+	}
+	return b.String()
 }
